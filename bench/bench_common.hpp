@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure bench binaries.
+ *
+ * Every binary resolves the same environment-driven parameters
+ * (EVRSIM_FULL / EVRSIM_FRAMES / EVRSIM_NO_CACHE / EVRSIM_CACHE_DIR),
+ * builds an ExperimentRunner over the Table III workload registry, and
+ * shares simulation results through the on-disk cache, so running all
+ * benches simulates each (workload, config) pair exactly once.
+ */
+#ifndef EVRSIM_BENCH_BENCH_COMMON_HPP
+#define EVRSIM_BENCH_BENCH_COMMON_HPP
+
+#include "driver/experiment.hpp"
+#include "driver/report.hpp"
+#include "workloads/registry.hpp"
+
+namespace evrsim {
+namespace bench {
+
+/** Runner + params bundle every bench binary starts from. */
+struct BenchContext {
+    BenchParams params;
+    ExperimentRunner runner;
+
+    BenchContext()
+        : params(benchParamsFromEnv()),
+          runner(workloads::factory(), params)
+    {
+    }
+
+    GpuConfig gpu() const { return params.gpuConfig(); }
+};
+
+} // namespace bench
+} // namespace evrsim
+
+#endif // EVRSIM_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 8: shaded fragments per pixel for the six 3D benchmarks —
+ * Baseline vs EVR (reordering via the FVP prediction) vs an Oracle
+ * whose Z Buffer is preloaded with the tile's final depth values.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace evrsim;
+using namespace evrsim::bench;
+
+int
+main()
+{
+    BenchContext ctx;
+    printBenchHeader("Figure 8",
+                     "shaded fragments per pixel: Baseline / EVR reorder / "
+                     "Oracle (3D benchmarks)",
+                     ctx.params);
+
+    ReportTable table({"bench", "baseline", "EVR", "oracle", "EVR-red.",
+                       "oracle-red."});
+    std::vector<double> base_v, evr_v, oracle_v;
+
+    for (const std::string &alias : workloads::aliases3D()) {
+        RunResult base = ctx.runner.run(alias, SimConfig::baseline(ctx.gpu()));
+        RunResult evr =
+            ctx.runner.run(alias, SimConfig::evrReorderOnly(ctx.gpu()));
+        RunResult oracle = ctx.runner.run(alias, SimConfig::oracleZ(ctx.gpu()));
+
+        double b = base.shadedPerPixel();
+        double e = evr.shadedPerPixel();
+        double o = oracle.shadedPerPixel();
+        base_v.push_back(b);
+        evr_v.push_back(e);
+        oracle_v.push_back(o);
+
+        table.addRow({alias, fmt(b), fmt(e), fmt(o), fmtPct(1.0 - e / b),
+                      fmtPct(1.0 - o / b)});
+    }
+
+    table.print();
+    std::printf("\naverage shaded fragments/pixel: baseline %.2f, EVR %.2f, "
+                "oracle %.2f\n",
+                mean(base_v), mean(evr_v), mean(oracle_v));
+    std::printf("average overshading reduction: EVR %.0f%%, oracle %.0f%%\n",
+                (1.0 - mean(evr_v) / mean(base_v)) * 100.0,
+                (1.0 - mean(oracle_v) / mean(base_v)) * 100.0);
+    printPaperShape(
+        "paper reports ~20% fewer shaded fragments with EVR, close to "
+        "(but not reaching) the oracle; the gap comes from prediction "
+        "granularity (primitive vs fragment) and one-frame staleness");
+    return 0;
+}

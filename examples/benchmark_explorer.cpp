@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Command-line explorer for the Table III benchmark suite: run any
+ * workload under any configuration and print the per-frame and total
+ * statistics the figures are built from.
+ *
+ *   benchmark_explorer [alias] [config] [frames]
+ *     alias:  300 ata csn mst ter tib abi arm ale ccs cde coc ctr dpe
+ *             hay hop mto red wmw wog       (default: ccs)
+ *     config: baseline | re | evr | evr-reorder | evr-filter | oracle-z | z-prepass
+ *             (default: evr)
+ *     frames: positive integer (default: 12)
+ *
+ * Set EVRSIM_DUMP_PPM=<path> to write the final frame as a PPM image.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "driver/experiment.hpp"
+#include "workloads/registry.hpp"
+
+using namespace evrsim;
+
+namespace {
+
+SimConfig
+configByName(const std::string &name, const GpuConfig &gpu)
+{
+    if (name == "baseline")
+        return SimConfig::baseline(gpu);
+    if (name == "re")
+        return SimConfig::renderingElimination(gpu);
+    if (name == "evr")
+        return SimConfig::evr(gpu);
+    if (name == "evr-reorder")
+        return SimConfig::evrReorderOnly(gpu);
+    if (name == "evr-filter")
+        return SimConfig::evrFilterOnly(gpu);
+    if (name == "oracle-z")
+        return SimConfig::oracleZ(gpu);
+    if (name == "z-prepass")
+        return SimConfig::zPrepass(gpu);
+    fatal("unknown config '%s'", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string alias = argc > 1 ? argv[1] : "ccs";
+    std::string config_name = argc > 2 ? argv[2] : "evr";
+    int frames = argc > 3 ? std::atoi(argv[3]) : 12;
+    if (frames <= 0)
+        fatal("frames must be positive");
+
+    BenchParams params = benchParamsFromEnv();
+    GpuConfig gpu = params.gpuConfig();
+    SimConfig config = configByName(config_name, gpu);
+
+    auto workload = workloads::make(alias, gpu.screen_width,
+                                    gpu.screen_height);
+    if (!workload)
+        fatal("unknown benchmark '%s'", alias.c_str());
+
+    Workload::Info info = workload->info();
+    std::printf("%s (%s, %s, %s) under %s, %dx%d, %d frames\n\n",
+                info.alias.c_str(), info.title.c_str(), info.genre.c_str(),
+                info.is_3d ? "3D" : "2D", config.name.c_str(),
+                gpu.screen_width, gpu.screen_height, frames);
+
+    GpuSimulator sim(config);
+    workload->setup(sim);
+
+    std::printf("%5s %12s %10s %10s %10s %8s\n", "frame", "cycles",
+                "frags-shaded", "ez-kills", "skipped", "pred-occ");
+    for (int i = 0; i < frames; ++i) {
+        FrameStats f = sim.renderFrame(workload->frame(i));
+        std::printf("%5d %12llu %10llu %10llu %7llu/%-3llu %8llu\n", i,
+                    static_cast<unsigned long long>(f.totalCycles()),
+                    static_cast<unsigned long long>(f.fragments_shaded),
+                    static_cast<unsigned long long>(f.early_z_kills),
+                    static_cast<unsigned long long>(f.tiles_skipped_re),
+                    static_cast<unsigned long long>(f.tiles_total),
+                    static_cast<unsigned long long>(
+                        f.prims_predicted_occluded));
+    }
+
+    const FrameStats &t = sim.totals();
+    EnergyBreakdown e = sim.energyOf(t);
+    std::printf("\ntotals: %llu cycles (%llu geometry + %llu raster), "
+                "%.1f uJ energy\n",
+                static_cast<unsigned long long>(t.totalCycles()),
+                static_cast<unsigned long long>(t.geometry_cycles),
+                static_cast<unsigned long long>(t.raster_cycles),
+                e.total() / 1000.0);
+    std::printf("        %llu fragments shaded (%.2f/pixel), %llu of %llu "
+                "tiles skipped\n",
+                static_cast<unsigned long long>(t.fragments_shaded),
+                t.shadedFragmentsPerPixel(
+                    static_cast<std::uint64_t>(gpu.screen_width) *
+                    gpu.screen_height * frames),
+                static_cast<unsigned long long>(t.tiles_skipped_re),
+                static_cast<unsigned long long>(t.tiles_total));
+    std::printf("        final image crc %08x\n",
+                sim.framebuffer().contentCrc());
+
+    if (const char *dump = std::getenv("EVRSIM_DUMP_PPM")) {
+        if (sim.framebuffer().writePpm(dump))
+            std::printf("        final frame written to %s\n", dump);
+        else
+            warn("could not write %s", dump);
+    }
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * A hybrid 3D scene under a HUD — the paper's headline scenario for the
+ * EVR-improved Rendering Elimination: animated WOZ geometry keeps
+ * moving *behind* an opaque NWOZ HUD, so plain RE can never match those
+ * tiles' signatures, while EVR excludes the hidden primitives and skips
+ * the HUD tiles every frame.
+ *
+ * Demonstrates: 3D camera + screen-space overlay commands, the
+ * RE/EVR/baseline comparison workflow, per-frame statistics.
+ */
+#include <cstdio>
+
+#include "driver/gpu_simulator.hpp"
+#include "scene/animation.hpp"
+#include "scene/camera.hpp"
+
+using namespace evrsim;
+
+namespace {
+
+struct HudGame {
+    Mesh sky = meshes::sphere(8, 12, {0.3f, 0.4f, 0.6f, 1.0f});
+    Mesh ground = meshes::grid(16, 16, {1, 1, 1, 1}, 0.01f, 9);
+    Mesh tank = meshes::box({0.7f, 0.25f, 0.2f, 1.0f});
+    Mesh hud_bar = meshes::quad({0.12f, 0.12f, 0.16f, 1.0f});
+    Texture ground_tex{TextureKind::Noise, 128,
+                       {0.3f, 0.4f, 0.25f, 1.0f},
+                       {0.5f, 0.45f, 0.3f, 1.0f},
+                       21, 24};
+
+    void
+    upload(GpuSimulator &sim)
+    {
+        sim.uploadMesh(sky);
+        sim.uploadMesh(ground);
+        sim.uploadMesh(tank);
+        sim.uploadMesh(hud_bar);
+        sim.registerTexture(ground_tex);
+    }
+
+    Scene
+    frame(int i, int width, int height) const
+    {
+        Scene scene;
+        setCamera3D(scene, {0.0f, 5.0f, 14.0f}, {0.0f, 1.0f, 0.0f}, 55.0f,
+                    static_cast<float>(width) / height);
+        scene.textures.push_back(&ground_tex);
+
+        RenderState woz;
+        woz.depth_test = true;
+        woz.depth_write = true;
+
+        scene.submit(&sky, Mat4::scale({120, 120, 120}), woz);
+
+        RenderState textured = woz;
+        textured.program = FragmentProgram::Textured;
+        textured.texture = 0;
+        scene.submit(&ground,
+                     Mat4::scale({60, 1, 60}) * Mat4::rotateX(-1.5708f),
+                     textured);
+
+        // Tanks patrol the whole field — including the strip that ends
+        // up underneath the HUD.
+        for (int t = 0; t < 4; ++t) {
+            Vec3 p = anim::orbitXZ({0, 0.5f, 6.0f}, 5.0f + t, 140.0f + 9 * t,
+                                   i, t * 1.7f);
+            RenderState tank_state = woz;
+            tank_state.cull_backface = true;
+            scene.submit(&tank,
+                         Mat4::translate(p) *
+                             Mat4::rotateY(anim::spin(120.0f, i, t)) *
+                             Mat4::scale({1.6f, 0.9f, 2.4f}),
+                         tank_state);
+        }
+
+        // Opaque HUD bar across the bottom third (screen-space overlay).
+        RenderState hud;
+        hud.depth_test = false;
+        hud.depth_write = false;
+        DrawCommand &bar = scene.submit(
+            &hud_bar,
+            anim::spriteAt(width * 0.5f, height - height * 0.16f,
+                           static_cast<float>(width), height * 0.32f, 0.02f),
+            hud);
+        bar.screen_space = true;
+        return scene;
+    }
+};
+
+void
+runConfig(const SimConfig &config, int frames, std::uint32_t &crc)
+{
+    GpuSimulator sim(config);
+    HudGame game;
+    game.upload(sim);
+    for (int i = 0; i < frames; ++i)
+        sim.renderFrame(game.frame(i, config.gpu.screen_width,
+                                   config.gpu.screen_height));
+
+    const FrameStats &t = sim.totals();
+    std::printf("[%-8s] cycles=%11llu  tiles skipped=%llu/%llu (%.1f%%)  "
+                "shaded=%llu\n",
+                config.name.c_str(),
+                static_cast<unsigned long long>(t.totalCycles()),
+                static_cast<unsigned long long>(t.tiles_skipped_re),
+                static_cast<unsigned long long>(t.tiles_total),
+                100.0 * t.tiles_skipped_re / t.tiles_total,
+                static_cast<unsigned long long>(t.fragments_shaded));
+    crc = sim.framebuffer().contentCrc();
+}
+
+} // namespace
+
+int
+main()
+{
+    GpuConfig gpu;
+    gpu.screen_width = 480;
+    gpu.screen_height = 320;
+    const int kFrames = 24;
+
+    std::printf("hud_game: tanks patrolling under an opaque HUD, %d frames"
+                "\n\n",
+                kFrames);
+
+    std::uint32_t base_crc, re_crc, evr_crc;
+    runConfig(SimConfig::baseline(gpu), kFrames, base_crc);
+    runConfig(SimConfig::renderingElimination(gpu), kFrames, re_crc);
+    runConfig(SimConfig::evr(gpu), kFrames, evr_crc);
+
+    if (base_crc != re_crc || base_crc != evr_crc) {
+        std::printf("\nERROR: outputs differ!\n");
+        return 1;
+    }
+    std::printf("\nall outputs identical (crc %08x). RE cannot skip the "
+                "HUD rows — the hidden tanks keep changing their "
+                "signatures — while EVR excludes them and skips those "
+                "tiles every frame.\n",
+                base_crc);
+    return 0;
+}

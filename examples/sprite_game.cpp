@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A 2D painter's-algorithm game with a modal menu — the NWOZ/layer side
+ * of EVR: no Z Buffer is ever written, visibility is implicit in draw
+ * order, and the Layer Generator Table + Layer Buffer provide the depth
+ * surrogate that lets EVR skip menu-covered tiles while sprites keep
+ * animating underneath.
+ *
+ * Demonstrates: 2D pixel-space camera, layered opaque/translucent
+ * sprites, per-frame scene construction, technique comparison.
+ */
+#include <cstdio>
+
+#include "driver/gpu_simulator.hpp"
+#include "scene/animation.hpp"
+#include "scene/camera.hpp"
+
+using namespace evrsim;
+
+namespace {
+
+RenderState
+sprite2d(BlendMode blend = BlendMode::Opaque, int texture = -1)
+{
+    RenderState s;
+    s.depth_test = false;
+    s.depth_write = false;
+    s.blend = blend;
+    s.program = texture >= 0 ? FragmentProgram::Textured
+                             : FragmentProgram::Flat;
+    s.texture = texture;
+    return s;
+}
+
+struct SpriteGame {
+    Mesh quad = meshes::quad({1, 1, 1, 1});
+    Texture bg_tex{TextureKind::Noise, 256,
+                   {0.1f, 0.2f, 0.3f, 1.0f},
+                   {0.2f, 0.35f, 0.45f, 1.0f},
+                   5, 32};
+
+    void
+    upload(GpuSimulator &sim)
+    {
+        sim.uploadMesh(quad);
+        sim.registerTexture(bg_tex);
+    }
+
+    Scene
+    frame(int i, int w, int h) const
+    {
+        Scene scene;
+        setCamera2D(scene, w, h);
+        scene.textures.push_back(&bg_tex);
+
+        // Layer 1: background.
+        scene.submit(&quad, anim::spriteAt(w / 2.0f, h / 2.0f,
+                                           static_cast<float>(w),
+                                           static_cast<float>(h), 0.9f),
+                     sprite2d(BlendMode::Opaque, 0));
+
+        // Layer 2: a dozen bouncing opaque sprites.
+        for (int s = 0; s < 12; ++s) {
+            float x = anim::oscillate(w * (0.1f + 0.07f * s), 40.0f, 60.0f,
+                                      i, s * 0.9f);
+            float y = anim::pingPong(20.0f, h - 40.0f, 45.0f + 3 * s, i + s);
+            DrawCommand &cmd = scene.submit(
+                &quad, anim::spriteAt(x, y, 26, 26, 0.5f), sprite2d());
+            cmd.tint = {0.4f + 0.05f * s, 0.9f - 0.05f * s, 0.4f, 1.0f};
+        }
+
+        // Layer 3: a translucent glow following the first sprite.
+        DrawCommand &glow = scene.submit(
+            &quad,
+            anim::spriteAt(anim::oscillate(w * 0.1f, 40.0f, 60.0f, i), 60,
+                           60, 60, 0.4f),
+            sprite2d(BlendMode::Alpha));
+        glow.tint = {1.0f, 0.9f, 0.4f, 0.35f};
+
+        // Layer 4: a modal menu covering most of the screen from frame
+        // 8 on — everything underneath keeps animating, invisibly.
+        if (i >= 8) {
+            DrawCommand &panel = scene.submit(
+                &quad,
+                anim::spriteAt(w / 2.0f, h / 2.0f, w * 0.8f, h * 0.8f,
+                               0.1f),
+                sprite2d());
+            panel.tint = {0.85f, 0.82f, 0.75f, 1.0f};
+            for (int b = 0; b < 3; ++b) {
+                DrawCommand &button = scene.submit(
+                    &quad,
+                    anim::spriteAt(w / 2.0f, h * (0.35f + 0.15f * b),
+                                   w * 0.5f, h * 0.1f, 0.05f),
+                    sprite2d());
+                button.tint = {0.3f, 0.5f + 0.15f * b, 0.8f, 1.0f};
+            }
+        }
+        return scene;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    GpuConfig gpu;
+    gpu.screen_width = 400;
+    gpu.screen_height = 240;
+    const int kFrames = 20;
+
+    std::printf("sprite_game: 2D painter's algorithm with a modal menu "
+                "from frame 8\n\n");
+
+    std::uint32_t reference = 0;
+    for (const SimConfig &config :
+         {SimConfig::baseline(gpu), SimConfig::renderingElimination(gpu),
+          SimConfig::evr(gpu)}) {
+        GpuSimulator sim(config);
+        SpriteGame game;
+        game.upload(sim);
+
+        std::uint64_t menu_phase_skips = 0, menu_phase_tiles = 0;
+        for (int i = 0; i < kFrames; ++i) {
+            FrameStats f = sim.renderFrame(
+                game.frame(i, gpu.screen_width, gpu.screen_height));
+            if (i >= 10) { // steady state with the menu up
+                menu_phase_skips += f.tiles_skipped_re;
+                menu_phase_tiles += f.tiles_total;
+            }
+        }
+
+        const FrameStats &t = sim.totals();
+        std::printf("[%-8s] cycles=%10llu  menu-phase skips=%llu/%llu  "
+                    "shaded=%llu\n",
+                    config.name.c_str(),
+                    static_cast<unsigned long long>(t.totalCycles()),
+                    static_cast<unsigned long long>(menu_phase_skips),
+                    static_cast<unsigned long long>(menu_phase_tiles),
+                    static_cast<unsigned long long>(t.fragments_shaded));
+
+        std::uint32_t crc = sim.framebuffer().contentCrc();
+        if (reference == 0) {
+            reference = crc;
+        } else if (crc != reference) {
+            std::printf("ERROR: output differs!\n");
+            return 1;
+        }
+    }
+
+    std::printf("\nall outputs identical. With the menu up, EVR skips the "
+                "covered tiles (the sprites underneath are excluded from "
+                "the signatures); RE keeps re-rendering them.\n");
+    return 0;
+}

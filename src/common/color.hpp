@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Packed RGBA8 color type used by the Color Buffer and framebuffer.
+ *
+ * Fragment shaders produce floating-point RGBA (Vec4 with components in
+ * [0, 1]); the blend stage converts to packed 8-bit-per-channel values on
+ * Color Buffer writes, exactly like the modelled hardware. Keeping the
+ * stored format at 8 bits also makes the "tile produced identical colors"
+ * comparisons well defined.
+ */
+#ifndef EVRSIM_COMMON_COLOR_HPP
+#define EVRSIM_COMMON_COLOR_HPP
+
+#include <cstdint>
+
+#include "common/vec.hpp"
+
+namespace evrsim {
+
+/** Packed 32-bit RGBA color, 8 bits per channel. */
+struct Rgba8 {
+    std::uint8_t r = 0;
+    std::uint8_t g = 0;
+    std::uint8_t b = 0;
+    std::uint8_t a = 255;
+
+    constexpr bool operator==(const Rgba8 &o) const = default;
+
+    /** Reinterpret as one 32-bit word (for hashing / fast compares). */
+    std::uint32_t
+    packed() const
+    {
+        return static_cast<std::uint32_t>(r) |
+               (static_cast<std::uint32_t>(g) << 8) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(a) << 24);
+    }
+};
+
+/** Convert one float channel in [0,1] to 8 bits with rounding. */
+constexpr std::uint8_t
+channelTo8(float v)
+{
+    float c = clampf(v, 0.0f, 1.0f);
+    return static_cast<std::uint8_t>(c * 255.0f + 0.5f);
+}
+
+/** Quantize a float RGBA color to packed RGBA8. */
+constexpr Rgba8
+toRgba8(const Vec4 &c)
+{
+    return {channelTo8(c.x), channelTo8(c.y), channelTo8(c.z),
+            channelTo8(c.w)};
+}
+
+/** Expand a packed RGBA8 color to float RGBA. */
+constexpr Vec4
+toVec4(const Rgba8 &c)
+{
+    constexpr float inv = 1.0f / 255.0f;
+    return {c.r * inv, c.g * inv, c.b * inv, c.a * inv};
+}
+
+} // namespace evrsim
+
+#endif // EVRSIM_COMMON_COLOR_HPP

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * CRC32 implementation: table-driven update plus GF(2) matrix combine.
+ */
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace evrsim {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xedb88320u; // reflected IEEE polynomial
+
+constexpr std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = makeTable();
+
+/** Multiply a GF(2) 32x32 matrix by a vector. */
+std::uint32_t
+gf2MatrixTimes(const std::uint32_t *mat, std::uint32_t vec)
+{
+    std::uint32_t sum = 0;
+    while (vec) {
+        if (vec & 1u)
+            sum ^= *mat;
+        vec >>= 1;
+        ++mat;
+    }
+    return sum;
+}
+
+/** Square a GF(2) 32x32 matrix: square[i] = mat * mat[i]. */
+void
+gf2MatrixSquare(std::uint32_t *square, const std::uint32_t *mat)
+{
+    for (int n = 0; n < 32; ++n)
+        square[n] = gf2MatrixTimes(mat, mat[n]);
+}
+
+} // namespace
+
+void
+Crc32::update(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = crc_;
+    for (std::size_t i = 0; i < len; ++i)
+        c = kTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    crc_ = c;
+    length_ += len;
+}
+
+std::uint32_t
+Crc32::of(const void *data, std::size_t len)
+{
+    Crc32 h;
+    h.update(data, len);
+    return h.value();
+}
+
+std::uint32_t
+Crc32::combine(std::uint32_t crc_a, std::uint32_t crc_b, std::uint64_t len_b)
+{
+    // Degenerate case: appending an empty block changes nothing.
+    if (len_b == 0)
+        return crc_a;
+
+    std::uint32_t even[32]; // even-power-of-two zero operator
+    std::uint32_t odd[32];  // odd-power-of-two zero operator
+
+    // Put the operator for one zero bit in odd.
+    odd[0] = kPoly;
+    std::uint32_t row = 1;
+    for (int n = 1; n < 32; ++n) {
+        odd[n] = row;
+        row <<= 1;
+    }
+
+    // Operator for two zero bits, then four.
+    gf2MatrixSquare(even, odd);
+    gf2MatrixSquare(odd, even);
+
+    // Apply len_b zero bytes to crc_a (8 * len_b zero bits), squaring the
+    // operator as we walk the bits of the length.
+    std::uint64_t len = len_b;
+    std::uint32_t crc = crc_a;
+    do {
+        gf2MatrixSquare(even, odd);
+        if (len & 1u)
+            crc = gf2MatrixTimes(even, crc);
+        len >>= 1;
+        if (len == 0)
+            break;
+
+        gf2MatrixSquare(odd, even);
+        if (len & 1u)
+            crc = gf2MatrixTimes(odd, crc);
+        len >>= 1;
+    } while (len != 0);
+
+    return crc ^ crc_b;
+}
+
+} // namespace evrsim

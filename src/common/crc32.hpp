@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CRC32 (IEEE 802.3 polynomial) with incremental update and combine.
+ *
+ * Rendering Elimination identifies redundant tiles by hashing the vertex
+ * attributes of every primitive sorted into a tile with a CRC32 and folding
+ * the per-primitive CRCs into a per-tile signature. Two operations are
+ * needed beyond a plain checksum:
+ *
+ *  - update():  extend a running CRC with more bytes (per-primitive hash).
+ *  - combine(): given crc(A) and crc(B) and len(B), produce crc(A||B)
+ *    without touching the bytes again. This models the paper's
+ *    "shift [the tile hash] as many bytes as the size of the primitive and
+ *    combine with the hash of the primitive" Signature Buffer update.
+ *
+ * combine() uses the standard GF(2) matrix-exponentiation technique
+ * (as in zlib's crc32_combine).
+ */
+#ifndef EVRSIM_COMMON_CRC32_HPP
+#define EVRSIM_COMMON_CRC32_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace evrsim {
+
+/** Incremental CRC32 hasher. */
+class Crc32
+{
+  public:
+    /** CRC of the empty string. */
+    Crc32() = default;
+
+    /** Extend the CRC with @p len bytes at @p data. */
+    void update(const void *data, std::size_t len);
+
+    /** Extend the CRC with a trivially-copyable value's object bytes. */
+    template <typename T>
+    void
+    updateValue(const T &value)
+    {
+        update(&value, sizeof(T));
+    }
+
+    /** Finalized CRC value of all bytes seen so far. */
+    std::uint32_t value() const { return crc_ ^ 0xffffffffu; }
+
+    /** Total number of bytes hashed. */
+    std::uint64_t length() const { return length_; }
+
+    /** One-shot CRC of a buffer. */
+    static std::uint32_t of(const void *data, std::size_t len);
+
+    /**
+     * CRC of the concatenation A||B given crc(A), crc(B) and len(B).
+     *
+     * @param crc_a  finalized CRC of the first block
+     * @param crc_b  finalized CRC of the second block
+     * @param len_b  length in bytes of the second block
+     */
+    static std::uint32_t combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                                 std::uint64_t len_b);
+
+  private:
+    std::uint32_t crc_ = 0xffffffffu;
+    std::uint64_t length_ = 0;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_COMMON_CRC32_HPP

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace evrsim {
+
+namespace {
+LogLevel g_level = LogLevel::Normal;
+
+void
+vreport(FILE *stream, const char *prefix, const char *fmt, va_list ap)
+{
+    std::fprintf(stream, "%s", prefix);
+    std::vfprintf(stream, fmt, ap);
+    std::fputc('\n', stream);
+    std::fflush(stream);
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "panic: ", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "fatal: ", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Normal)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stdout, "info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+informv(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Verbose)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stdout, "info: ", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace evrsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * Two terminating reporters are provided with distinct intents:
+ *  - panic():  an internal invariant was violated (a simulator bug).
+ *              Aborts, so a debugger/core dump lands at the fault.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments). Exits cleanly.
+ *
+ * Non-terminating reporters:
+ *  - warn():   something works but is suspicious or approximated.
+ *  - inform(): normal status messages.
+ */
+#ifndef EVRSIM_COMMON_LOG_HPP
+#define EVRSIM_COMMON_LOG_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace evrsim {
+
+/** Verbosity levels for inform() filtering. */
+enum class LogLevel {
+    Quiet = 0,   ///< only warnings and errors
+    Normal = 1,  ///< default
+    Verbose = 2, ///< per-frame chatter
+};
+
+/** Set the global verbosity for inform()/informv(). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ * Use for conditions that indicate a simulator bug.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-caused error and exit(1).
+ * Use for bad configurations or arguments.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal status to stdout (suppressed at LogLevel::Quiet). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report verbose status (only shown at LogLevel::Verbose). */
+void informv(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assertion macro that survives NDEBUG builds.
+ * Evaluates @p cond once; on failure panics with file/line context.
+ */
+#define EVRSIM_ASSERT(cond, ...)                                             \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::evrsim::panic("assertion '%s' failed at %s:%d", #cond,         \
+                            __FILE__, __LINE__);                             \
+        }                                                                    \
+    } while (0)
+
+} // namespace evrsim
+
+#endif // EVRSIM_COMMON_LOG_HPP

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Mat4 implementation.
+ */
+#include "common/mat4.hpp"
+
+#include <cmath>
+
+namespace evrsim {
+
+Mat4
+Mat4::identity()
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        r.m[i][i] = 1.0f;
+    return r;
+}
+
+Mat4
+Mat4::translate(const Vec3 &t)
+{
+    Mat4 r = identity();
+    r.m[3][0] = t.x;
+    r.m[3][1] = t.y;
+    r.m[3][2] = t.z;
+    return r;
+}
+
+Mat4
+Mat4::scale(const Vec3 &s)
+{
+    Mat4 r;
+    r.m[0][0] = s.x;
+    r.m[1][1] = s.y;
+    r.m[2][2] = s.z;
+    r.m[3][3] = 1.0f;
+    return r;
+}
+
+Mat4
+Mat4::rotateX(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians), s = std::sin(radians);
+    r.m[1][1] = c;
+    r.m[1][2] = s;
+    r.m[2][1] = -s;
+    r.m[2][2] = c;
+    return r;
+}
+
+Mat4
+Mat4::rotateY(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians), s = std::sin(radians);
+    r.m[0][0] = c;
+    r.m[0][2] = -s;
+    r.m[2][0] = s;
+    r.m[2][2] = c;
+    return r;
+}
+
+Mat4
+Mat4::rotateZ(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians), s = std::sin(radians);
+    r.m[0][0] = c;
+    r.m[0][1] = s;
+    r.m[1][0] = -s;
+    r.m[1][1] = c;
+    return r;
+}
+
+Mat4
+Mat4::perspective(float fovy_radians, float aspect, float z_near, float z_far)
+{
+    Mat4 r;
+    float f = 1.0f / std::tan(fovy_radians * 0.5f);
+    r.m[0][0] = f / aspect;
+    r.m[1][1] = f;
+    r.m[2][2] = (z_far + z_near) / (z_near - z_far);
+    r.m[2][3] = -1.0f;
+    r.m[3][2] = (2.0f * z_far * z_near) / (z_near - z_far);
+    return r;
+}
+
+Mat4
+Mat4::ortho(float left, float right, float bottom, float top, float z_near,
+            float z_far)
+{
+    Mat4 r = identity();
+    r.m[0][0] = 2.0f / (right - left);
+    r.m[1][1] = 2.0f / (top - bottom);
+    r.m[2][2] = -2.0f / (z_far - z_near);
+    r.m[3][0] = -(right + left) / (right - left);
+    r.m[3][1] = -(top + bottom) / (top - bottom);
+    r.m[3][2] = -(z_far + z_near) / (z_far - z_near);
+    return r;
+}
+
+Mat4
+Mat4::lookAt(const Vec3 &eye, const Vec3 &center, const Vec3 &up)
+{
+    Vec3 f = (center - eye).normalized();
+    Vec3 s = f.cross(up).normalized();
+    Vec3 u = s.cross(f);
+
+    Mat4 r = identity();
+    r.m[0][0] = s.x;
+    r.m[1][0] = s.y;
+    r.m[2][0] = s.z;
+    r.m[0][1] = u.x;
+    r.m[1][1] = u.y;
+    r.m[2][1] = u.z;
+    r.m[0][2] = -f.x;
+    r.m[1][2] = -f.y;
+    r.m[2][2] = -f.z;
+    r.m[3][0] = -s.dot(eye);
+    r.m[3][1] = -u.dot(eye);
+    r.m[3][2] = f.dot(eye);
+    return r;
+}
+
+Mat4
+Mat4::operator*(const Mat4 &other) const
+{
+    Mat4 r;
+    for (int c = 0; c < 4; ++c) {
+        for (int row = 0; row < 4; ++row) {
+            float acc = 0.0f;
+            for (int k = 0; k < 4; ++k)
+                acc += m[k][row] * other.m[c][k];
+            r.m[c][row] = acc;
+        }
+    }
+    return r;
+}
+
+Vec4
+Mat4::operator*(const Vec4 &v) const
+{
+    return {
+        m[0][0] * v.x + m[1][0] * v.y + m[2][0] * v.z + m[3][0] * v.w,
+        m[0][1] * v.x + m[1][1] * v.y + m[2][1] * v.z + m[3][1] * v.w,
+        m[0][2] * v.x + m[1][2] * v.y + m[2][2] * v.z + m[3][2] * v.w,
+        m[0][3] * v.x + m[1][3] * v.y + m[2][3] * v.z + m[3][3] * v.w,
+    };
+}
+
+Vec4
+Mat4::transformPoint(const Vec3 &p) const
+{
+    return (*this) * Vec4{p.x, p.y, p.z, 1.0f};
+}
+
+Vec3
+Mat4::transformDir(const Vec3 &d) const
+{
+    Vec4 r = (*this) * Vec4{d.x, d.y, d.z, 0.0f};
+    return r.xyz();
+}
+
+bool
+Mat4::operator==(const Mat4 &other) const
+{
+    for (int c = 0; c < 4; ++c)
+        for (int r = 0; r < 4; ++r)
+            if (m[c][r] != other.m[c][r])
+                return false;
+    return true;
+}
+
+} // namespace evrsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Column-major 4x4 matrix used for all geometry transforms.
+ *
+ * Conventions match OpenGL: column-major storage, column vectors,
+ * clip space with z in [-w, w] remapped by the viewport transform to a
+ * [0, 1] depth range where 0 is the near plane.
+ */
+#ifndef EVRSIM_COMMON_MAT4_HPP
+#define EVRSIM_COMMON_MAT4_HPP
+
+#include "common/vec.hpp"
+
+namespace evrsim {
+
+/** Column-major 4x4 float matrix. */
+struct Mat4 {
+    /** m[col][row], matching OpenGL's memory layout. */
+    float m[4][4] = {};
+
+    /** Identity matrix. */
+    static Mat4 identity();
+
+    /** Translation by @p t. */
+    static Mat4 translate(const Vec3 &t);
+
+    /** Non-uniform scale by @p s. */
+    static Mat4 scale(const Vec3 &s);
+
+    /** Rotation of @p radians around the X axis. */
+    static Mat4 rotateX(float radians);
+
+    /** Rotation of @p radians around the Y axis. */
+    static Mat4 rotateY(float radians);
+
+    /** Rotation of @p radians around the Z axis. */
+    static Mat4 rotateZ(float radians);
+
+    /**
+     * Right-handed perspective projection.
+     *
+     * @param fovy_radians vertical field of view
+     * @param aspect       width / height
+     * @param z_near       positive distance to near plane
+     * @param z_far        positive distance to far plane
+     */
+    static Mat4 perspective(float fovy_radians, float aspect, float z_near,
+                            float z_far);
+
+    /** Right-handed orthographic projection. */
+    static Mat4 ortho(float left, float right, float bottom, float top,
+                      float z_near, float z_far);
+
+    /** Right-handed look-at view matrix. */
+    static Mat4 lookAt(const Vec3 &eye, const Vec3 &center, const Vec3 &up);
+
+    /** Matrix product this * other (applies @p other first). */
+    Mat4 operator*(const Mat4 &other) const;
+
+    /** Transform a homogeneous vector. */
+    Vec4 operator*(const Vec4 &v) const;
+
+    /** Transform a point (w = 1). */
+    Vec4 transformPoint(const Vec3 &p) const;
+
+    /** Transform a direction (w = 0), ignoring translation. */
+    Vec3 transformDir(const Vec3 &d) const;
+
+    bool operator==(const Mat4 &other) const;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_COMMON_MAT4_HPP

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Integer rectangles and float bounding boxes used by binning and
+ * rasterization.
+ */
+#ifndef EVRSIM_COMMON_RECT_HPP
+#define EVRSIM_COMMON_RECT_HPP
+
+#include <algorithm>
+
+#include "common/vec.hpp"
+
+namespace evrsim {
+
+/** Half-open integer rectangle [x0, x1) x [y0, y1). */
+struct RectI {
+    int x0 = 0;
+    int y0 = 0;
+    int x1 = 0;
+    int y1 = 0;
+
+    constexpr bool operator==(const RectI &o) const = default;
+
+    constexpr int width() const { return x1 - x0; }
+    constexpr int height() const { return y1 - y0; }
+    constexpr bool empty() const { return x1 <= x0 || y1 <= y0; }
+    constexpr long area() const
+    {
+        return empty() ? 0 : static_cast<long>(width()) * height();
+    }
+
+    constexpr bool
+    contains(int x, int y) const
+    {
+        return x >= x0 && x < x1 && y >= y0 && y < y1;
+    }
+
+    /** Intersection; may be empty. */
+    constexpr RectI
+    intersect(const RectI &o) const
+    {
+        return {std::max(x0, o.x0), std::max(y0, o.y0), std::min(x1, o.x1),
+                std::min(y1, o.y1)};
+    }
+};
+
+/** Closed float bounding box in screen space. */
+struct BBox2 {
+    float min_x = 0.0f;
+    float min_y = 0.0f;
+    float max_x = 0.0f;
+    float max_y = 0.0f;
+
+    constexpr bool empty() const { return max_x < min_x || max_y < min_y; }
+
+    /** Bounding box of a triangle given its three screen positions. */
+    static constexpr BBox2
+    ofTriangle(const Vec2 &a, const Vec2 &b, const Vec2 &c)
+    {
+        return {
+            std::min({a.x, b.x, c.x}),
+            std::min({a.y, b.y, c.y}),
+            std::max({a.x, b.x, c.x}),
+            std::max({a.y, b.y, c.y}),
+        };
+    }
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_COMMON_RECT_HPP

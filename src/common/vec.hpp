@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Small fixed-size vector types used throughout the renderer.
+ *
+ * Only the operations the pipeline actually needs are provided; the types
+ * are aggregates so they stay trivially copyable and friendly to arrays.
+ */
+#ifndef EVRSIM_COMMON_VEC_HPP
+#define EVRSIM_COMMON_VEC_HPP
+
+#include <cmath>
+#include <cstdint>
+
+namespace evrsim {
+
+/** 2-component float vector (texture coordinates, screen positions). */
+struct Vec2 {
+    float x = 0.0f;
+    float y = 0.0f;
+
+    constexpr Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+    constexpr bool operator==(const Vec2 &o) const = default;
+};
+
+/** 3-component float vector (object-space positions, normals, RGB). */
+struct Vec3 {
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator*(const Vec3 &o) const
+    {
+        return {x * o.x, y * o.y, z * o.z};
+    }
+    constexpr bool operator==(const Vec3 &o) const = default;
+
+    constexpr float dot(const Vec3 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+
+    constexpr Vec3 cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    float length() const { return std::sqrt(dot(*this)); }
+
+    /** Unit-length copy; returns +X for (near-)zero vectors. */
+    Vec3
+    normalized() const
+    {
+        float len = length();
+        if (len < 1e-20f)
+            return {1.0f, 0.0f, 0.0f};
+        return *this * (1.0f / len);
+    }
+};
+
+/** 4-component float vector (homogeneous positions, RGBA colors). */
+struct Vec4 {
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+    float w = 0.0f;
+
+    constexpr Vec4 operator+(const Vec4 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z, w + o.w};
+    }
+    constexpr Vec4 operator-(const Vec4 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z, w - o.w};
+    }
+    constexpr Vec4 operator*(float s) const
+    {
+        return {x * s, y * s, z * s, w * s};
+    }
+    constexpr bool operator==(const Vec4 &o) const = default;
+
+    constexpr float dot(const Vec4 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z + w * o.w;
+    }
+
+    constexpr Vec3 xyz() const { return {x, y, z}; }
+};
+
+/** Linear interpolation between two scalars. */
+constexpr float
+lerp(float a, float b, float t)
+{
+    return a + (b - a) * t;
+}
+
+/** Linear interpolation between two Vec3. */
+constexpr Vec3
+lerp(const Vec3 &a, const Vec3 &b, float t)
+{
+    return a + (b - a) * t;
+}
+
+/** Linear interpolation between two Vec4. */
+constexpr Vec4
+lerp(const Vec4 &a, const Vec4 &b, float t)
+{
+    return a + (b - a) * t;
+}
+
+/** Clamp a scalar to [lo, hi]. */
+constexpr float
+clampf(float v, float lo, float hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Clamp an integer to [lo, hi]. */
+constexpr int
+clampi(int v, int lo, int hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+} // namespace evrsim
+
+#endif // EVRSIM_COMMON_VEC_HPP

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Experiment runner implementation.
+ */
+#include "driver/experiment.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+GpuConfig
+BenchParams::gpuConfig() const
+{
+    GpuConfig gpu;
+    gpu.screen_width = width;
+    gpu.screen_height = height;
+    return gpu;
+}
+
+BenchParams
+benchParamsFromEnv()
+{
+    BenchParams p;
+    if (const char *full = std::getenv("EVRSIM_FULL");
+        full && full[0] == '1') {
+        p.width = 1196;
+        p.height = 768;
+        p.frames = 60;
+    }
+    if (const char *warmup = std::getenv("EVRSIM_WARMUP")) {
+        int n = std::atoi(warmup);
+        if (n < 0)
+            fatal("EVRSIM_WARMUP must be non-negative");
+        p.warmup = n;
+    }
+    if (const char *frames = std::getenv("EVRSIM_FRAMES")) {
+        int n = std::atoi(frames);
+        if (n <= 0)
+            fatal("EVRSIM_FRAMES must be a positive integer");
+        p.frames = n;
+    }
+    if (const char *nc = std::getenv("EVRSIM_NO_CACHE"); nc && nc[0] == '1')
+        p.use_cache = false;
+    if (const char *dir = std::getenv("EVRSIM_CACHE_DIR"))
+        p.cache_dir = dir;
+    else
+        p.cache_dir = ".bench_cache";
+    return p;
+}
+
+ExperimentRunner::ExperimentRunner(WorkloadFactory factory,
+                                   const BenchParams &params)
+    : factory_(std::move(factory)), params_(params)
+{
+    EVRSIM_ASSERT(factory_ != nullptr);
+}
+
+std::string
+ExperimentRunner::cachePath(const std::string &alias,
+                            const SimConfig &config) const
+{
+    std::ostringstream name;
+    name << alias << '-' << config.name << '-' << params_.width << 'x'
+         << params_.height << "-t" << config.gpu.tile_size << "-f"
+         << params_.frames << "-w" << params_.warmup << "-v"
+         << kResultCacheVersion << ".json";
+    return (std::filesystem::path(params_.cache_dir) / name.str()).string();
+}
+
+RunResult
+ExperimentRunner::simulate(const std::string &alias, const SimConfig &config)
+{
+    std::unique_ptr<Workload> workload =
+        factory_(alias, params_.width, params_.height);
+    if (!workload)
+        fatal("unknown workload alias '%s'", alias.c_str());
+
+    GpuSimulator sim(config);
+    workload->setup(sim);
+
+    // Warm-up: establish FVP and signature state, then measure.
+    for (int f = 0; f < params_.warmup; ++f)
+        sim.renderFrame(workload->frame(f));
+    sim.resetTotals();
+
+    for (int f = 0; f < params_.frames; ++f)
+        sim.renderFrame(workload->frame(params_.warmup + f));
+
+    RunResult r;
+    r.workload = alias;
+    r.config = config.name;
+    r.frames = params_.frames;
+    r.width = params_.width;
+    r.height = params_.height;
+    r.totals = sim.totals();
+    r.energy = sim.energyOf(sim.totals());
+    r.image_crc = sim.framebuffer().contentCrc();
+    return r;
+}
+
+RunResult
+ExperimentRunner::run(const std::string &alias, const SimConfig &config)
+{
+    std::string path = cachePath(alias, config);
+
+    if (params_.use_cache) {
+        std::ifstream in(path);
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            bool ok = false;
+            std::string error;
+            Json j = Json::parse(buf.str(), ok, error);
+            if (ok) {
+                return RunResult::fromJson(j);
+            }
+            warn("discarding corrupt cache entry %s: %s", path.c_str(),
+                 error.c_str());
+        }
+    }
+
+    RunResult r = simulate(alias, config);
+
+    if (params_.use_cache) {
+        std::error_code ec;
+        std::filesystem::create_directories(params_.cache_dir, ec);
+        std::ofstream out(path);
+        if (out) {
+            out << r.toJson().dump(1);
+        } else {
+            warn("could not write cache entry %s", path.c_str());
+        }
+    }
+    return r;
+}
+
+} // namespace evrsim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Experiment runner: simulate (workload, config, frames) triples with an
+ * on-disk JSON result cache, plus the environment knobs the bench
+ * binaries share.
+ *
+ * The per-figure benches overlap heavily in the simulations they need
+ * (Figure 6 and Figure 7 both need baseline+EVR runs of all 20
+ * workloads; Figures 9-11 share the RE runs). The cache lets
+ * the full bench sweep simulate each triple exactly once.
+ */
+#ifndef EVRSIM_DRIVER_EXPERIMENT_HPP
+#define EVRSIM_DRIVER_EXPERIMENT_HPP
+
+#include <string>
+
+#include "driver/run_result.hpp"
+#include "driver/sim_config.hpp"
+#include "driver/workload.hpp"
+
+namespace evrsim {
+
+/** Shared bench parameters, resolved from the environment. */
+struct BenchParams {
+    int width = 608;   ///< EVRSIM_FULL=1 -> 1196 (Table II)
+    int height = 384;  ///< EVRSIM_FULL=1 -> 768
+    int frames = 30;   ///< EVRSIM_FULL=1 -> 60 (paper methodology)
+    /** Unmeasured warm-up frames rendered first. The paper's techniques
+     *  need one completed frame of FVP/signature state before they are
+     *  effective; measuring from a cold start would bias every
+     *  comparison by the first frame's mandatory full render. */
+    int warmup = 2;
+    bool use_cache = true; ///< EVRSIM_NO_CACHE=1 disables
+    std::string cache_dir; ///< EVRSIM_CACHE_DIR overrides
+
+    /** GpuConfig for these parameters (Table II otherwise). */
+    GpuConfig gpuConfig() const;
+};
+
+/**
+ * Resolve bench parameters from the environment:
+ *   EVRSIM_FULL=1      paper-scale run (1196x768, 60 frames)
+ *   EVRSIM_FRAMES=n    override the frame count
+ *   EVRSIM_NO_CACHE=1  ignore and do not write the result cache
+ *   EVRSIM_CACHE_DIR   cache location (default: <repo>/.bench_cache)
+ */
+BenchParams benchParamsFromEnv();
+
+/** Simulates and caches runs. */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param factory creates workloads by alias
+     * @param params  bench parameters (cache policy, dimensions)
+     */
+    ExperimentRunner(WorkloadFactory factory, const BenchParams &params);
+
+    /**
+     * Return the result of simulating @p alias under @p config for the
+     * bench frame count, using the cache when permitted.
+     */
+    RunResult run(const std::string &alias, const SimConfig &config);
+
+    /** Force a fresh simulation (never touches the cache). */
+    RunResult simulate(const std::string &alias, const SimConfig &config);
+
+    const BenchParams &params() const { return params_; }
+
+  private:
+    std::string cachePath(const std::string &alias,
+                          const SimConfig &config) const;
+
+    WorkloadFactory factory_;
+    BenchParams params_;
+};
+
+/**
+ * Version tag mixed into cache filenames; bump when simulation semantics
+ * change so stale results are never reused.
+ */
+constexpr int kResultCacheVersion = 1;
+
+} // namespace evrsim
+
+#endif // EVRSIM_DRIVER_EXPERIMENT_HPP

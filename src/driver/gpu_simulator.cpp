@@ -1,0 +1,133 @@
+/**
+ * @file
+ * GpuSimulator implementation.
+ */
+#include "driver/gpu_simulator.hpp"
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+GpuSimulator::GpuSimulator(const SimConfig &config,
+                           const EnergyParams &energy_params,
+                           const TimingParams &timing_params)
+    : config_(config),
+      mem_(config.gpu.mem),
+      shader_(mem_),
+      timing_(config_.gpu, timing_params),
+      energy_(energy_params),
+      geometry_(config_.gpu, mem_),
+      raster_(config_.gpu, mem_, shader_, timing_),
+      fb_(config.gpu.screen_width, config.gpu.screen_height),
+      prev_fb_(config.gpu.screen_width, config.gpu.screen_height)
+{
+    config_.validate();
+    if (config_.re)
+        re_ = std::make_unique<RenderingElimination>(config_.gpu.tileCount());
+    if (config_.evr_predict) {
+        EvrConfig evr_cfg;
+        evr_cfg.reorder = config_.evr_reorder;
+        evr_ = std::make_unique<EarlyVisibilityResolution>(
+            config_.gpu.tileCount(), config_.gpu.tile_size, evr_cfg);
+    }
+}
+
+void
+GpuSimulator::uploadMesh(Mesh &mesh)
+{
+    if (mesh.buffer_base != 0)
+        return; // already resident
+    std::uint64_t bytes = mesh.vertices.size() * kVertexBytes;
+    EVRSIM_ASSERT(bytes > 0);
+    mesh.buffer_base = mem_.addressSpace().allocVertex(bytes);
+    // One-time DMA of the vertex data into GPU-visible memory.
+    mem_.otherAccess(mesh.buffer_base, static_cast<unsigned>(bytes), true);
+}
+
+void
+GpuSimulator::registerTexture(Texture &texture)
+{
+    if (texture.base() != 0)
+        return;
+    texture.setBase(mem_.addressSpace().allocTexture(texture.byteSize()));
+    mem_.otherAccess(texture.base(),
+                     static_cast<unsigned>(texture.byteSize()), true);
+}
+
+FrameStats
+GpuSimulator::renderFrame(const Scene &scene)
+{
+    mem_.clearStats();
+
+    FrameStats stats;
+    pb_.beginFrame(config_.gpu.tileCount(), mem_.addressSpace());
+
+    GeometryHooks gh;
+    gh.scheduler = evr_.get();
+    gh.signature = re_.get();
+    gh.store_layers = config_.evr_predict;
+    gh.filter_signature = config_.evr_filter_signature;
+    geometry_.run(scene, pb_, gh, stats);
+    stats.geometry_cycles = timing_.geometryCycles(stats);
+
+    // Snapshot the display before this frame touches it: the raster
+    // pipeline compares freshly-rendered tiles against it to produce the
+    // ground-truth "equal tiles" statistic (Figure 9's oracle).
+    prev_fb_ = fb_;
+
+    RasterHooks rh;
+    rh.signature = re_.get();
+    rh.tracker = evr_.get();
+    rh.oracle_z = config_.oracle_z;
+    rh.z_prepass = config_.z_prepass;
+    raster_.run(scene, pb_, fb_, frames_rendered_ > 0 ? &prev_fb_ : nullptr,
+                rh, stats);
+
+    if (re_)
+        re_->frameEnd();
+
+    stats.mem = mem_.stats();
+    totals_.accumulate(stats);
+    ++frames_rendered_;
+    return stats;
+}
+
+EnergyBreakdown
+GpuSimulator::energyOf(const FrameStats &stats) const
+{
+    return energy_.compute(toEnergyEvents(stats, config_));
+}
+
+EnergyEvents
+toEnergyEvents(const FrameStats &stats, const SimConfig &config)
+{
+    EnergyEvents e;
+    e.cycles = stats.totalCycles();
+    e.mem = stats.mem;
+
+    e.vertex_shader_instrs = stats.vertex_shader_instrs;
+    e.fragment_shader_instrs = stats.fragment_shader_instrs;
+    e.raster_quads = stats.raster_quads;
+    e.depth_tests = stats.early_z_tests + stats.late_z_tests;
+    e.blend_ops = stats.blend_ops;
+    e.color_buffer_accesses = stats.color_buffer_accesses;
+    e.depth_buffer_accesses = stats.depth_buffer_accesses;
+
+    // Each signature combine reads and writes the Signature Buffer; each
+    // skip decision reads the two stored signatures.
+    e.signature_buffer_accesses =
+        2 * stats.signature_updates + 2 * stats.signature_compares;
+    e.signature_bytes_hashed =
+        stats.signature_bytes_hashed + stats.signature_shift_bytes;
+
+    e.lgt_accesses = stats.lgt_accesses;
+    e.fvp_table_accesses = stats.fvp_table_accesses;
+    e.layer_buffer_accesses = stats.layer_buffer_accesses;
+    e.layer_param_bytes = stats.layer_param_bytes;
+
+    e.re_hardware_present = config.re;
+    e.evr_hardware_present = config.evr_predict;
+    return e;
+}
+
+} // namespace evrsim

@@ -1,0 +1,525 @@
+/**
+ * @file
+ * JSON implementation.
+ */
+#include "driver/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        panic("json: not a bool");
+    return bool_;
+}
+
+double
+Json::asDouble() const
+{
+    if (type_ != Type::Number)
+        panic("json: not a number");
+    return num_;
+}
+
+std::uint64_t
+Json::asU64() const
+{
+    double d = asDouble();
+    if (d < 0)
+        panic("json: negative value read as u64");
+    return static_cast<std::uint64_t>(std::llround(d));
+}
+
+std::int64_t
+Json::asI64() const
+{
+    return static_cast<std::int64_t>(std::llround(asDouble()));
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::String)
+        panic("json: not a string");
+    return str_;
+}
+
+void
+Json::push(Json v)
+{
+    if (type_ != Type::Array)
+        panic("json: push on non-array");
+    arr_.push_back(std::move(v));
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return arr_.size();
+    if (type_ == Type::Object)
+        return obj_.size();
+    panic("json: size of non-container");
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    if (type_ != Type::Array || i >= arr_.size())
+        panic("json: bad array access");
+    return arr_[i];
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    if (type_ != Type::Object)
+        panic("json: set on non-object");
+    obj_[key] = std::move(v);
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    return type_ == Type::Object && obj_.count(key) > 0;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        panic("json: member access on non-object");
+    auto it = obj_.find(key);
+    if (it == obj_.end())
+        panic("json: missing member '%s'", key.c_str());
+    return it->second;
+}
+
+Json
+Json::get(const std::string &key, Json fallback) const
+{
+    if (has(key))
+        return obj_.at(key);
+    return fallback;
+}
+
+const std::map<std::string, Json> &
+Json::members() const
+{
+    if (type_ != Type::Object)
+        panic("json: members of non-object");
+    return obj_;
+}
+
+namespace {
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+numberToString(std::string &out, double d)
+{
+    if (d == std::llround(d) && std::fabs(d) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(std::llround(d)));
+        out += buf;
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        out += buf;
+    }
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent > 0) {
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent) * d, ' ');
+        }
+    };
+
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number:
+        numberToString(out, num_);
+        break;
+      case Type::String:
+        escapeString(out, str_);
+        break;
+      case Type::Array: {
+        out += '[';
+        bool first = true;
+        for (const Json &v : arr_) {
+            if (!first)
+                out += ',';
+            first = false;
+            newline(depth + 1);
+            v.dumpTo(out, indent, depth + 1);
+        }
+        if (!arr_.empty())
+            newline(depth);
+        out += ']';
+        break;
+      }
+      case Type::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[k, v] : obj_) {
+            if (!first)
+                out += ',';
+            first = false;
+            newline(depth + 1);
+            escapeString(out, k);
+            out += indent > 0 ? ": " : ":";
+            v.dumpTo(out, indent, depth + 1);
+        }
+        if (!obj_.empty())
+            newline(depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser. */
+class Parser
+{
+  public:
+    Parser(const std::string &text) : text_(text) {}
+
+    bool
+    run(Json &out, std::string &error)
+    {
+        skipWs();
+        if (!parseValue(out)) {
+            error = error_;
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            error = "trailing characters at offset " + std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        error_ = msg + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+          }
+          case 't':
+            if (text_.compare(pos_, 4, "true") == 0) {
+                pos_ += 4;
+                out = Json(true);
+                return true;
+            }
+            return fail("bad literal");
+          case 'f':
+            if (text_.compare(pos_, 5, "false") == 0) {
+                pos_ += 5;
+                out = Json(false);
+                return true;
+            }
+            return fail("bad literal");
+          case 'n':
+            if (text_.compare(pos_, 4, "null") == 0) {
+                pos_ += 4;
+                out = Json();
+                return true;
+            }
+            return fail("bad literal");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool any = false;
+        auto digits = [&]() {
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+                any = true;
+            }
+        };
+        digits();
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            digits();
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '-' || text_[pos_] == '+'))
+                ++pos_;
+            digits();
+        }
+        if (!any)
+            return fail("bad number");
+        out = Json(std::stod(text_.substr(start, pos_ - start)));
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("bad escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("bad \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code += h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            code += h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            code += h - 'A' + 10;
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    // The cache only ever stores ASCII; encode the BMP
+                    // code point as UTF-8 for completeness.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xc0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseArray(Json &out)
+    {
+        consume('[');
+        out = Json::array();
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            Json v;
+            skipWs();
+            if (!parseValue(v))
+                return false;
+            out.push(std::move(v));
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(Json &out)
+    {
+        consume('{');
+        out = Json::object();
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            skipWs();
+            Json v;
+            if (!parseValue(v))
+                return false;
+            out.set(key, std::move(v));
+            skipWs();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, bool &ok, std::string &error)
+{
+    Json out;
+    Parser p(text);
+    ok = p.run(out, error);
+    if (!ok)
+        out = Json();
+    return out;
+}
+
+Json
+Json::parseOrDie(const std::string &text)
+{
+    bool ok = false;
+    std::string error;
+    Json j = parse(text, ok, error);
+    if (!ok)
+        panic("json parse failed: %s", error.c_str());
+    return j;
+}
+
+} // namespace evrsim

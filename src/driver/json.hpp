@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Minimal JSON document type (writer + recursive-descent parser).
+ *
+ * Used by the experiment runner to persist run results in an on-disk
+ * cache so the per-figure bench binaries can share simulations instead
+ * of re-running them. Only the JSON subset the cache needs is supported:
+ * objects, arrays, strings (with escape handling), doubles, booleans and
+ * null. Numbers are stored as doubles — all persisted counters fit in
+ * the 2^53 exact-integer range.
+ */
+#ifndef EVRSIM_DRIVER_JSON_HPP
+#define EVRSIM_DRIVER_JSON_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace evrsim {
+
+/** A JSON value. */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Json() = default;
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double d) : type_(Type::Number), num_(d) {}
+    Json(int i) : type_(Type::Number), num_(i) {}
+    Json(std::int64_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+    Json(std::uint64_t u) : type_(Type::Number), num_(static_cast<double>(u)) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    static Json
+    array()
+    {
+        Json j;
+        j.type_ = Type::Array;
+        return j;
+    }
+
+    static Json
+    object()
+    {
+        Json j;
+        j.type_ = Type::Object;
+        return j;
+    }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+
+    // --- accessors (panic on type mismatch) ---
+    bool asBool() const;
+    double asDouble() const;
+    std::uint64_t asU64() const;
+    std::int64_t asI64() const;
+    const std::string &asString() const;
+
+    // --- array ---
+    void push(Json v);
+    std::size_t size() const;
+    const Json &at(std::size_t i) const;
+
+    // --- object ---
+    void set(const std::string &key, Json v);
+    bool has(const std::string &key) const;
+    /** Member lookup; panics if absent. */
+    const Json &at(const std::string &key) const;
+    /** Member lookup with a fallback value. */
+    Json get(const std::string &key, Json fallback) const;
+    const std::map<std::string, Json> &members() const;
+
+    // --- serialization ---
+    /** Serialize; @p indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse a JSON document.
+     * @param error receives a message on failure (result is Null)
+     * @param ok    receives parse success
+     */
+    static Json parse(const std::string &text, bool &ok, std::string &error);
+
+    /** Parse variant that panics on malformed input. */
+    static Json parseOrDie(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::map<std::string, Json> obj_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_DRIVER_JSON_HPP

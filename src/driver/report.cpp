@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Reporting helpers implementation.
+ */
+#include "driver/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    EVRSIM_ASSERT(!headers_.empty());
+}
+
+void
+ReportTable::addRow(std::vector<std::string> cells)
+{
+    EVRSIM_ASSERT(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+ReportTable::print() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        std::printf("  ");
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            // Left-align the first column (names), right-align numbers.
+            if (c == 0)
+                std::printf("%-*s", static_cast<int>(widths[c]),
+                            cells[c].c_str());
+            else
+                std::printf("  %*s", static_cast<int>(widths[c]),
+                            cells[c].c_str());
+        }
+        std::printf("\n");
+    };
+
+    print_row(headers_);
+    std::size_t total = 2;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    std::printf("  %s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+fmtPct(double ratio, int decimals)
+{
+    return fmt(ratio * 100.0, decimals) + "%";
+}
+
+std::string
+bar(double value, double scale, int width)
+{
+    if (scale <= 0.0)
+        return "";
+    int n = static_cast<int>(std::lround(value / scale * width));
+    n = std::max(0, std::min(n, width * 2)); // allow overshoot to 2x
+    return std::string(static_cast<std::size_t>(n), '#');
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / values.size();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        EVRSIM_ASSERT(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / values.size());
+}
+
+void
+printBenchHeader(const std::string &experiment_id,
+                 const std::string &description, const BenchParams &params)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", experiment_id.c_str(), description.c_str());
+    std::printf("render target %dx%d, %d frames%s\n", params.width,
+                params.height, params.frames,
+                params.use_cache ? " (result cache on)" : "");
+    std::printf("==============================================================\n");
+}
+
+void
+printPaperShape(const std::string &expectation)
+{
+    std::printf("\npaper shape: %s\n\n", expectation.c_str());
+}
+
+} // namespace evrsim

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * RunResult serialization.
+ */
+#include "driver/run_result.hpp"
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+namespace {
+
+/** Field-table entry for FrameStats' uint64 counters. */
+struct StatField {
+    const char *name;
+    std::uint64_t FrameStats::*member;
+};
+
+// Every scalar counter, named as in the struct; keeping the table next to
+// the struct definition honest is covered by a round-trip unit test.
+const StatField kStatFields[] = {
+    {"draw_commands", &FrameStats::draw_commands},
+    {"vertices_fetched", &FrameStats::vertices_fetched},
+    {"vertices_shaded", &FrameStats::vertices_shaded},
+    {"vertex_shader_instrs", &FrameStats::vertex_shader_instrs},
+    {"prims_submitted", &FrameStats::prims_submitted},
+    {"prims_backface_culled", &FrameStats::prims_backface_culled},
+    {"prims_clipped_away", &FrameStats::prims_clipped_away},
+    {"prims_clip_split", &FrameStats::prims_clip_split},
+    {"prims_binned", &FrameStats::prims_binned},
+    {"bin_tile_pairs", &FrameStats::bin_tile_pairs},
+    {"param_attr_bytes", &FrameStats::param_attr_bytes},
+    {"param_list_bytes", &FrameStats::param_list_bytes},
+    {"layer_param_bytes", &FrameStats::layer_param_bytes},
+    {"signature_updates", &FrameStats::signature_updates},
+    {"signature_bytes_hashed", &FrameStats::signature_bytes_hashed},
+    {"signature_shift_bytes", &FrameStats::signature_shift_bytes},
+    {"signature_updates_skipped", &FrameStats::signature_updates_skipped},
+    {"signature_compares", &FrameStats::signature_compares},
+    {"tiles_skipped_re", &FrameStats::tiles_skipped_re},
+    {"lgt_accesses", &FrameStats::lgt_accesses},
+    {"fvp_table_accesses", &FrameStats::fvp_table_accesses},
+    {"layer_buffer_accesses", &FrameStats::layer_buffer_accesses},
+    {"prims_predicted_occluded", &FrameStats::prims_predicted_occluded},
+    {"prims_predicted_visible", &FrameStats::prims_predicted_visible},
+    {"second_list_entries", &FrameStats::second_list_entries},
+    {"second_list_flushes", &FrameStats::second_list_flushes},
+    {"pred_occluded_correct", &FrameStats::pred_occluded_correct},
+    {"pred_occluded_wrong", &FrameStats::pred_occluded_wrong},
+    {"tiles_total", &FrameStats::tiles_total},
+    {"tiles_rendered", &FrameStats::tiles_rendered},
+    {"tiles_equal_oracle", &FrameStats::tiles_equal_oracle},
+    {"prim_tile_rasterized", &FrameStats::prim_tile_rasterized},
+    {"raster_quads", &FrameStats::raster_quads},
+    {"fragments_generated", &FrameStats::fragments_generated},
+    {"early_z_tests", &FrameStats::early_z_tests},
+    {"early_z_kills", &FrameStats::early_z_kills},
+    {"late_z_tests", &FrameStats::late_z_tests},
+    {"late_z_kills", &FrameStats::late_z_kills},
+    {"fragments_shaded", &FrameStats::fragments_shaded},
+    {"fragment_shader_instrs", &FrameStats::fragment_shader_instrs},
+    {"texture_fetches", &FrameStats::texture_fetches},
+    {"fragments_discarded_shader", &FrameStats::fragments_discarded_shader},
+    {"blend_ops", &FrameStats::blend_ops},
+    {"color_buffer_accesses", &FrameStats::color_buffer_accesses},
+    {"depth_buffer_accesses", &FrameStats::depth_buffer_accesses},
+    {"tile_flush_bytes", &FrameStats::tile_flush_bytes},
+    {"geom_mem_latency", &FrameStats::geom_mem_latency},
+    {"raster_mem_latency", &FrameStats::raster_mem_latency},
+    {"geometry_cycles", &FrameStats::geometry_cycles},
+    {"raster_cycles", &FrameStats::raster_cycles},
+};
+
+struct CacheField {
+    const char *name;
+    std::uint64_t CacheStats::*member;
+};
+
+const CacheField kCacheFields[] = {
+    {"reads", &CacheStats::reads},
+    {"writes", &CacheStats::writes},
+    {"read_misses", &CacheStats::read_misses},
+    {"write_misses", &CacheStats::write_misses},
+    {"writebacks", &CacheStats::writebacks},
+};
+
+Json
+cacheStatsToJson(const CacheStats &c)
+{
+    Json j = Json::object();
+    for (const auto &f : kCacheFields)
+        j.set(f.name, c.*(f.member));
+    return j;
+}
+
+CacheStats
+cacheStatsFromJson(const Json &j)
+{
+    CacheStats c;
+    for (const auto &f : kCacheFields)
+        c.*(f.member) = j.at(f.name).asU64();
+    return c;
+}
+
+Json
+dramStatsToJson(const DramStats &d)
+{
+    Json j = Json::object();
+    Json reads = Json::array();
+    Json writes = Json::array();
+    for (int i = 0; i < kNumTrafficClasses; ++i) {
+        reads.push(d.read_bytes[i]);
+        writes.push(d.write_bytes[i]);
+    }
+    j.set("read_bytes", std::move(reads));
+    j.set("write_bytes", std::move(writes));
+    j.set("accesses", d.accesses);
+    j.set("row_hits", d.row_hits);
+    j.set("row_misses", d.row_misses);
+    j.set("bus_busy_cycles", d.bus_busy_cycles);
+    return j;
+}
+
+DramStats
+dramStatsFromJson(const Json &j)
+{
+    DramStats d;
+    for (int i = 0; i < kNumTrafficClasses; ++i) {
+        d.read_bytes[i] = j.at("read_bytes").at(i).asU64();
+        d.write_bytes[i] = j.at("write_bytes").at(i).asU64();
+    }
+    d.accesses = j.at("accesses").asU64();
+    d.row_hits = j.at("row_hits").asU64();
+    d.row_misses = j.at("row_misses").asU64();
+    d.bus_busy_cycles = j.at("bus_busy_cycles").asU64();
+    return d;
+}
+
+} // namespace
+
+Json
+frameStatsToJson(const FrameStats &stats)
+{
+    Json j = Json::object();
+    for (const auto &f : kStatFields)
+        j.set(f.name, stats.*(f.member));
+
+    Json cas = Json::array();
+    for (std::uint64_t c : stats.casuistry)
+        cas.push(c);
+    j.set("casuistry", std::move(cas));
+
+    Json mem = Json::object();
+    mem.set("vertex_cache", cacheStatsToJson(stats.mem.vertex_cache));
+    mem.set("texture_caches", cacheStatsToJson(stats.mem.texture_caches));
+    mem.set("tile_cache", cacheStatsToJson(stats.mem.tile_cache));
+    mem.set("l2_cache", cacheStatsToJson(stats.mem.l2_cache));
+    mem.set("dram", dramStatsToJson(stats.mem.dram));
+    j.set("mem", std::move(mem));
+    return j;
+}
+
+FrameStats
+frameStatsFromJson(const Json &j)
+{
+    FrameStats stats;
+    for (const auto &f : kStatFields)
+        stats.*(f.member) = j.at(f.name).asU64();
+
+    for (int i = 0; i < 4; ++i)
+        stats.casuistry[i] = j.at("casuistry").at(i).asU64();
+
+    const Json &mem = j.at("mem");
+    stats.mem.vertex_cache = cacheStatsFromJson(mem.at("vertex_cache"));
+    stats.mem.texture_caches = cacheStatsFromJson(mem.at("texture_caches"));
+    stats.mem.tile_cache = cacheStatsFromJson(mem.at("tile_cache"));
+    stats.mem.l2_cache = cacheStatsFromJson(mem.at("l2_cache"));
+    stats.mem.dram = dramStatsFromJson(mem.at("dram"));
+    return stats;
+}
+
+Json
+RunResult::toJson() const
+{
+    Json j = Json::object();
+    j.set("workload", workload);
+    j.set("config", config);
+    j.set("frames", frames);
+    j.set("width", width);
+    j.set("height", height);
+    j.set("totals", frameStatsToJson(totals));
+
+    Json e = Json::object();
+    e.set("dram_nj", energy.dram_nj);
+    e.set("caches_nj", energy.caches_nj);
+    e.set("datapath_nj", energy.datapath_nj);
+    e.set("onchip_buffers_nj", energy.onchip_buffers_nj);
+    e.set("static_nj", energy.static_nj);
+    e.set("re_hardware_nj", energy.re_hardware_nj);
+    e.set("evr_hardware_nj", energy.evr_hardware_nj);
+    e.set("layer_writes_nj", energy.layer_writes_nj);
+    j.set("energy", std::move(e));
+
+    j.set("image_crc", static_cast<std::uint64_t>(image_crc));
+    return j;
+}
+
+RunResult
+RunResult::fromJson(const Json &j)
+{
+    RunResult r;
+    r.workload = j.at("workload").asString();
+    r.config = j.at("config").asString();
+    r.frames = static_cast<int>(j.at("frames").asI64());
+    r.width = static_cast<int>(j.at("width").asI64());
+    r.height = static_cast<int>(j.at("height").asI64());
+    r.totals = frameStatsFromJson(j.at("totals"));
+
+    const Json &e = j.at("energy");
+    r.energy.dram_nj = e.at("dram_nj").asDouble();
+    r.energy.caches_nj = e.at("caches_nj").asDouble();
+    r.energy.datapath_nj = e.at("datapath_nj").asDouble();
+    r.energy.onchip_buffers_nj = e.at("onchip_buffers_nj").asDouble();
+    r.energy.static_nj = e.at("static_nj").asDouble();
+    r.energy.re_hardware_nj = e.at("re_hardware_nj").asDouble();
+    r.energy.evr_hardware_nj = e.at("evr_hardware_nj").asDouble();
+    r.energy.layer_writes_nj = e.at("layer_writes_nj").asDouble();
+
+    r.image_crc = static_cast<std::uint32_t>(j.at("image_crc").asU64());
+    return r;
+}
+
+} // namespace evrsim

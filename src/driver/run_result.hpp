@@ -1,0 +1,77 @@
+/**
+ * @file
+ * RunResult: the persisted outcome of simulating one workload under one
+ * configuration, with JSON (de)serialization for the result cache.
+ */
+#ifndef EVRSIM_DRIVER_RUN_RESULT_HPP
+#define EVRSIM_DRIVER_RUN_RESULT_HPP
+
+#include <string>
+
+#include "driver/json.hpp"
+#include "energy/energy_model.hpp"
+#include "gpu/gpu_stats.hpp"
+
+namespace evrsim {
+
+/** Aggregated outcome of one (workload, config) simulation. */
+struct RunResult {
+    std::string workload;
+    std::string config;
+    int frames = 0;
+    int width = 0;
+    int height = 0;
+
+    /** Counters accumulated over all frames. */
+    FrameStats totals;
+
+    /** Energy of the whole run. */
+    EnergyBreakdown energy;
+
+    /** CRC32 of the final frame's pixels (output-identity checks). */
+    std::uint32_t image_crc = 0;
+
+    // --- Convenience metrics used by the benches ---
+    std::uint64_t totalCycles() const { return totals.totalCycles(); }
+    double totalEnergyNj() const { return energy.total(); }
+
+    /** Fraction of tiles skipped (Figure 9 numerator for RE/EVR). */
+    double
+    tilesSkippedRatio() const
+    {
+        return totals.tiles_total == 0
+                   ? 0.0
+                   : static_cast<double>(totals.tiles_skipped_re) /
+                         totals.tiles_total;
+    }
+
+    /** Fraction of tiles that truly matched the previous frame. */
+    double
+    tilesEqualOracleRatio() const
+    {
+        return totals.tiles_total == 0
+                   ? 0.0
+                   : static_cast<double>(totals.tiles_equal_oracle) /
+                         totals.tiles_total;
+    }
+
+    /** Average shaded fragments per screen pixel (Figure 8). */
+    double
+    shadedPerPixel() const
+    {
+        std::uint64_t pixels = static_cast<std::uint64_t>(width) * height *
+                               static_cast<std::uint64_t>(frames);
+        return totals.shadedFragmentsPerPixel(pixels);
+    }
+
+    Json toJson() const;
+    static RunResult fromJson(const Json &j);
+};
+
+/** Serialize counters (field-table driven; see run_result.cpp). */
+Json frameStatsToJson(const FrameStats &stats);
+FrameStats frameStatsFromJson(const Json &j);
+
+} // namespace evrsim
+
+#endif // EVRSIM_DRIVER_RUN_RESULT_HPP

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Simulation configurations: which techniques are active on top of the
+ * baseline GPU. These correspond to the bars of the paper's figures.
+ */
+#ifndef EVRSIM_DRIVER_SIM_CONFIG_HPP
+#define EVRSIM_DRIVER_SIM_CONFIG_HPP
+
+#include <string>
+
+#include "gpu/gpu_config.hpp"
+
+namespace evrsim {
+
+/** One simulated GPU variant. */
+struct SimConfig {
+    GpuConfig gpu;
+
+    /** Rendering Elimination (Signature Buffer + tile skipping). */
+    bool re = false;
+    /** EVR prediction state (LGT + Layer Buffer + FVP Table) present. */
+    bool evr_predict = false;
+    /** Algorithm 1 reordering of predicted-occluded WOZ primitives. */
+    bool evr_reorder = false;
+    /** Exclude predicted-occluded primitives from RE signatures. */
+    bool evr_filter_signature = false;
+    /** Figure 8 oracle: Z Buffer preloaded with final depths. */
+    bool oracle_z = false;
+    /** Real Z-Prepass: depth-only first pass with its full cost. */
+    bool z_prepass = false;
+
+    /** Short identifier used in reports and cache keys. */
+    std::string name;
+
+    /** Baseline GPU (Figures 7/8/11 reference). */
+    static SimConfig
+    baseline(const GpuConfig &gpu)
+    {
+        SimConfig c;
+        c.gpu = gpu;
+        c.name = "baseline";
+        return c;
+    }
+
+    /** Baseline + Rendering Elimination (Figures 9/10/11). */
+    static SimConfig
+    renderingElimination(const GpuConfig &gpu)
+    {
+        SimConfig c = baseline(gpu);
+        c.re = true;
+        c.name = "re";
+        return c;
+    }
+
+    /** The paper's full EVR proposal: reorder + RE with filtering. */
+    static SimConfig
+    evr(const GpuConfig &gpu)
+    {
+        SimConfig c = baseline(gpu);
+        c.re = true;
+        c.evr_predict = true;
+        c.evr_reorder = true;
+        c.evr_filter_signature = true;
+        c.name = "evr";
+        return c;
+    }
+
+    /** EVR reordering only, no RE (Figure 8's EVR bar). */
+    static SimConfig
+    evrReorderOnly(const GpuConfig &gpu)
+    {
+        SimConfig c = baseline(gpu);
+        c.evr_predict = true;
+        c.evr_reorder = true;
+        c.name = "evr-reorder";
+        return c;
+    }
+
+    /** EVR signature filtering only, no reorder (ablation). */
+    static SimConfig
+    evrFilterOnly(const GpuConfig &gpu)
+    {
+        SimConfig c = baseline(gpu);
+        c.re = true;
+        c.evr_predict = true;
+        c.evr_filter_signature = true;
+        c.name = "evr-filter";
+        return c;
+    }
+
+    /** Perfect-visibility oracle (Figure 8's Oracle bar). */
+    static SimConfig
+    oracleZ(const GpuConfig &gpu)
+    {
+        SimConfig c = baseline(gpu);
+        c.oracle_z = true;
+        c.name = "oracle-z";
+        return c;
+    }
+
+    /**
+     * Z-Prepass: the overshading alternative the paper contrasts EVR
+     * with — render depth first (paying for it), then shade with
+     * near-perfect visibility.
+     */
+    static SimConfig
+    zPrepass(const GpuConfig &gpu)
+    {
+        SimConfig c = baseline(gpu);
+        c.z_prepass = true;
+        c.name = "z-prepass";
+        return c;
+    }
+
+    /** Sanity-check flag combinations. */
+    void
+    validate() const
+    {
+        gpu.validate();
+        if ((evr_reorder || evr_filter_signature) && !evr_predict)
+            fatal("EVR reorder/filter require evr_predict");
+        if (evr_filter_signature && !re)
+            fatal("signature filtering requires Rendering Elimination");
+        if (oracle_z && z_prepass)
+            fatal("oracle_z and z_prepass are mutually exclusive");
+        if (name.empty())
+            fatal("SimConfig must be named");
+    }
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_DRIVER_SIM_CONFIG_HPP

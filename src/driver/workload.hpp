@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Workload interface: a deterministic animated application.
+ *
+ * A workload owns its meshes and textures, uploads them into a simulator
+ * once, and produces the Scene for any frame index as a pure function of
+ * that index — so identical frames are generated no matter which
+ * configuration consumes them, a precondition for comparing Baseline /
+ * RE / EVR runs on bit-identical inputs.
+ */
+#ifndef EVRSIM_DRIVER_WORKLOAD_HPP
+#define EVRSIM_DRIVER_WORKLOAD_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "driver/gpu_simulator.hpp"
+#include "scene/scene.hpp"
+
+namespace evrsim {
+
+/** An animated application fed to the simulator. */
+class Workload
+{
+  public:
+    /** Table III row: identity and classification. */
+    struct Info {
+        std::string alias;  ///< short name used everywhere ("ccs")
+        std::string title;  ///< descriptive name
+        std::string genre;  ///< Table III genre
+        bool is_3d = false; ///< 3D = contains WOZ primitives
+    };
+
+    virtual ~Workload() = default;
+
+    virtual Info info() const = 0;
+
+    /** Upload meshes and textures into @p sim (called once per run). */
+    virtual void setup(GpuSimulator &sim) = 0;
+
+    /** Build frame @p index; must be a pure function of the index. */
+    virtual Scene frame(int index) = 0;
+};
+
+/**
+ * Factory signature: create a workload by alias for a given render
+ * target size. Returns null for unknown aliases.
+ */
+using WorkloadFactory = std::function<std::unique_ptr<Workload>(
+    const std::string &alias, int width, int height)>;
+
+} // namespace evrsim
+
+#endif // EVRSIM_DRIVER_WORKLOAD_HPP

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Event-based GPU energy model (the McPAT substitution).
+ *
+ * The paper models energy with McPAT at 32 nm / 1 V / 400 MHz, including
+ * the extra EVR structures as SRAMs/registers. McPAT is driven by event
+ * counts; we reproduce that structure directly: the simulator counts every
+ * architectural event and this model multiplies each count by a per-event
+ * energy constant, plus leakage proportional to execution time.
+ *
+ * The constants are CACTI/McPAT-class ballpark values for 32 nm SRAMs and
+ * datapaths. Absolute joules are not meaningful for reproduction; the
+ * *relative* breakdown (DRAM-dominated, fragment shading next, small
+ * overheads for the EVR structures) is what Figures 6 and 10 depend on,
+ * and that shape is preserved.
+ */
+#ifndef EVRSIM_ENERGY_ENERGY_MODEL_HPP
+#define EVRSIM_ENERGY_ENERGY_MODEL_HPP
+
+#include <cstdint>
+
+#include "mem/memory_system.hpp"
+
+namespace evrsim {
+
+/** Per-event energy constants, in picojoules unless noted. */
+struct EnergyParams {
+    // Memory hierarchy (per access; misses additionally pay the next level
+    // through that level's own access counters, so no double counting).
+    double vertex_cache_pj = 5.0;   ///< 4 KB SRAM access
+    double texture_cache_pj = 8.0;  ///< 8 KB SRAM access
+    double tile_cache_pj = 25.0;    ///< 128 KB SRAM access
+    double l2_cache_pj = 40.0;      ///< 256 KB SRAM access
+    double dram_pj_per_byte = 120.0; ///< LPDDR3 incl. I/O
+
+    // Datapath.
+    double shader_instr_pj = 6.0;    ///< one shader ALU instruction
+    double rasterizer_quad_pj = 14.0; ///< edge tests + attr setup per quad
+    double depth_test_pj = 2.5;      ///< one Early/Late-Z comparison
+    double blend_pj = 4.0;           ///< one blend/Color Buffer update op
+
+    // On-chip raster-local SRAMs (1 KB Color/Depth buffers).
+    double color_buffer_pj = 2.0;
+    double depth_buffer_pj = 2.0;
+
+    // Rendering Elimination structures.
+    double signature_buffer_pj = 10.0; ///< Signature Buffer LUT access
+    double crc_pj_per_byte = 0.8;      ///< CRC32 combinational logic
+
+    // EVR structures (new hardware of Table II).
+    double lgt_pj = 6.0;          ///< Layer Generator Table access (10.8 KB)
+    double fvp_table_pj = 7.0;    ///< FVP Table access (14.4 KB)
+    double layer_buffer_pj = 2.0; ///< 1 KB Layer Buffer access
+
+    // Leakage: total static power of GPU + new structures, in milliwatts,
+    // at 400 MHz / 1 V / 32 nm.
+    double static_power_mw = 120.0;
+    double evr_static_power_mw = 1.0; ///< LGT + FVP Table + Layer Buffer
+    double re_static_power_mw = 0.9;  ///< Signature Buffer
+    double clock_mhz = 400.0;
+};
+
+/** Raw event counts consumed by the model. */
+struct EnergyEvents {
+    std::uint64_t cycles = 0;
+
+    MemorySystemStats mem;
+
+    std::uint64_t vertex_shader_instrs = 0;
+    std::uint64_t fragment_shader_instrs = 0;
+    std::uint64_t raster_quads = 0;
+    std::uint64_t depth_tests = 0;
+    std::uint64_t blend_ops = 0;
+    std::uint64_t color_buffer_accesses = 0;
+    std::uint64_t depth_buffer_accesses = 0;
+
+    // Rendering Elimination events.
+    std::uint64_t signature_buffer_accesses = 0;
+    std::uint64_t signature_bytes_hashed = 0;
+
+    // EVR events.
+    std::uint64_t lgt_accesses = 0;
+    std::uint64_t fvp_table_accesses = 0;
+    std::uint64_t layer_buffer_accesses = 0;
+    /** Extra Parameter Buffer bytes written/read for layer identifiers. */
+    std::uint64_t layer_param_bytes = 0;
+
+    bool re_hardware_present = false;
+    bool evr_hardware_present = false;
+};
+
+/** Energy result in nanojoules, broken down as Figures 6/10 report it. */
+struct EnergyBreakdown {
+    double dram_nj = 0.0;
+    double caches_nj = 0.0;
+    double datapath_nj = 0.0;  ///< shaders, rasterizer, depth test, blending
+    double onchip_buffers_nj = 0.0;
+    double static_nj = 0.0;
+
+    // Overheads reported separately in Figure 6.
+    double re_hardware_nj = 0.0;    ///< Signature Buffer + CRC logic
+    double evr_hardware_nj = 0.0;   ///< LGT + FVP Table + Layer Buffer
+    double layer_writes_nj = 0.0;   ///< layer ids in the Parameter Buffer
+
+    double total() const;
+
+    /** Everything except the three overhead groups. */
+    double baselineComponents() const;
+};
+
+/**
+ * Converts event counts to energy.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = {});
+
+    /** Compute the full breakdown for a set of event counts. */
+    EnergyBreakdown compute(const EnergyEvents &events) const;
+
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_ENERGY_ENERGY_MODEL_HPP

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Early Visibility Resolution implementation.
+ */
+#include "evr/evr.hpp"
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+EarlyVisibilityResolution::EarlyVisibilityResolution(int tile_count,
+                                                     int tile_size,
+                                                     const EvrConfig &config)
+    : config_(config),
+      lgt_(tile_count),
+      fvp_(tile_count),
+      layer_buffer_(tile_size * tile_size)
+{
+}
+
+void
+EarlyVisibilityResolution::frameStart()
+{
+    lgt_.frameStart();
+    // The FVP Table intentionally persists: it holds the previous
+    // frame's farthest visible points.
+}
+
+BinDecision
+EarlyVisibilityResolution::onBin(const ShadedPrimitive &prim, int tile,
+                                 FrameStats &stats)
+{
+    const RenderState &state = prim.state;
+    const bool is_woz = state.isWoz();
+
+    BinDecision d;
+    d.layer = lgt_.assign(tile, prim.cmd_id, is_woz);
+    ++stats.lgt_accesses;
+
+    // Prediction. The Z_far rule additionally requires the primitive to
+    // be depth-*tested*: a depth-writing primitive that skips the test
+    // would draw regardless of stored depths, so it can never be safely
+    // labelled occluded by depth comparison.
+    bool depth_rule_applicable = is_woz && state.depth_test;
+    d.predicted_occluded =
+        fvp_.predictOccluded(tile, depth_rule_applicable, prim.z_near,
+                             d.layer);
+    ++stats.fvp_table_accesses;
+
+    if (d.predicted_occluded)
+        ++stats.prims_predicted_occluded;
+    else
+        ++stats.prims_predicted_visible;
+
+    // Algorithm 1 (reordering based on FVP). Only opaque WOZ primitives
+    // are reordered among themselves; everything else keeps submission
+    // order, which preserves blending semantics exactly.
+    if (config_.reorder) {
+        bool reorderable_woz = is_woz && state.blend == BlendMode::Opaque;
+        if (reorderable_woz) {
+            d.to_second_list = d.predicted_occluded;
+        } else if (!is_woz) {
+            // NWOZ primitive: restore global order before appending.
+            d.move_second_to_first = true;
+        }
+    }
+    return d;
+}
+
+void
+EarlyVisibilityResolution::tileStart(int tile, int width, int height,
+                                     FrameStats &stats)
+{
+    (void)tile;
+    (void)stats;
+    layer_buffer_.tileStart(width, height);
+}
+
+void
+EarlyVisibilityResolution::onOpaqueWrite(int x, int y, std::uint16_t layer,
+                                         bool is_woz, FrameStats &stats)
+{
+    layer_buffer_.opaqueWrite(x, y, layer, is_woz);
+    ++stats.layer_buffer_accesses;
+}
+
+void
+EarlyVisibilityResolution::tileEnd(int tile, const float *tile_depth,
+                                   int pixel_count, FrameStats &stats)
+{
+    // L_far: minimum visible layer (full Layer Buffer sweep).
+    std::uint16_t l_far = layer_buffer_.computeLFar();
+    stats.layer_buffer_accesses += static_cast<std::uint64_t>(pixel_count);
+
+    // FVP-type: WOZ iff the farthest visible layer is the one latched by
+    // the last visible WOZ fragment (ZR register).
+    bool woz_type = layer_buffer_.zr() != LayerBuffer::kNoZr &&
+                    layer_buffer_.zr() == l_far;
+
+    if (woz_type) {
+        // Z_far: maximum depth held in the tile's Z Buffer.
+        float z_far = 0.0f;
+        for (int i = 0; i < pixel_count; ++i) {
+            if (tile_depth[i] > z_far)
+                z_far = tile_depth[i];
+        }
+        stats.depth_buffer_accesses +=
+            static_cast<std::uint64_t>(pixel_count);
+        fvp_.storeWoz(tile, z_far);
+    } else {
+        fvp_.storeNwoz(tile, l_far);
+    }
+    ++stats.fvp_table_accesses;
+}
+
+void
+EarlyVisibilityResolution::tileSkipped(int tile)
+{
+    // A tile skipped by Rendering Elimination is unchanged, so the FVP
+    // entry computed when it was last rendered remains correct.
+    (void)tile;
+}
+
+} // namespace evrsim

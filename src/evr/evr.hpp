@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Early Visibility Resolution — the paper's core mechanism, assembled
+ * from the Layer Generator Table (geometry side), the FVP Table
+ * (prediction state across frames) and the Layer Buffer + ZR register
+ * (raster side), and implementing both pipeline hooks:
+ *
+ *  - As a PrimitiveScheduler it assigns layers, predicts per-tile
+ *    visibility against the previous frame's FVP and applies the
+ *    Algorithm 1 reordering (predicted-occluded WOZ primitives to the
+ *    Second List; NWOZ arrivals splice the Second List back).
+ *  - As a TileVisibilityTracker it maintains the Layer Buffer during
+ *    blending and updates the FVP Table when each tile completes.
+ */
+#ifndef EVRSIM_EVR_EVR_HPP
+#define EVRSIM_EVR_EVR_HPP
+
+#include "evr/fvp_table.hpp"
+#include "evr/layer_buffer.hpp"
+#include "evr/layer_generator_table.hpp"
+#include "gpu/pipeline_hooks.hpp"
+
+namespace evrsim {
+
+/** EVR feature selection. */
+struct EvrConfig {
+    /**
+     * Apply Algorithm 1 (two display lists, predicted-occluded WOZ
+     * primitives rendered last). Disabled for the RE-filter-only
+     * ablation.
+     */
+    bool reorder = true;
+};
+
+/** The full EVR mechanism. */
+class EarlyVisibilityResolution : public PrimitiveScheduler,
+                                  public TileVisibilityTracker
+{
+  public:
+    /**
+     * @param tile_count tiles on screen (LGT/FVP Table entries)
+     * @param tile_size  nominal tile edge in pixels (Layer Buffer size)
+     */
+    EarlyVisibilityResolution(int tile_count, int tile_size,
+                              const EvrConfig &config = {});
+
+    // --- PrimitiveScheduler ---
+    void frameStart() override;
+    BinDecision onBin(const ShadedPrimitive &prim, int tile,
+                      FrameStats &stats) override;
+
+    // --- TileVisibilityTracker ---
+    void tileStart(int tile, int width, int height,
+                   FrameStats &stats) override;
+    void onOpaqueWrite(int x, int y, std::uint16_t layer, bool is_woz,
+                       FrameStats &stats) override;
+    void tileEnd(int tile, const float *tile_depth, int pixel_count,
+                 FrameStats &stats) override;
+    void tileSkipped(int tile) override;
+
+    // --- Inspection (tests, diagnostics) ---
+    const LayerGeneratorTable &lgt() const { return lgt_; }
+    const FvpTable &fvpTable() const { return fvp_; }
+    /** Mutable FVP access for tests/tools that inject prediction state. */
+    FvpTable &mutableFvpTable() { return fvp_; }
+    const LayerBuffer &layerBuffer() const { return layer_buffer_; }
+    const EvrConfig &config() const { return config_; }
+
+  private:
+    EvrConfig config_;
+    LayerGeneratorTable lgt_;
+    FvpTable fvp_;
+    LayerBuffer layer_buffer_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_EVR_EVR_HPP

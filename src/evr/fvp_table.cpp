@@ -1,0 +1,61 @@
+/**
+ * @file
+ * FVP Table implementation.
+ */
+#include "evr/fvp_table.hpp"
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+FvpTable::FvpTable(int tile_count)
+{
+    EVRSIM_ASSERT(tile_count > 0);
+    entries_.assign(static_cast<std::size_t>(tile_count), Entry{});
+}
+
+void
+FvpTable::reset()
+{
+    for (auto &e : entries_)
+        e = Entry{};
+}
+
+void
+FvpTable::storeWoz(int tile, float z_far)
+{
+    Entry &e = entries_[tile];
+    e.z_far = z_far;
+    e.woz_type = true;
+    e.valid = true;
+}
+
+void
+FvpTable::storeNwoz(int tile, std::uint16_t l_far)
+{
+    Entry &e = entries_[tile];
+    e.l_far = l_far;
+    e.woz_type = false;
+    e.valid = true;
+}
+
+bool
+FvpTable::predictOccluded(int tile, bool is_woz, float z_near,
+                          std::uint16_t layer) const
+{
+    const Entry &e = entries_[tile];
+    if (!e.valid) {
+        // No completed frame for this tile yet: predict visible.
+        return false;
+    }
+    if (!e.woz_type) {
+        // FVP is a layer: anything assigned a strictly lower layer lies
+        // under an opaque layer that covered the whole tile.
+        return layer < e.l_far;
+    }
+    // FVP is a depth: only comparable for primitives that also resolve
+    // visibility through the Z Buffer.
+    return is_woz && z_near > e.z_far;
+}
+
+} // namespace evrsim

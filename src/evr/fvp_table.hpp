@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The FVP Table: per-tile storage of the previous frame's Farthest
+ * Visible Point (paper section V.C).
+ *
+ * Each entry stores either the tile's Z_far (farthest depth among
+ * visible Z-written pixels) or its L_far (minimum visible layer), plus
+ * the FVP-type bit saying which one it is. Prediction (section III.C):
+ * a primitive is labelled occluded in a tile iff
+ *   - the stored FVP is NWOZ and the primitive's layer < L_far, or
+ *   - the stored FVP is WOZ, the primitive is WOZ, and its Z_near > Z_far.
+ */
+#ifndef EVRSIM_EVR_FVP_TABLE_HPP
+#define EVRSIM_EVR_FVP_TABLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace evrsim {
+
+/** FVP Table of Table II: 4 bytes per tile entry. */
+class FvpTable
+{
+  public:
+    explicit FvpTable(int tile_count);
+
+    /** Clear every entry (no prediction until a frame completes). */
+    void reset();
+
+    /** Store a WOZ-type FVP (Z_far) for @p tile. */
+    void storeWoz(int tile, float z_far);
+
+    /** Store an NWOZ-type FVP (L_far) for @p tile. */
+    void storeNwoz(int tile, std::uint16_t l_far);
+
+    /**
+     * Predict whether a primitive is occluded in @p tile using the
+     * previous frame's FVP.
+     *
+     * @param is_woz primitive writes the Z Buffer
+     * @param z_near depth of the primitive's closest vertex
+     * @param layer  layer identifier assigned for this tile
+     */
+    bool predictOccluded(int tile, bool is_woz, float z_near,
+                         std::uint16_t layer) const;
+
+    /** Entry inspection for tests and diagnostics. */
+    bool valid(int tile) const { return entries_[tile].valid; }
+    bool isWozType(int tile) const { return entries_[tile].woz_type; }
+    float zFar(int tile) const { return entries_[tile].z_far; }
+    std::uint16_t lFar(int tile) const { return entries_[tile].l_far; }
+
+    int tileCount() const { return static_cast<int>(entries_.size()); }
+
+    /** Simulated SRAM bytes (Table II: 4 bytes/entry). */
+    std::uint64_t
+    simulatedBytes() const
+    {
+        return static_cast<std::uint64_t>(entries_.size()) * 4;
+    }
+
+  private:
+    struct Entry {
+        float z_far = 1.0f;
+        std::uint16_t l_far = 0;
+        bool woz_type = false;
+        bool valid = false;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_EVR_FVP_TABLE_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Layer Generator Table implementation.
+ */
+#include "evr/layer_generator_table.hpp"
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+LayerGeneratorTable::LayerGeneratorTable(int tile_count)
+{
+    EVRSIM_ASSERT(tile_count > 0);
+    entries_.assign(static_cast<std::size_t>(tile_count), Entry{});
+}
+
+void
+LayerGeneratorTable::frameStart()
+{
+    for (auto &e : entries_)
+        e = Entry{};
+}
+
+std::uint16_t
+LayerGeneratorTable::assign(int tile, std::uint32_t cmd_id, bool is_woz)
+{
+    EVRSIM_ASSERT(cmd_id != kNoCommand);
+    Entry &e = entries_[tile];
+
+    if (e.last_cmd == cmd_id) {
+        // Same command as the last primitive in this tile: same layer.
+        e.last_was_woz = is_woz;
+        return e.layer;
+    }
+
+    // A new command. NWOZ primitives always open a new layer; WOZ
+    // primitives only when the preceding primitive was NWOZ (consecutive
+    // WOZ batches share a layer). The first command in a tile always
+    // opens layer 1 (counter starts at 0).
+    bool increment = !is_woz || !e.last_was_woz || e.last_cmd == kNoCommand;
+    if (increment && e.layer != 0xffff)
+        ++e.layer;
+
+    e.last_cmd = cmd_id;
+    e.last_was_woz = is_woz;
+    return e.layer;
+}
+
+} // namespace evrsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The Layer Generator Table (LGT): a per-tile LUT assigning layer
+ * identifiers to primitives at the Polygon List Builder stage (paper
+ * section V.A).
+ *
+ * A tile's layer counter starts at zero each frame and increases when a
+ * primitive from a *new* draw command is sorted into the tile — always
+ * for NWOZ primitives, and for WOZ primitives only when the previous
+ * primitive sorted into the tile was NWOZ (all WOZ primitives of a batch
+ * share a layer, since their mutual visibility is resolved by depth).
+ *
+ * Each entry holds the three fields of the paper:
+ *   1. last command identifier that touched the tile,
+ *   2. last layer assigned in the tile,
+ *   3. last primitive type (WOZ / NWOZ).
+ */
+#ifndef EVRSIM_EVR_LAYER_GENERATOR_TABLE_HPP
+#define EVRSIM_EVR_LAYER_GENERATOR_TABLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace evrsim {
+
+/** The LGT of Table II: 3 bytes per tile entry. */
+class LayerGeneratorTable
+{
+  public:
+    explicit LayerGeneratorTable(int tile_count);
+
+    /** Reset all entries for a new frame (layer counters back to 0). */
+    void frameStart();
+
+    /**
+     * Assign a layer to a primitive of @p cmd_id sorted into @p tile.
+     *
+     * @param is_woz primitive writes the Z Buffer
+     * @return the layer identifier for this (primitive, tile) pair
+     */
+    std::uint16_t assign(int tile, std::uint32_t cmd_id, bool is_woz);
+
+    /** Current layer counter of a tile (test/diagnostic access). */
+    std::uint16_t lastLayer(int tile) const { return entries_[tile].layer; }
+
+    int tileCount() const { return static_cast<int>(entries_.size()); }
+
+    /** Simulated SRAM bytes (Table II: 3 bytes/entry). */
+    std::uint64_t
+    simulatedBytes() const
+    {
+        return static_cast<std::uint64_t>(entries_.size()) * 3;
+    }
+
+  private:
+    struct Entry {
+        std::uint32_t last_cmd = kNoCommand;
+        std::uint16_t layer = 0;
+        bool last_was_woz = false;
+    };
+
+    static constexpr std::uint32_t kNoCommand = 0xffffffffu;
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_EVR_LAYER_GENERATOR_TABLE_HPP

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Framebuffer implementation.
+ */
+#include "gpu/framebuffer.hpp"
+
+#include <cstdio>
+
+#include "common/crc32.hpp"
+#include "common/log.hpp"
+
+namespace evrsim {
+
+Framebuffer::Framebuffer(int width, int height)
+    : width_(width), height_(height)
+{
+    EVRSIM_ASSERT(width > 0 && height > 0);
+    pixels_.assign(static_cast<std::size_t>(width) * height, Rgba8{});
+}
+
+void
+Framebuffer::clear(Rgba8 c)
+{
+    for (auto &p : pixels_)
+        p = c;
+}
+
+void
+Framebuffer::copyRect(const Framebuffer &src, const RectI &rect)
+{
+    EVRSIM_ASSERT(src.width_ == width_ && src.height_ == height_);
+    for (int y = rect.y0; y < rect.y1; ++y)
+        for (int x = rect.x0; x < rect.x1; ++x)
+            pixels_[index(x, y)] = src.pixels_[index(x, y)];
+}
+
+bool
+Framebuffer::rectEquals(const Framebuffer &other, const RectI &rect) const
+{
+    EVRSIM_ASSERT(other.width_ == width_ && other.height_ == height_);
+    for (int y = rect.y0; y < rect.y1; ++y)
+        for (int x = rect.x0; x < rect.x1; ++x)
+            if (pixels_[index(x, y)] != other.pixels_[index(x, y)])
+                return false;
+    return true;
+}
+
+bool
+Framebuffer::equals(const Framebuffer &other) const
+{
+    return width_ == other.width_ && height_ == other.height_ &&
+           pixels_ == other.pixels_;
+}
+
+std::uint64_t
+Framebuffer::diffCount(const Framebuffer &other) const
+{
+    EVRSIM_ASSERT(other.width_ == width_ && other.height_ == height_);
+    std::uint64_t diff = 0;
+    for (std::size_t i = 0; i < pixels_.size(); ++i)
+        if (pixels_[i] != other.pixels_[i])
+            ++diff;
+    return diff;
+}
+
+std::uint32_t
+Framebuffer::contentCrc() const
+{
+    return Crc32::of(pixels_.data(), pixels_.size() * sizeof(Rgba8));
+}
+
+bool
+Framebuffer::writePpm(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fprintf(f, "P6\n%d %d\n255\n", width_, height_);
+    for (const Rgba8 &p : pixels_) {
+        unsigned char rgb[3] = {p.r, p.g, p.b};
+        std::fwrite(rgb, 1, 3, f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace evrsim

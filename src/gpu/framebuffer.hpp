@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Full-screen RGBA8 framebuffer living in simulated main memory.
+ *
+ * Under Tile-Based Rendering the framebuffer is only *written* (tile
+ * flushes); tiles skipped by Rendering Elimination simply keep the colors
+ * written in an earlier frame, which is exactly how the technique reuses
+ * results. The class also provides the tile-granular color comparisons the
+ * redundancy oracle and the correctness tests rely on.
+ */
+#ifndef EVRSIM_GPU_FRAMEBUFFER_HPP
+#define EVRSIM_GPU_FRAMEBUFFER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/color.hpp"
+#include "common/rect.hpp"
+
+namespace evrsim {
+
+/** Screen-sized array of packed RGBA8 pixels. */
+class Framebuffer
+{
+  public:
+    Framebuffer(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    Rgba8 pixel(int x, int y) const { return pixels_[index(x, y)]; }
+    void setPixel(int x, int y, Rgba8 c) { pixels_[index(x, y)] = c; }
+
+    /** Fill the whole surface with one color. */
+    void clear(Rgba8 c);
+
+    /** Copy the rectangle @p rect from @p src (same dimensions required). */
+    void copyRect(const Framebuffer &src, const RectI &rect);
+
+    /** True if @p rect holds identical pixels in both framebuffers. */
+    bool rectEquals(const Framebuffer &other, const RectI &rect) const;
+
+    /** True if every pixel matches. */
+    bool equals(const Framebuffer &other) const;
+
+    /** Number of differing pixels (diagnostics for tests). */
+    std::uint64_t diffCount(const Framebuffer &other) const;
+
+    /** CRC32 of the full surface (compact golden-image checks). */
+    std::uint32_t contentCrc() const;
+
+    /**
+     * Write the surface as a binary PPM (P6) image for visual
+     * inspection; alpha is dropped.
+     * @return false if the file could not be written.
+     */
+    bool writePpm(const std::string &path) const;
+
+    const std::vector<Rgba8> &pixels() const { return pixels_; }
+
+  private:
+    std::size_t
+    index(int x, int y) const
+    {
+        return static_cast<std::size_t>(y) * width_ + x;
+    }
+
+    int width_;
+    int height_;
+    std::vector<Rgba8> pixels_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_GPU_FRAMEBUFFER_HPP

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Geometry Pipeline implementation.
+ */
+#include "gpu/geometry_pipeline.hpp"
+
+#include <cmath>
+
+#include "common/crc32.hpp"
+#include "common/log.hpp"
+#include "gpu/rasterizer.hpp"
+#include "gpu/shader.hpp"
+
+namespace evrsim {
+
+namespace {
+
+/** Post-transform vertex cache: shaded vertices reused across triangles. */
+constexpr unsigned kPostTransformEntries = 32;
+
+} // namespace
+
+GeometryPipeline::GeometryPipeline(const GpuConfig &config, MemorySystem &mem)
+    : config_(config), mem_(mem)
+{
+}
+
+GeometryPipeline::ClipVertex
+GeometryPipeline::fetchAndShade(const Mesh &mesh, std::uint32_t index,
+                                const Mat4 &mvp, const Vec4 &tint,
+                                FrameStats &stats)
+{
+    AccessResult r = mem_.vertexFetch(mesh.vertexAddr(index), kVertexBytes);
+    stats.geom_mem_latency += r.latency;
+    ++stats.vertices_fetched;
+
+    const Vertex &v = mesh.vertices[index];
+    ClipVertex out;
+    out.clip = mvp.transformPoint(v.position);
+    out.color = {v.color.x * tint.x, v.color.y * tint.y, v.color.z * tint.z,
+                 v.color.w * tint.w};
+    out.uv = v.uv;
+
+    ++stats.vertices_shaded;
+    stats.vertex_shader_instrs += ShaderCore::kVertexShaderInstrs;
+    return out;
+}
+
+ShadedVertex
+GeometryPipeline::toScreen(const ClipVertex &v) const
+{
+    float inv_w = 1.0f / v.clip.w;
+    float ndc_x = v.clip.x * inv_w;
+    float ndc_y = v.clip.y * inv_w;
+    float ndc_z = v.clip.z * inv_w;
+
+    ShadedVertex out;
+    out.screen = {(ndc_x + 1.0f) * 0.5f * config_.screen_width,
+                  (1.0f - ndc_y) * 0.5f * config_.screen_height};
+    out.depth = clampf((ndc_z + 1.0f) * 0.5f, 0.0f, 1.0f);
+    out.inv_w = inv_w;
+    out.color = v.color;
+    out.uv = v.uv;
+    return out;
+}
+
+int
+GeometryPipeline::clipNear(const ClipVertex tri[3], ClipVertex out[2][3])
+{
+    // Signed distance to the near plane z = -w; >= 0 means inside.
+    float d[3];
+    int inside_count = 0;
+    for (int i = 0; i < 3; ++i) {
+        d[i] = tri[i].clip.z + tri[i].clip.w;
+        if (d[i] >= 0.0f)
+            ++inside_count;
+    }
+
+    if (inside_count == 3) {
+        for (int i = 0; i < 3; ++i)
+            out[0][i] = tri[i];
+        return 1;
+    }
+    if (inside_count == 0)
+        return 0;
+
+    auto clip_lerp = [](const ClipVertex &a, const ClipVertex &b, float t) {
+        ClipVertex r;
+        r.clip = a.clip + (b.clip - a.clip) * t;
+        r.color = a.color + (b.color - a.color) * t;
+        r.uv = a.uv + (b.uv - a.uv) * t;
+        return r;
+    };
+
+    // Walk the polygon, emitting inside vertices and edge crossings.
+    ClipVertex poly[4];
+    int n = 0;
+    for (int i = 0; i < 3; ++i) {
+        int j = (i + 1) % 3;
+        bool in_i = d[i] >= 0.0f;
+        bool in_j = d[j] >= 0.0f;
+        if (in_i)
+            poly[n++] = tri[i];
+        if (in_i != in_j) {
+            float t = d[i] / (d[i] - d[j]);
+            poly[n++] = clip_lerp(tri[i], tri[j], t);
+        }
+    }
+
+    EVRSIM_ASSERT(n == 3 || n == 4);
+    for (int i = 0; i < 3; ++i)
+        out[0][i] = poly[i];
+    if (n == 4) {
+        out[1][0] = poly[0];
+        out[1][1] = poly[2];
+        out[1][2] = poly[3];
+        return 2;
+    }
+    return 1;
+}
+
+void
+GeometryPipeline::emitTriangle(const ClipVertex tri[3], const DrawCommand &cmd,
+                               const Scene &scene, ParameterBuffer &pb,
+                               const GeometryHooks &hooks, FrameStats &stats)
+{
+    // Guard against degenerate w (can only happen with broken projections).
+    for (int i = 0; i < 3; ++i) {
+        if (tri[i].clip.w <= 1e-6f) {
+            ++stats.prims_clipped_away;
+            return;
+        }
+    }
+
+    if (cmd.state.cull_backface) {
+        // Orientation in NDC (y up): front faces are counter-clockwise.
+        Vec2 a = {tri[0].clip.x / tri[0].clip.w, tri[0].clip.y / tri[0].clip.w};
+        Vec2 b = {tri[1].clip.x / tri[1].clip.w, tri[1].clip.y / tri[1].clip.w};
+        Vec2 c = {tri[2].clip.x / tri[2].clip.w, tri[2].clip.y / tri[2].clip.w};
+        float area = Rasterizer::signedArea2(a, b, c);
+        if (area <= 0.0f) {
+            ++stats.prims_backface_culled;
+            return;
+        }
+    }
+
+    ShadedPrimitive prim;
+    for (int i = 0; i < 3; ++i)
+        prim.v[i] = toScreen(tri[i]);
+    prim.state = cmd.state;
+    prim.cmd_id = cmd.id;
+    prim.updateZNear();
+
+    // Viewport rejection: completely off-screen primitives are dropped.
+    BBox2 bb = BBox2::ofTriangle(prim.v[0].screen, prim.v[1].screen,
+                                 prim.v[2].screen);
+    if (bb.max_x <= 0.0f || bb.max_y <= 0.0f ||
+        bb.min_x >= config_.screen_width || bb.min_y >= config_.screen_height) {
+        ++stats.prims_clipped_away;
+        return;
+    }
+
+    // Rendering Elimination signature: CRC32 of the primitive's
+    // post-transform vertex attributes plus the state that affects its
+    // colors. Computed once per primitive, combined per overlapped tile.
+    Crc32 crc;
+    static_assert(sizeof(ShadedVertex) == 40, "no padding expected");
+    crc.update(prim.v, sizeof(prim.v));
+    crc.updateValue(prim.state.depth_write);
+    crc.updateValue(prim.state.depth_test);
+    crc.updateValue(prim.state.blend);
+    crc.updateValue(prim.state.program);
+    if (prim.state.texture >= 0) {
+        EVRSIM_ASSERT(prim.state.texture <
+                      static_cast<int>(scene.textures.size()));
+        crc.updateValue(scene.textures[prim.state.texture]->contentKey());
+    }
+    prim.attr_crc = crc.value();
+    prim.attr_bytes = static_cast<std::uint32_t>(crc.length());
+
+    std::uint32_t index = pb.addPrimitive(prim);
+    AccessResult w = mem_.parameterWrite(pb.prim(index).pb_addr,
+                                         ShadedPrimitive::kAttrBytes);
+    stats.geom_mem_latency += w.latency;
+    stats.param_attr_bytes += ShadedPrimitive::kAttrBytes;
+    ++stats.prims_binned;
+    if (hooks.signature)
+        stats.signature_bytes_hashed += prim.attr_bytes;
+
+    binPrimitive(index, pb, hooks, stats);
+}
+
+void
+GeometryPipeline::binPrimitive(std::uint32_t prim_index, ParameterBuffer &pb,
+                               const GeometryHooks &hooks, FrameStats &stats)
+{
+    const ShadedPrimitive &prim = pb.prim(prim_index);
+    const int ts = config_.tile_size;
+
+    BBox2 bb = BBox2::ofTriangle(prim.v[0].screen, prim.v[1].screen,
+                                 prim.v[2].screen);
+    int tx0 = clampi(static_cast<int>(std::floor(bb.min_x / ts)), 0,
+                     config_.tilesX() - 1);
+    int ty0 = clampi(static_cast<int>(std::floor(bb.min_y / ts)), 0,
+                     config_.tilesY() - 1);
+    int tx1 = clampi(static_cast<int>(std::floor(bb.max_x / ts)), 0,
+                     config_.tilesX() - 1);
+    int ty1 = clampi(static_cast<int>(std::floor(bb.max_y / ts)), 0,
+                     config_.tilesY() - 1);
+
+    for (int ty = ty0; ty <= ty1; ++ty) {
+        for (int tx = tx0; tx <= tx1; ++tx) {
+            RectI tile_rect = {tx * ts, ty * ts, (tx + 1) * ts,
+                               (ty + 1) * ts};
+            if (!Rasterizer::triangleOverlapsRect(prim, tile_rect))
+                continue;
+
+            int tile = ty * config_.tilesX() + tx;
+            ++stats.bin_tile_pairs;
+
+            BinDecision d;
+            if (hooks.scheduler)
+                d = hooks.scheduler->onBin(prim, tile, stats);
+
+            if (d.move_second_to_first && pb.moveSecondToFirst(tile))
+                ++stats.second_list_flushes;
+
+            DisplayListEntry entry;
+            entry.prim = prim_index;
+            entry.layer = d.layer;
+            entry.predicted_occluded = d.predicted_occluded;
+
+            unsigned entry_bytes = DisplayListEntry::kBaseBytes;
+            if (hooks.store_layers)
+                entry_bytes += DisplayListEntry::kLayerBytes;
+
+            Addr addr = pb.append(tile, entry, d.to_second_list, entry_bytes);
+            AccessResult w = mem_.parameterWrite(addr, entry_bytes);
+            stats.geom_mem_latency += w.latency;
+            stats.param_list_bytes += DisplayListEntry::kBaseBytes;
+            if (hooks.store_layers)
+                stats.layer_param_bytes += DisplayListEntry::kLayerBytes;
+            if (d.to_second_list)
+                ++stats.second_list_entries;
+
+            if (hooks.signature) {
+                bool exclude = hooks.filter_signature && d.predicted_occluded;
+                hooks.signature->addPrimitive(tile, prim, exclude, stats);
+            }
+        }
+    }
+}
+
+void
+GeometryPipeline::run(const Scene &scene, ParameterBuffer &pb,
+                      const GeometryHooks &hooks, FrameStats &stats)
+{
+    if (hooks.scheduler)
+        hooks.scheduler->frameStart();
+    if (hooks.signature)
+        hooks.signature->frameStart();
+
+    Mat4 view_proj = scene.viewProj();
+
+    // Overlay projection for screen-space commands (HUDs): maps pixel
+    // coordinates to clip space with depth passed through (see
+    // setCamera2D for the same construction).
+    Mat4 pixel_proj = Mat4::ortho(0.0f,
+                                  static_cast<float>(config_.screen_width),
+                                  static_cast<float>(config_.screen_height),
+                                  0.0f, -1.0f, 1.0f);
+    pixel_proj.m[2][2] = 2.0f;
+    pixel_proj.m[3][2] = -1.0f;
+
+    struct PtEntry {
+        std::uint32_t index = 0;
+        bool valid = false;
+        ClipVertex v;
+    };
+
+    for (const DrawCommand &cmd : scene.commands) {
+        ++stats.draw_commands;
+        EVRSIM_ASSERT(cmd.mesh != nullptr);
+        if (cmd.mesh->buffer_base == 0)
+            fatal("mesh used by command %u was never uploaded", cmd.id);
+
+        Mat4 mvp = (cmd.screen_space ? pixel_proj : view_proj) * cmd.model;
+
+        // The post-transform cache is flushed between draw commands
+        // (different commands may use different uniforms).
+        PtEntry pt_cache[kPostTransformEntries];
+
+        const Mesh &mesh = *cmd.mesh;
+        std::size_t tri_count = mesh.triangleCount();
+        for (std::size_t t = 0; t < tri_count; ++t) {
+            ClipVertex tri[3];
+            for (int k = 0; k < 3; ++k) {
+                std::uint32_t idx = mesh.indices[t * 3 + k];
+                PtEntry &slot = pt_cache[idx % kPostTransformEntries];
+                if (slot.valid && slot.index == idx) {
+                    tri[k] = slot.v;
+                } else {
+                    tri[k] = fetchAndShade(mesh, idx, mvp, cmd.tint, stats);
+                    slot.index = idx;
+                    slot.valid = true;
+                    slot.v = tri[k];
+                }
+            }
+
+            ++stats.prims_submitted;
+
+            ClipVertex clipped[2][3];
+            int n = clipNear(tri, clipped);
+            if (n == 0) {
+                ++stats.prims_clipped_away;
+                continue;
+            }
+            if (n == 2)
+                ++stats.prims_clip_split;
+            for (int i = 0; i < n; ++i)
+                emitTriangle(clipped[i], cmd, scene, pb, hooks, stats);
+        }
+    }
+}
+
+} // namespace evrsim

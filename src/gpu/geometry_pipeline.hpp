@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Geometry Pipeline: vertex fetch and shading, primitive assembly
+ * (near-plane clipping, culling, viewport transform) and the Polygon List
+ * Builder, which bins primitives into per-tile Display Lists in the
+ * Parameter Buffer.
+ *
+ * EVR and Rendering Elimination attach here through the hook interfaces:
+ * the scheduler is consulted per (primitive, tile) pair — that is where
+ * layers are assigned, visibility is predicted and Algorithm 1 reorders —
+ * and the signature updater folds primitives into per-tile CRCs.
+ */
+#ifndef EVRSIM_GPU_GEOMETRY_PIPELINE_HPP
+#define EVRSIM_GPU_GEOMETRY_PIPELINE_HPP
+
+#include "gpu/gpu_config.hpp"
+#include "gpu/parameter_buffer.hpp"
+#include "gpu/pipeline_hooks.hpp"
+#include "mem/memory_system.hpp"
+#include "scene/scene.hpp"
+
+namespace evrsim {
+
+/** Optional attachments for one frame's geometry pass. */
+struct GeometryHooks {
+    PrimitiveScheduler *scheduler = nullptr; ///< EVR layer/predict/reorder
+    SignatureUpdater *signature = nullptr;   ///< Rendering Elimination
+    /** Store layer identifiers in the Parameter Buffer (EVR enabled). */
+    bool store_layers = false;
+    /** Exclude predicted-occluded primitives from tile signatures. */
+    bool filter_signature = false;
+};
+
+/**
+ * Runs the geometry half of the frame.
+ */
+class GeometryPipeline
+{
+  public:
+    GeometryPipeline(const GpuConfig &config, MemorySystem &mem);
+
+    /**
+     * Process every draw command of @p scene into @p pb.
+     * @p pb must already be beginFrame()'d for this frame.
+     */
+    void run(const Scene &scene, ParameterBuffer &pb,
+             const GeometryHooks &hooks, FrameStats &stats);
+
+  private:
+    /** Vertex after the vertex shader, before the perspective divide. */
+    struct ClipVertex {
+        Vec4 clip;
+        Vec4 color;
+        Vec2 uv;
+    };
+
+    /** Fetch (through the vertex cache) and shade one vertex. */
+    ClipVertex fetchAndShade(const Mesh &mesh, std::uint32_t index,
+                             const Mat4 &mvp, const Vec4 &tint,
+                             FrameStats &stats);
+
+    /** Perspective divide + viewport transform. */
+    ShadedVertex toScreen(const ClipVertex &v) const;
+
+    /**
+     * Clip a triangle against the near plane (clip.z >= -clip.w).
+     * Appends 0..2 triangles to @p out.
+     */
+    static int clipNear(const ClipVertex tri[3],
+                        ClipVertex out[2][3]);
+
+    /** Assemble, cull and bin one screen-space triangle. */
+    void emitTriangle(const ClipVertex tri[3], const DrawCommand &cmd,
+                      const Scene &scene, ParameterBuffer &pb,
+                      const GeometryHooks &hooks, FrameStats &stats);
+
+    /** Polygon List Builder: sort one primitive into the tiles it overlaps. */
+    void binPrimitive(std::uint32_t prim_index, ParameterBuffer &pb,
+                      const GeometryHooks &hooks, FrameStats &stats);
+
+    const GpuConfig &config_;
+    MemorySystem &mem_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_GPU_GEOMETRY_PIPELINE_HPP

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Static GPU configuration (defaults reproduce Table II).
+ */
+#ifndef EVRSIM_GPU_GPU_CONFIG_HPP
+#define EVRSIM_GPU_GPU_CONFIG_HPP
+
+#include "common/log.hpp"
+#include "mem/memory_system.hpp"
+
+namespace evrsim {
+
+/** Table II "Baseline GPU Parameters" plus the modelled throughputs. */
+struct GpuConfig {
+    // Tech specs.
+    double clock_mhz = 400.0; ///< 400 MHz, 1 V, 32 nm
+
+    // Screen / tiling.
+    int screen_width = 1196;
+    int screen_height = 768;
+    int tile_size = 16; ///< 16x16 pixels
+
+    // Programmable stages.
+    int vertex_processors = 1;
+    int fragment_processors = 4;
+
+    // Non-programmable stage throughputs.
+    /** Primitive assembly: triangles per cycle. */
+    double assembly_tris_per_cycle = 1.0;
+    /** Rasterizer: interpolated attributes per cycle. */
+    double raster_attrs_per_cycle = 16.0;
+    /** Early-Z: quad-fragments tested per cycle (32 in flight). */
+    double early_z_quads_per_cycle = 1.0;
+    /** Blending: fragments per cycle. */
+    double blend_frags_per_cycle = 1.0;
+
+    // Queue capacities (Table II; reported by the parameter dump).
+    int vertex_queue_entries = 16;
+    int vertex_queue_entry_bytes = 136;
+    int triangle_queue_entries = 16;
+    int triangle_queue_entry_bytes = 388;
+    int fragment_queue_entries = 64;
+    int fragment_queue_entry_bytes = 233;
+
+    // Memory hierarchy (Table II caches + DRAM).
+    MemorySystemConfig mem;
+
+    int
+    tilesX() const
+    {
+        return (screen_width + tile_size - 1) / tile_size;
+    }
+
+    int
+    tilesY() const
+    {
+        return (screen_height + tile_size - 1) / tile_size;
+    }
+
+    int tileCount() const { return tilesX() * tilesY(); }
+
+    void
+    validate() const
+    {
+        if (screen_width <= 0 || screen_height <= 0)
+            fatal("screen dimensions must be positive");
+        if (tile_size <= 0 || tile_size > 64)
+            fatal("tile size must be in (0, 64]");
+        if (fragment_processors <= 0 || vertex_processors <= 0)
+            fatal("processor counts must be positive");
+    }
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_GPU_GPU_CONFIG_HPP

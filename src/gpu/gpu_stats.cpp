@@ -1,0 +1,73 @@
+/**
+ * @file
+ * FrameStats accumulation.
+ */
+#include "gpu/gpu_stats.hpp"
+
+namespace evrsim {
+
+void
+FrameStats::accumulate(const FrameStats &other)
+{
+    draw_commands += other.draw_commands;
+    vertices_fetched += other.vertices_fetched;
+    vertices_shaded += other.vertices_shaded;
+    vertex_shader_instrs += other.vertex_shader_instrs;
+    prims_submitted += other.prims_submitted;
+    prims_backface_culled += other.prims_backface_culled;
+    prims_clipped_away += other.prims_clipped_away;
+    prims_clip_split += other.prims_clip_split;
+    prims_binned += other.prims_binned;
+    bin_tile_pairs += other.bin_tile_pairs;
+    param_attr_bytes += other.param_attr_bytes;
+    param_list_bytes += other.param_list_bytes;
+    layer_param_bytes += other.layer_param_bytes;
+
+    signature_updates += other.signature_updates;
+    signature_bytes_hashed += other.signature_bytes_hashed;
+    signature_shift_bytes += other.signature_shift_bytes;
+    signature_updates_skipped += other.signature_updates_skipped;
+    signature_compares += other.signature_compares;
+    tiles_skipped_re += other.tiles_skipped_re;
+
+    lgt_accesses += other.lgt_accesses;
+    fvp_table_accesses += other.fvp_table_accesses;
+    layer_buffer_accesses += other.layer_buffer_accesses;
+    prims_predicted_occluded += other.prims_predicted_occluded;
+    prims_predicted_visible += other.prims_predicted_visible;
+    second_list_entries += other.second_list_entries;
+    second_list_flushes += other.second_list_flushes;
+    for (int i = 0; i < 4; ++i)
+        casuistry[i] += other.casuistry[i];
+    pred_occluded_correct += other.pred_occluded_correct;
+    pred_occluded_wrong += other.pred_occluded_wrong;
+
+    tiles_total += other.tiles_total;
+    tiles_rendered += other.tiles_rendered;
+    tiles_equal_oracle += other.tiles_equal_oracle;
+    prim_tile_rasterized += other.prim_tile_rasterized;
+    raster_quads += other.raster_quads;
+    fragments_generated += other.fragments_generated;
+    early_z_tests += other.early_z_tests;
+    early_z_kills += other.early_z_kills;
+    late_z_tests += other.late_z_tests;
+    late_z_kills += other.late_z_kills;
+    fragments_shaded += other.fragments_shaded;
+    fragment_shader_instrs += other.fragment_shader_instrs;
+    texture_fetches += other.texture_fetches;
+    fragments_discarded_shader += other.fragments_discarded_shader;
+    blend_ops += other.blend_ops;
+    color_buffer_accesses += other.color_buffer_accesses;
+    depth_buffer_accesses += other.depth_buffer_accesses;
+    tile_flush_bytes += other.tile_flush_bytes;
+
+    geom_mem_latency += other.geom_mem_latency;
+    raster_mem_latency += other.raster_mem_latency;
+
+    geometry_cycles += other.geometry_cycles;
+    raster_cycles += other.raster_cycles;
+
+    mem.accumulate(other.mem);
+}
+
+} // namespace evrsim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Event counters collected by the pipeline.
+ *
+ * Every number reported in the paper's figures is derived from these
+ * counters (plus the memory-system counters), so the set is deliberately
+ * wide. Counters are per-frame; FrameStats::accumulate() folds frames into
+ * workload totals.
+ */
+#ifndef EVRSIM_GPU_GPU_STATS_HPP
+#define EVRSIM_GPU_GPU_STATS_HPP
+
+#include <cstdint>
+
+#include "mem/memory_system.hpp"
+
+namespace evrsim {
+
+/** Table I visibility casuistry buckets. */
+enum class Casuistry : std::uint8_t {
+    VisibleVisible = 0,   ///< A: visible in frame i, visible in i+1
+    VisibleOccluded,      ///< B
+    OccludedOccluded,     ///< C: the case that improves over baseline RE
+    OccludedVisible,      ///< D
+    NumScenarios,
+};
+
+/** Counters for one simulated frame. */
+struct FrameStats {
+    // --- Geometry pipeline ---
+    std::uint64_t draw_commands = 0;
+    std::uint64_t vertices_fetched = 0;
+    std::uint64_t vertices_shaded = 0;
+    std::uint64_t vertex_shader_instrs = 0;
+    std::uint64_t prims_submitted = 0;
+    std::uint64_t prims_backface_culled = 0;
+    std::uint64_t prims_clipped_away = 0;
+    std::uint64_t prims_clip_split = 0; ///< extra tris from near-plane clip
+    std::uint64_t prims_binned = 0;     ///< prims reaching the binner
+    std::uint64_t bin_tile_pairs = 0;   ///< sum over prims of tiles touched
+    std::uint64_t param_attr_bytes = 0; ///< Parameter Buffer attribute bytes
+    std::uint64_t param_list_bytes = 0; ///< Display List pointer bytes
+    std::uint64_t layer_param_bytes = 0; ///< EVR layer ids in the PB
+
+    // --- Rendering Elimination ---
+    std::uint64_t signature_updates = 0;  ///< Signature Buffer combines
+    std::uint64_t signature_bytes_hashed = 0;
+    /** Bytes shifted during per-tile combines (paper: the tile hash is
+     *  shifted by the primitive's size before combining). */
+    std::uint64_t signature_shift_bytes = 0;
+    std::uint64_t signature_updates_skipped = 0; ///< EVR-excluded combines
+    std::uint64_t signature_compares = 0;
+    std::uint64_t tiles_skipped_re = 0;
+
+    // --- EVR structures ---
+    std::uint64_t lgt_accesses = 0;
+    std::uint64_t fvp_table_accesses = 0;
+    std::uint64_t layer_buffer_accesses = 0;
+    std::uint64_t prims_predicted_occluded = 0; ///< per (prim, tile) pair
+    std::uint64_t prims_predicted_visible = 0;
+    std::uint64_t second_list_entries = 0;
+    std::uint64_t second_list_flushes = 0;
+    /** Table I scenario counts, per (prim, tile) pair. */
+    std::uint64_t casuistry[4] = {0, 0, 0, 0};
+    /** Prediction quality vs. ground truth (per prim-tile pair). */
+    std::uint64_t pred_occluded_correct = 0;
+    std::uint64_t pred_occluded_wrong = 0;
+
+    // --- Raster pipeline ---
+    std::uint64_t tiles_total = 0;
+    std::uint64_t tiles_rendered = 0;
+    std::uint64_t tiles_equal_oracle = 0; ///< ground-truth equal tiles
+    std::uint64_t prim_tile_rasterized = 0;
+    std::uint64_t raster_quads = 0;
+    std::uint64_t fragments_generated = 0;
+    std::uint64_t early_z_tests = 0;
+    std::uint64_t early_z_kills = 0;
+    std::uint64_t late_z_tests = 0;
+    std::uint64_t late_z_kills = 0;
+    std::uint64_t fragments_shaded = 0;
+    std::uint64_t fragment_shader_instrs = 0;
+    std::uint64_t texture_fetches = 0;
+    std::uint64_t fragments_discarded_shader = 0;
+    std::uint64_t blend_ops = 0;
+    std::uint64_t color_buffer_accesses = 0;
+    std::uint64_t depth_buffer_accesses = 0;
+    std::uint64_t tile_flush_bytes = 0;
+
+    // --- Memory latency sums (raw, before overlap factors) ---
+    /** Sum of geometry-side memory access latencies. */
+    std::uint64_t geom_mem_latency = 0;
+    /** Sum of raster-side (texture/parameter) memory access latencies. */
+    std::uint64_t raster_mem_latency = 0;
+
+    // --- Timing (filled by the TimingModel) ---
+    std::uint64_t geometry_cycles = 0;
+    std::uint64_t raster_cycles = 0;
+
+    // --- Memory hierarchy snapshot for this frame ---
+    MemorySystemStats mem;
+
+    std::uint64_t totalCycles() const { return geometry_cycles + raster_cycles; }
+
+    /** Shaded fragments per screen pixel (Figure 8 metric). */
+    double
+    shadedFragmentsPerPixel(std::uint64_t screen_pixels) const
+    {
+        return screen_pixels == 0
+                   ? 0.0
+                   : static_cast<double>(fragments_shaded) / screen_pixels;
+    }
+
+    /** Fold another frame's counters into this one. */
+    void accumulate(const FrameStats &other);
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_GPU_GPU_STATS_HPP

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Parameter Buffer implementation.
+ */
+#include "gpu/parameter_buffer.hpp"
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+void
+ParameterBuffer::beginFrame(int tile_count, AddressSpace &aspace)
+{
+    aspace_ = &aspace;
+    aspace_->resetParameter();
+    prims_.clear();
+    tiles_.assign(static_cast<std::size_t>(tile_count), TileLists{});
+}
+
+std::uint32_t
+ParameterBuffer::addPrimitive(ShadedPrimitive prim)
+{
+    EVRSIM_ASSERT(aspace_ != nullptr);
+    auto index = static_cast<std::uint32_t>(prims_.size());
+    prim.frame_index = index;
+    prim.pb_addr = aspace_->allocParameter(ShadedPrimitive::kAttrBytes);
+    prims_.push_back(prim);
+    return index;
+}
+
+Addr
+ParameterBuffer::append(int tile, const DisplayListEntry &entry, bool second,
+                        unsigned entry_bytes)
+{
+    EVRSIM_ASSERT(tile >= 0 && tile < tileCount());
+    TileLists &t = tiles_[tile];
+
+    if (t.chunk_left < entry_bytes) {
+        t.chunk_cursor = aspace_->allocParameter(kChunkBytes);
+        t.chunk_left = kChunkBytes;
+    }
+    Addr addr = t.chunk_cursor;
+    t.chunk_cursor += entry_bytes;
+    t.chunk_left -= entry_bytes;
+
+    if (second)
+        t.second.push_back(entry);
+    else
+        t.first.push_back(entry);
+    t.entry_addrs.push_back(addr);
+    return addr;
+}
+
+bool
+ParameterBuffer::moveSecondToFirst(int tile)
+{
+    TileLists &t = tiles_[tile];
+    if (t.second.empty())
+        return false;
+    t.first.insert(t.first.end(), t.second.begin(), t.second.end());
+    t.second.clear();
+    return true;
+}
+
+std::vector<DisplayListEntry>
+ParameterBuffer::renderOrder(int tile) const
+{
+    const TileLists &t = tiles_[tile];
+    std::vector<DisplayListEntry> order = t.first;
+    order.insert(order.end(), t.second.begin(), t.second.end());
+    return order;
+}
+
+} // namespace evrsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The Parameter Buffer: per-frame primitive storage plus per-tile Display
+ * Lists.
+ *
+ * The Polygon List Builder writes each primitive's attributes once and
+ * appends a pointer entry to the Display List of every tile the primitive
+ * overlaps. EVR splits each Display List in two: tiles are rendered by
+ * draining the First List and then the Second List; Algorithm 1 steers
+ * predicted-occluded WOZ primitives to the Second List and splices the
+ * Second List back when an NWOZ primitive arrives (order preservation).
+ *
+ * Display-list entries occupy simulated memory in per-tile chunks so the
+ * Tile Cache observes chunked-linked-list locality, as real hardware
+ * parameter buffers produce.
+ */
+#ifndef EVRSIM_GPU_PARAMETER_BUFFER_HPP
+#define EVRSIM_GPU_PARAMETER_BUFFER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/primitive.hpp"
+#include "mem/address_space.hpp"
+
+namespace evrsim {
+
+/** Per-frame Parameter Buffer. */
+class ParameterBuffer
+{
+  public:
+    /** Simulated bytes per display-list chunk. */
+    static constexpr unsigned kChunkBytes = 256;
+
+    /** Reset for a new frame with @p tile_count tiles. */
+    void beginFrame(int tile_count, AddressSpace &aspace);
+
+    /**
+     * Store a primitive's attributes; assigns frame_index and pb_addr.
+     * @return the primitive's frame index.
+     */
+    std::uint32_t addPrimitive(ShadedPrimitive prim);
+
+    /**
+     * Append a display-list entry for @p tile.
+     * @param second       append to the Second List (EVR reordering)
+     * @param entry_bytes  simulated size of the entry (pointer [+ layer])
+     * @return simulated address the entry was written to
+     */
+    Addr append(int tile, const DisplayListEntry &entry, bool second,
+                unsigned entry_bytes);
+
+    /**
+     * Splice the Second List onto the end of the First List (pointer op).
+     * @return true if anything was moved (the Second List was non-empty).
+     */
+    bool moveSecondToFirst(int tile);
+
+    const std::vector<ShadedPrimitive> &prims() const { return prims_; }
+
+    const ShadedPrimitive &
+    prim(std::uint32_t index) const
+    {
+        return prims_[index];
+    }
+
+    const std::vector<DisplayListEntry> &
+    firstList(int tile) const
+    {
+        return tiles_[tile].first;
+    }
+
+    const std::vector<DisplayListEntry> &
+    secondList(int tile) const
+    {
+        return tiles_[tile].second;
+    }
+
+    /** Entries of both lists in render order (First then Second). */
+    std::vector<DisplayListEntry> renderOrder(int tile) const;
+
+    /** Simulated addresses of the entries, parallel to renderOrder(). */
+    const std::vector<Addr> &entryAddrs(int tile) const
+    {
+        return tiles_[tile].entry_addrs;
+    }
+
+    int tileCount() const { return static_cast<int>(tiles_.size()); }
+
+  private:
+    struct TileLists {
+        std::vector<DisplayListEntry> first;
+        std::vector<DisplayListEntry> second;
+        /** Addresses in append order (first-list then second-list order
+         *  is re-derived by renderOrder()). */
+        std::vector<Addr> entry_addrs;
+        /** Remaining bytes in the tile's current display-list chunk. */
+        unsigned chunk_left = 0;
+        /** Next write address inside the current chunk. */
+        Addr chunk_cursor = 0;
+    };
+
+    AddressSpace *aspace_ = nullptr;
+    std::vector<ShadedPrimitive> prims_;
+    std::vector<TileLists> tiles_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_GPU_PARAMETER_BUFFER_HPP

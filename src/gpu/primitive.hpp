@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Post-geometry primitive representation stored in the Parameter Buffer.
+ */
+#ifndef EVRSIM_GPU_PRIMITIVE_HPP
+#define EVRSIM_GPU_PRIMITIVE_HPP
+
+#include <cstdint>
+
+#include "common/vec.hpp"
+#include "mem/mem_types.hpp"
+#include "scene/draw_command.hpp"
+
+namespace evrsim {
+
+/** A vertex after the Geometry Pipeline (screen space). */
+struct ShadedVertex {
+    /** Screen-space position in pixels (x right, y down). */
+    Vec2 screen;
+    /** Depth in [0, 1], 0 = near plane. */
+    float depth = 0.0f;
+    /** 1/w_clip, used for perspective-correct interpolation. */
+    float inv_w = 1.0f;
+    Vec4 color;
+    Vec2 uv;
+};
+
+/** A triangle ready for binning and rasterization. */
+struct ShadedPrimitive {
+    ShadedVertex v[3];
+    RenderState state;
+    /** Draw command this primitive belongs to (submission order). */
+    std::uint32_t cmd_id = 0;
+    /** Index of this primitive within the frame (Parameter Buffer slot). */
+    std::uint32_t frame_index = 0;
+
+    /** Depth of the closest vertex to the camera (the paper's Z_near). */
+    float z_near = 1.0f;
+
+    /** CRC32 of the primitive's attributes (Rendering Elimination). */
+    std::uint32_t attr_crc = 0;
+    /** Number of attribute bytes hashed into attr_crc. */
+    std::uint32_t attr_bytes = 0;
+
+    /** Simulated Parameter Buffer address of the attribute block. */
+    Addr pb_addr = 0;
+
+    /** Bytes this primitive's attribute block occupies in the PB. */
+    static constexpr unsigned kAttrBytes =
+        3 * (sizeof(ShadedVertex)) + 8; // vertices + packed state
+
+    /** Recompute z_near from the vertices. */
+    void
+    updateZNear()
+    {
+        z_near = v[0].depth;
+        if (v[1].depth < z_near)
+            z_near = v[1].depth;
+        if (v[2].depth < z_near)
+            z_near = v[2].depth;
+    }
+};
+
+/** One Display List entry: a primitive reference plus its tile layer. */
+struct DisplayListEntry {
+    std::uint32_t prim = 0; ///< index into the Parameter Buffer
+    std::uint16_t layer = 0; ///< EVR layer identifier for this tile
+    /** Prediction recorded for stats/casuistry (not used for rendering). */
+    bool predicted_occluded = false;
+
+    /** Simulated bytes of a baseline entry (pointer). */
+    static constexpr unsigned kBaseBytes = 4;
+    /** Extra bytes when EVR stores the layer id. */
+    static constexpr unsigned kLayerBytes = 2;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_GPU_PRIMITIVE_HPP

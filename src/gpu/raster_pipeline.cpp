@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Raster Pipeline implementation.
+ */
+#include "gpu/raster_pipeline.hpp"
+
+#include "common/log.hpp"
+#include "gpu/rasterizer.hpp"
+
+namespace evrsim {
+
+RasterPipeline::RasterPipeline(const GpuConfig &config, MemorySystem &mem,
+                               ShaderCore &shader, const TimingModel &timing)
+    : config_(config), mem_(mem), shader_(shader), timing_(timing)
+{
+}
+
+RectI
+RasterPipeline::tileRect(int tile) const
+{
+    int ts = config_.tile_size;
+    int tx = tile % config_.tilesX();
+    int ty = tile / config_.tilesX();
+    RectI rect = {tx * ts, ty * ts, (tx + 1) * ts, (ty + 1) * ts};
+    return rect.intersect({0, 0, config_.screen_width,
+                           config_.screen_height});
+}
+
+void
+RasterPipeline::depthPrepass(const RectI &rect, const Scene &scene,
+                             const ParameterBuffer &pb,
+                             const std::vector<DisplayListEntry> &order,
+                             float clear_depth, std::vector<float> &depth,
+                             FrameStats *charge) const
+{
+    depth.assign(static_cast<std::size_t>(rect.area()), clear_depth);
+    const int w = rect.width();
+
+    // With charge == null this is Figure 8's idealization: it runs
+    // functionally, costing no cycles, energy or memory traffic. With a
+    // stats block it is the real Z-Prepass: rasterization, depth tests
+    // and discard-shader evaluations are all paid a second time.
+    FrameStats scratch;
+    FrameStats &ts = charge ? *charge : scratch;
+
+    for (const DisplayListEntry &e : order) {
+        const ShadedPrimitive &prim = pb.prim(e.prim);
+        if (!prim.state.depth_write)
+            continue;
+        if (charge)
+            ++ts.prim_tile_rasterized;
+
+        Rasterizer::rasterize(
+            prim, rect, ts, [&](const Fragment &frag) {
+                std::size_t li =
+                    static_cast<std::size_t>(frag.y - rect.y0) * w +
+                    (frag.x - rect.x0);
+                if (prim.state.shaderDiscards()) {
+                    // Discarding shaders must run even in a depth-only
+                    // pass (the discard decides Z coverage).
+                    float alpha = frag.color.w;
+                    if (prim.state.texture >= 0) {
+                        const Texture *tex =
+                            scene.textures[prim.state.texture];
+                        if (charge) {
+                            ++ts.fragments_shaded;
+                            FragmentShadeResult res = shader_.shadeFragment(
+                                prim.state, frag.color, frag.uv, frag.x,
+                                frag.y, ts);
+                            alpha = res.discarded ? 0.0f : 1.0f;
+                        } else {
+                            alpha *= tex->sample(frag.uv.x, frag.uv.y).w;
+                        }
+                    }
+                    if (alpha < 0.5f)
+                        return;
+                }
+                if (prim.state.depth_test) {
+                    if (charge) {
+                        ++ts.early_z_tests;
+                        ++ts.depth_buffer_accesses;
+                    }
+                    if (!(frag.depth < depth[li])) {
+                        if (charge)
+                            ++ts.early_z_kills;
+                        return;
+                    }
+                }
+                if (charge)
+                    ++ts.depth_buffer_accesses;
+                depth[li] = frag.depth;
+            });
+    }
+}
+
+void
+RasterPipeline::renderTile(int tile, const Scene &scene,
+                           const ParameterBuffer &pb, Framebuffer &fb,
+                           const Framebuffer *prev_fb,
+                           const RasterHooks &hooks, FrameStats &ts)
+{
+    ++ts.tiles_total;
+
+    if (hooks.signature && hooks.signature->shouldSkipTile(tile, ts)) {
+        // Rendering Elimination hit: the framebuffer already holds this
+        // tile's colors from the previous frame.
+        ++ts.tiles_skipped_re;
+        if (hooks.tracker)
+            hooks.tracker->tileSkipped(tile);
+        if (prev_fb) {
+            // A skipped tile is unchanged by construction.
+            ++ts.tiles_equal_oracle;
+        }
+        return;
+    }
+    ++ts.tiles_rendered;
+
+    RectI rect = tileRect(tile);
+    const int w = rect.width();
+    const auto npix = static_cast<std::size_t>(rect.area());
+
+    // Fetch the Display List through the Tile Cache.
+    unsigned entry_bytes = DisplayListEntry::kBaseBytes;
+    if (hooks.tracker)
+        entry_bytes += DisplayListEntry::kLayerBytes;
+    for (Addr addr : pb.entryAddrs(tile)) {
+        AccessResult r = mem_.parameterRead(addr, entry_bytes);
+        ts.raster_mem_latency += r.latency;
+    }
+
+    std::vector<DisplayListEntry> order = pb.renderOrder(tile);
+
+    // On-chip tile buffers.
+    std::vector<float> depth;
+    if (hooks.oracle_z || hooks.z_prepass) {
+        depthPrepass(rect, scene, pb, order, scene.clear_depth, depth,
+                     hooks.z_prepass ? &ts : nullptr);
+    } else {
+        depth.assign(npix, scene.clear_depth);
+    }
+    std::vector<Rgba8> color(npix, scene.clear_color);
+    /** Display-list position of the opaque fragment owning each pixel. */
+    std::vector<int> owner(npix, -1);
+    /** Ground-truth contribution per display-list position. */
+    std::vector<char> contributed(order.size(), 0);
+    /** Journal of translucent blends: (pixel, position). A translucent
+     *  blend only reaches the final image if no opaque write follows at
+     *  that pixel, resolved against the final owner at end of tile. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> blend_journal;
+
+    if (hooks.tracker)
+        hooks.tracker->tileStart(tile, w, rect.height(), ts);
+
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        const DisplayListEntry &e = order[pos];
+        const ShadedPrimitive &prim = pb.prim(e.prim);
+
+        AccessResult r = mem_.parameterRead(prim.pb_addr,
+                                            ShadedPrimitive::kAttrBytes);
+        ts.raster_mem_latency += r.latency;
+        ++ts.prim_tile_rasterized;
+
+        const RenderState &state = prim.state;
+        const bool is_woz = state.depth_write;
+        const bool early_capable = state.depth_test &&
+                                   !state.shaderDiscards();
+        // Preloaded final depths (oracle or Z-Prepass): Z-writing
+        // primitives must pass on equality or the surviving fragment
+        // kills itself.
+        const bool leq = (hooks.oracle_z || hooks.z_prepass) &&
+                         state.depth_write;
+
+        Rasterizer::rasterize(prim, rect, ts, [&](const Fragment &frag) {
+            std::size_t li = static_cast<std::size_t>(frag.y - rect.y0) * w +
+                             (frag.x - rect.x0);
+
+            if (early_capable) {
+                ++ts.early_z_tests;
+                ++ts.depth_buffer_accesses;
+                bool pass = leq ? frag.depth <= depth[li]
+                                : frag.depth < depth[li];
+                if (!pass) {
+                    ++ts.early_z_kills;
+                    return;
+                }
+                if (state.depth_write) {
+                    depth[li] = frag.depth;
+                    ++ts.depth_buffer_accesses;
+                }
+            }
+
+            ++ts.fragments_shaded;
+            FragmentShadeResult res = shader_.shadeFragment(
+                state, frag.color, frag.uv, frag.x, frag.y, ts);
+            if (res.discarded)
+                return;
+
+            if (!early_capable && state.depth_test) {
+                // Late Depth Test (shader may have discarded fragments,
+                // so the Z Buffer could not be updated early).
+                ++ts.late_z_tests;
+                ++ts.depth_buffer_accesses;
+                bool pass = leq ? frag.depth <= depth[li]
+                                : frag.depth < depth[li];
+                if (!pass) {
+                    ++ts.late_z_kills;
+                    return;
+                }
+                if (state.depth_write) {
+                    depth[li] = frag.depth;
+                    ++ts.depth_buffer_accesses;
+                }
+            }
+
+            // Blending.
+            ++ts.blend_ops;
+            Vec4 out;
+            bool opaque;
+            if (state.blend == BlendMode::Opaque) {
+                out = res.color;
+                out.w = 1.0f;
+                opaque = true;
+                ++ts.color_buffer_accesses; // write
+            } else {
+                Vec4 dst = toVec4(color[li]);
+                float a = clampf(res.color.w, 0.0f, 1.0f);
+                out = res.color * a + dst * (1.0f - a);
+                out.w = a + dst.w * (1.0f - a);
+                opaque = res.color.w >= 1.0f;
+                ts.color_buffer_accesses += 2; // read + write
+            }
+            color[li] = toRgba8(out);
+
+            if (opaque) {
+                owner[li] = static_cast<int>(pos);
+                if (hooks.tracker) {
+                    hooks.tracker->onOpaqueWrite(frag.x - rect.x0,
+                                                 frag.y - rect.y0, e.layer,
+                                                 is_woz, ts);
+                }
+            } else {
+                blend_journal.emplace_back(static_cast<std::uint32_t>(li),
+                                           static_cast<std::uint32_t>(pos));
+            }
+        });
+    }
+
+    // Ground truth: a primitive contributed iff it owns a pixel's base
+    // color or blended into the pixel after its final opaque write.
+    for (std::size_t li = 0; li < npix; ++li) {
+        if (owner[li] >= 0)
+            contributed[static_cast<std::size_t>(owner[li])] = 1;
+    }
+    for (const auto &[li, pos] : blend_journal) {
+        if (static_cast<int>(pos) > owner[li])
+            contributed[pos] = 1;
+    }
+
+    if (hooks.tracker)
+        hooks.tracker->tileEnd(tile, depth.data(),
+                               static_cast<int>(npix), ts);
+
+    // Report visible mispredictions: an excluded primitive that reached
+    // the final pixels poisons the tile's signature (see DESIGN.md 4.1).
+    if (hooks.signature) {
+        for (std::size_t pos = 0; pos < order.size(); ++pos) {
+            if (order[pos].predicted_occluded && contributed[pos]) {
+                hooks.signature->tileMispredicted(tile);
+                break;
+            }
+        }
+    }
+
+    // Table I casuistry and prediction quality, per (primitive, tile).
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        bool pred_occl = order[pos].predicted_occluded;
+        bool act_occl = !contributed[pos];
+        int scenario;
+        if (!pred_occl && !act_occl)
+            scenario = static_cast<int>(Casuistry::VisibleVisible);
+        else if (!pred_occl && act_occl)
+            scenario = static_cast<int>(Casuistry::VisibleOccluded);
+        else if (pred_occl && act_occl)
+            scenario = static_cast<int>(Casuistry::OccludedOccluded);
+        else
+            scenario = static_cast<int>(Casuistry::OccludedVisible);
+        ++ts.casuistry[scenario];
+        if (pred_occl) {
+            if (act_occl)
+                ++ts.pred_occluded_correct;
+            else
+                ++ts.pred_occluded_wrong;
+        }
+    }
+
+    // Flush the Color Buffer to the framebuffer in main memory, one
+    // cache-line-sized row segment at a time.
+    for (int y = rect.y0; y < rect.y1; ++y) {
+        mem_.framebufferWrite(
+            AddressSpace::framebufferAddr(rect.x0, y, config_.screen_width),
+            static_cast<unsigned>(w) * 4);
+    }
+    ts.tile_flush_bytes += npix * 4;
+
+    for (int y = rect.y0; y < rect.y1; ++y)
+        for (int x = rect.x0; x < rect.x1; ++x)
+            fb.setPixel(x, y, color[static_cast<std::size_t>(y - rect.y0) *
+                                        w +
+                                    (x - rect.x0)]);
+
+    if (prev_fb && fb.rectEquals(*prev_fb, rect))
+        ++ts.tiles_equal_oracle;
+}
+
+void
+RasterPipeline::run(const Scene &scene, const ParameterBuffer &pb,
+                    Framebuffer &fb, const Framebuffer *prev_fb,
+                    const RasterHooks &hooks, FrameStats &stats)
+{
+    shader_.bindTextures(&scene.textures);
+
+    int tiles = config_.tileCount();
+    EVRSIM_ASSERT(pb.tileCount() == tiles);
+
+    for (int tile = 0; tile < tiles; ++tile) {
+        FrameStats ts;
+        renderTile(tile, scene, pb, fb, prev_fb, hooks, ts);
+        ts.raster_cycles = timing_.tileCycles(ts);
+        stats.accumulate(ts);
+    }
+}
+
+} // namespace evrsim

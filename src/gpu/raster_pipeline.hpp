@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The Raster Pipeline: sequential per-tile rendering over on-chip
+ * buffers, with Early/Late Depth Test, fragment shading, blending and
+ * Color Buffer flush — plus the hooks where Rendering Elimination skips
+ * tiles and EVR tracks per-tile visibility.
+ */
+#ifndef EVRSIM_GPU_RASTER_PIPELINE_HPP
+#define EVRSIM_GPU_RASTER_PIPELINE_HPP
+
+#include <vector>
+
+#include "gpu/framebuffer.hpp"
+#include "gpu/gpu_config.hpp"
+#include "gpu/parameter_buffer.hpp"
+#include "gpu/pipeline_hooks.hpp"
+#include "gpu/shader.hpp"
+#include "gpu/timing_model.hpp"
+#include "scene/scene.hpp"
+
+namespace evrsim {
+
+/** Optional attachments for one frame's raster pass. */
+struct RasterHooks {
+    SignatureUpdater *signature = nullptr;   ///< RE tile-skip decisions
+    TileVisibilityTracker *tracker = nullptr; ///< EVR Layer Buffer / FVP
+    /**
+     * Oracle mode of Figure 8: before rendering a tile, its final depth
+     * values are computed and preloaded into the Z Buffer, so the Early
+     * Depth Test has perfect visibility information (an idealized
+     * Z-prepass with no cost attributed to the prepass itself).
+     */
+    bool oracle_z = false;
+
+    /**
+     * Real Z-Prepass (the software/hardware alternative the paper
+     * contrasts EVR with): the same depth preload as oracle_z, but the
+     * prepass's rasterization, depth tests and discard-shader
+     * evaluations are charged to the tile — "the overhead of the
+     * additional render pass is very high and often offsets its
+     * potential benefits".
+     */
+    bool z_prepass = false;
+};
+
+/**
+ * Renders all tiles of a frame.
+ */
+class RasterPipeline
+{
+  public:
+    RasterPipeline(const GpuConfig &config, MemorySystem &mem,
+                   ShaderCore &shader, const TimingModel &timing);
+
+    /**
+     * Render the frame described by @p pb into @p fb.
+     *
+     * @param prev_fb previous frame's framebuffer, used only to compute
+     *                the ground-truth "equal tiles" oracle statistic
+     *                (may be null)
+     */
+    void run(const Scene &scene, const ParameterBuffer &pb, Framebuffer &fb,
+             const Framebuffer *prev_fb, const RasterHooks &hooks,
+             FrameStats &stats);
+
+  private:
+    /** Render (or skip) one tile, accumulating into @p tile_stats. */
+    void renderTile(int tile, const Scene &scene, const ParameterBuffer &pb,
+                    Framebuffer &fb, const Framebuffer *prev_fb,
+                    const RasterHooks &hooks, FrameStats &tile_stats);
+
+    /**
+     * Depth prepass: compute the tile's final depth values by running
+     * every Z-writing primitive depth-only (including shader-discard
+     * effects).
+     *
+     * @param charge if non-null, the prepass's rasterization, depth
+     *               tests and discard-shader work are charged there
+     *               (the real Z-Prepass); null runs it as the free
+     *               Figure 8 oracle.
+     */
+    void depthPrepass(const RectI &rect, const Scene &scene,
+                      const ParameterBuffer &pb,
+                      const std::vector<DisplayListEntry> &order,
+                      float clear_depth, std::vector<float> &depth,
+                      FrameStats *charge) const;
+
+    /** Tile pixel rectangle, clipped to the screen for edge tiles. */
+    RectI tileRect(int tile) const;
+
+    const GpuConfig &config_;
+    MemorySystem &mem_;
+    ShaderCore &shader_;
+    const TimingModel &timing_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_GPU_RASTER_PIPELINE_HPP

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Rasterizer implementation (non-template parts).
+ */
+#include "gpu/rasterizer.hpp"
+
+#include <cmath>
+
+namespace evrsim {
+
+bool
+Rasterizer::setup(const ShadedPrimitive &prim, Setup &s)
+{
+    Vec2 a = prim.v[0].screen;
+    Vec2 b = prim.v[1].screen;
+    Vec2 c = prim.v[2].screen;
+
+    float area = signedArea2(a, b, c);
+    if (area == 0.0f)
+        return false;
+
+    if (area > 0.0f) {
+        s.p0 = a;
+        s.p1 = b;
+        s.p2 = c;
+        s.i0 = 0;
+        s.i1 = 1;
+        s.i2 = 2;
+    } else {
+        // Normalize winding so the interior is on the positive side of
+        // every edge; remember the vertex permutation for interpolation.
+        s.p0 = a;
+        s.p1 = c;
+        s.p2 = b;
+        s.i0 = 0;
+        s.i1 = 2;
+        s.i2 = 1;
+        area = -area;
+    }
+    s.inv_area = 1.0f / area;
+
+    // Top-left rule (y grows downwards): an edge a->b is "top" when it is
+    // horizontal with the interior below (b.x > a.x), and "left" when it
+    // goes upwards (b.y < a.y). Fragments on top/left edges are included,
+    // on bottom/right edges excluded, so shared edges shade exactly once.
+    auto top_left = [](const Vec2 &ea, const Vec2 &eb) {
+        return (ea.y == eb.y && eb.x > ea.x) || (eb.y < ea.y);
+    };
+    s.tl0 = top_left(s.p1, s.p2);
+    s.tl1 = top_left(s.p2, s.p0);
+    s.tl2 = top_left(s.p0, s.p1);
+    return true;
+}
+
+void
+Rasterizer::interpolate(const ShadedPrimitive &prim, const Setup &s, int x,
+                        int y, float w0, float w1, float w2, Fragment &frag)
+{
+    const ShadedVertex &v0 = prim.v[s.i0];
+    const ShadedVertex &v1 = prim.v[s.i1];
+    const ShadedVertex &v2 = prim.v[s.i2];
+
+    frag.x = x;
+    frag.y = y;
+
+    // Depth interpolates affinely in screen space (post-projection z).
+    frag.depth = w0 * v0.depth + w1 * v1.depth + w2 * v2.depth;
+
+    // Attributes interpolate perspective-correct: lerp attr/w and 1/w.
+    float iw = w0 * v0.inv_w + w1 * v1.inv_w + w2 * v2.inv_w;
+    float rw = 1.0f / iw;
+
+    frag.color = (v0.color * (w0 * v0.inv_w) + v1.color * (w1 * v1.inv_w) +
+                  v2.color * (w2 * v2.inv_w)) *
+                 rw;
+    Vec2 uv = {(v0.uv.x * v0.inv_w) * w0 + (v1.uv.x * v1.inv_w) * w1 +
+                   (v2.uv.x * v2.inv_w) * w2,
+               (v0.uv.y * v0.inv_w) * w0 + (v1.uv.y * v1.inv_w) * w1 +
+                   (v2.uv.y * v2.inv_w) * w2};
+    frag.uv = {uv.x * rw, uv.y * rw};
+}
+
+bool
+Rasterizer::triangleOverlapsRect(const ShadedPrimitive &prim,
+                                 const RectI &rect)
+{
+    Vec2 a = prim.v[0].screen;
+    Vec2 b = prim.v[1].screen;
+    Vec2 c = prim.v[2].screen;
+
+    // Reject on bounding boxes first.
+    BBox2 bb = BBox2::ofTriangle(a, b, c);
+    auto rx0 = static_cast<float>(rect.x0);
+    auto ry0 = static_cast<float>(rect.y0);
+    auto rx1 = static_cast<float>(rect.x1);
+    auto ry1 = static_cast<float>(rect.y1);
+    if (bb.min_x >= rx1 || bb.max_x <= rx0 || bb.min_y >= ry1 ||
+        bb.max_y <= ry0)
+        return false;
+
+    float area = signedArea2(a, b, c);
+    if (area == 0.0f)
+        return true; // degenerate: be conservative, keep the bbox result
+    if (area < 0.0f)
+        std::swap(b, c);
+
+    // Separating-edge test: if all four rect corners lie strictly outside
+    // one triangle edge, there is no intersection.
+    const Vec2 corners[4] = {{rx0, ry0}, {rx1, ry0}, {rx0, ry1}, {rx1, ry1}};
+    const Vec2 edges[3][2] = {{a, b}, {b, c}, {c, a}};
+    for (const auto &e : edges) {
+        bool all_outside = true;
+        for (const auto &corner : corners) {
+            if (signedArea2(e[0], e[1], corner) > 0.0f) {
+                all_outside = false;
+                break;
+            }
+        }
+        if (all_outside)
+            return false;
+    }
+    return true;
+}
+
+} // namespace evrsim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Edge-function triangle rasterizer with top-left fill rule and
+ * perspective-correct attribute interpolation.
+ *
+ * Rasterization is restricted to a caller-supplied rectangle (the tile
+ * being rendered), walks pixels in 2x2 quads — the granularity fragment
+ * processors and the Early-Z unit operate at — and emits one Fragment per
+ * covered pixel center. The same code path runs for every configuration,
+ * so Baseline/RE/EVR produce bit-identical coverage and interpolants,
+ * which the correctness property tests rely on.
+ */
+#ifndef EVRSIM_GPU_RASTERIZER_HPP
+#define EVRSIM_GPU_RASTERIZER_HPP
+
+#include "common/rect.hpp"
+#include "gpu/gpu_stats.hpp"
+#include "gpu/primitive.hpp"
+
+namespace evrsim {
+
+/** One rasterized fragment (pixel-sized piece of a primitive). */
+struct Fragment {
+    int x = 0; ///< screen pixel x
+    int y = 0; ///< screen pixel y
+    float depth = 0.0f;
+    Vec4 color;
+    Vec2 uv;
+};
+
+/** Stateless rasterization routines. */
+class Rasterizer
+{
+  public:
+    /**
+     * Rasterize @p prim inside @p bounds, invoking @p sink for each
+     * covered pixel. @p stats receives quad/fragment counts.
+     *
+     * @tparam Sink callable as void(const Fragment &)
+     */
+    template <typename Sink>
+    static void
+    rasterize(const ShadedPrimitive &prim, const RectI &bounds,
+              FrameStats &stats, Sink &&sink)
+    {
+        Setup s;
+        if (!setup(prim, s))
+            return;
+
+        // Clip the iteration range to the triangle's bounding box.
+        BBox2 bb = BBox2::ofTriangle(s.p0, s.p1, s.p2);
+        RectI range = bounds.intersect(
+            {static_cast<int>(std::floor(bb.min_x)),
+             static_cast<int>(std::floor(bb.min_y)),
+             static_cast<int>(std::floor(bb.max_x)) + 1,
+             static_cast<int>(std::floor(bb.max_y)) + 1});
+        if (range.empty())
+            return;
+
+        // Align the quad walk to even coordinates.
+        int qx0 = range.x0 & ~1;
+        int qy0 = range.y0 & ~1;
+
+        Fragment frag;
+        for (int qy = qy0; qy < range.y1; qy += 2) {
+            for (int qx = qx0; qx < range.x1; qx += 2) {
+                bool quad_covered = false;
+                for (int dy = 0; dy < 2; ++dy) {
+                    int y = qy + dy;
+                    if (y < range.y0 || y >= range.y1)
+                        continue;
+                    for (int dx = 0; dx < 2; ++dx) {
+                        int x = qx + dx;
+                        if (x < range.x0 || x >= range.x1)
+                            continue;
+                        float w0, w1, w2;
+                        if (!coverage(s, x, y, w0, w1, w2))
+                            continue;
+                        quad_covered = true;
+                        interpolate(prim, s, x, y, w0, w1, w2, frag);
+                        ++stats.fragments_generated;
+                        sink(static_cast<const Fragment &>(frag));
+                    }
+                }
+                if (quad_covered)
+                    ++stats.raster_quads;
+            }
+        }
+    }
+
+    /**
+     * Conservative-exact triangle/rectangle overlap test used by the
+     * Polygon List Builder: true iff the triangle intersects the pixel
+     * rectangle [x0, x1) x [y0, y1).
+     */
+    static bool triangleOverlapsRect(const ShadedPrimitive &prim,
+                                     const RectI &rect);
+
+    /** Twice the signed screen-space area (y-down coordinates). */
+    static float
+    signedArea2(const Vec2 &a, const Vec2 &b, const Vec2 &c)
+    {
+        return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    }
+
+  private:
+    /** Precomputed per-triangle rasterization state. */
+    struct Setup {
+        Vec2 p0, p1, p2;     ///< winding-normalized screen positions
+        int i0, i1, i2;      ///< indices into prim.v after normalization
+        float inv_area = 0;  ///< 1 / signedArea2(p0, p1, p2)
+        bool tl0, tl1, tl2;  ///< top-left classification per edge
+    };
+
+    /** Prepare @p s; returns false for degenerate triangles. */
+    static bool setup(const ShadedPrimitive &prim, Setup &s);
+
+    /**
+     * Coverage test at pixel center (x+0.5, y+0.5) with the top-left
+     * rule; outputs normalized barycentrics on success.
+     */
+    static bool
+    coverage(const Setup &s, int x, int y, float &w0, float &w1, float &w2)
+    {
+        Vec2 p{x + 0.5f, y + 0.5f};
+        float e0 = signedArea2(s.p1, s.p2, p);
+        float e1 = signedArea2(s.p2, s.p0, p);
+        float e2 = signedArea2(s.p0, s.p1, p);
+
+        bool in0 = e0 > 0.0f || (e0 == 0.0f && s.tl0);
+        bool in1 = e1 > 0.0f || (e1 == 0.0f && s.tl1);
+        bool in2 = e2 > 0.0f || (e2 == 0.0f && s.tl2);
+        if (!(in0 && in1 && in2))
+            return false;
+
+        w0 = e0 * s.inv_area;
+        w1 = e1 * s.inv_area;
+        w2 = e2 * s.inv_area;
+        return true;
+    }
+
+    /** Perspective-correct interpolation into @p frag. */
+    static void interpolate(const ShadedPrimitive &prim, const Setup &s,
+                            int x, int y, float w0, float w1, float w2,
+                            Fragment &frag);
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_GPU_RASTERIZER_HPP

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shader core implementation.
+ */
+#include "gpu/shader.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+ShaderCore::ShaderCore(MemorySystem &mem)
+    : mem_(mem), num_units_(mem.config().num_texture_caches)
+{
+    EVRSIM_ASSERT((num_units_ & (num_units_ - 1)) == 0);
+}
+
+void
+ShaderCore::bindTextures(const std::vector<const Texture *> *textures)
+{
+    textures_ = textures;
+}
+
+unsigned
+ShaderCore::fragmentInstrs(FragmentProgram program)
+{
+    switch (program) {
+      case FragmentProgram::Flat:
+        return 4;
+      case FragmentProgram::Textured:
+        return 8;
+      case FragmentProgram::TexturedTint:
+        return 12;
+      case FragmentProgram::Procedural:
+        return 32;
+      case FragmentProgram::TexturedDiscard:
+        return 10;
+    }
+    panic("invalid fragment program %d", static_cast<int>(program));
+}
+
+unsigned
+ShaderCore::fragmentTexFetches(FragmentProgram program)
+{
+    switch (program) {
+      case FragmentProgram::Flat:
+      case FragmentProgram::Procedural:
+        return 0;
+      case FragmentProgram::Textured:
+      case FragmentProgram::TexturedTint:
+      case FragmentProgram::TexturedDiscard:
+        return 1;
+    }
+    panic("invalid fragment program %d", static_cast<int>(program));
+}
+
+Vec4
+ShaderCore::sampleTexture(int slot, const Vec2 &uv, unsigned unit,
+                          FrameStats &stats)
+{
+    EVRSIM_ASSERT(textures_ != nullptr);
+    EVRSIM_ASSERT(slot >= 0 &&
+                  slot < static_cast<int>(textures_->size()));
+    const Texture *tex = (*textures_)[slot];
+
+    AccessResult r = mem_.textureFetch(unit, tex->texelAddr(uv.x, uv.y), 4);
+    stats.raster_mem_latency += r.latency;
+    ++stats.texture_fetches;
+    return tex->sample(uv.x, uv.y);
+}
+
+FragmentShadeResult
+ShaderCore::shadeFragment(const RenderState &state, const Vec4 &color,
+                          const Vec2 &uv, int px, int py, FrameStats &stats)
+{
+    stats.fragment_shader_instrs += fragmentInstrs(state.program);
+    unsigned unit = unitFor(px, py);
+
+    FragmentShadeResult out;
+    switch (state.program) {
+      case FragmentProgram::Flat:
+        out.color = color;
+        break;
+
+      case FragmentProgram::Textured:
+        out.color = sampleTexture(state.texture, uv, unit, stats);
+        // Carry the vertex alpha so translucent textured sprites work.
+        out.color.w *= color.w;
+        break;
+
+      case FragmentProgram::TexturedTint: {
+        Vec4 t = sampleTexture(state.texture, uv, unit, stats);
+        out.color = {t.x * color.x, t.y * color.y, t.z * color.z,
+                     t.w * color.w};
+        break;
+      }
+
+      case FragmentProgram::Procedural: {
+        // ALU-heavy deterministic pattern: two octaves of sine bands
+        // modulating the interpolated color.
+        float a = std::sin(uv.x * 37.0f) * std::sin(uv.y * 29.0f);
+        float b = std::sin(uv.x * 11.0f + uv.y * 7.0f);
+        float t = 0.5f + 0.25f * a + 0.25f * b;
+        out.color = {color.x * t, color.y * t, color.z * t, color.w};
+        break;
+      }
+
+      case FragmentProgram::TexturedDiscard: {
+        Vec4 t = sampleTexture(state.texture, uv, unit, stats);
+        if (t.w * color.w < 0.5f) {
+            out.discarded = true;
+            ++stats.fragments_discarded_shader;
+            return out;
+        }
+        out.color = {t.x * color.x, t.y * color.y, t.z * color.z, 1.0f};
+        break;
+      }
+    }
+    return out;
+}
+
+} // namespace evrsim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shader cores: the programmable stages of the pipeline.
+ *
+ * The simulator ships a fixed set of fragment programs (Table III's
+ * workloads are built from flat-shaded, textured and procedural
+ * materials). Each program has a functional evaluation (producing the
+ * color) and a cost (ALU instructions, texture fetches) used by the
+ * timing and energy models. Texture fetches go through the fragment
+ * processor's texture cache, so shading cost depends on real locality.
+ */
+#ifndef EVRSIM_GPU_SHADER_HPP
+#define EVRSIM_GPU_SHADER_HPP
+
+#include <vector>
+
+#include "gpu/gpu_stats.hpp"
+#include "mem/memory_system.hpp"
+#include "scene/draw_command.hpp"
+#include "scene/texture.hpp"
+
+namespace evrsim {
+
+/** Result of shading one fragment. */
+struct FragmentShadeResult {
+    Vec4 color;
+    /** Fragment killed by a shader discard (TexturedDiscard only). */
+    bool discarded = false;
+};
+
+/**
+ * Executes vertex and fragment programs and charges their cost.
+ */
+class ShaderCore
+{
+  public:
+    explicit ShaderCore(MemorySystem &mem);
+
+    /** Bind this frame's texture table (owned by the scene/workload). */
+    void bindTextures(const std::vector<const Texture *> *textures);
+
+    /** ALU instructions of the standard transform vertex shader. */
+    static constexpr unsigned kVertexShaderInstrs = 20;
+
+    /** ALU instruction cost of a fragment program. */
+    static unsigned fragmentInstrs(FragmentProgram program);
+
+    /** Texture fetches a fragment program performs. */
+    static unsigned fragmentTexFetches(FragmentProgram program);
+
+    /**
+     * Shade one fragment.
+     *
+     * @param state  render state of the owning primitive
+     * @param color  perspective-interpolated vertex color
+     * @param uv     perspective-interpolated texture coordinates
+     * @param px,py  screen pixel (selects the fragment processor / texture
+     *               cache and thus the locality the cache observes)
+     * @param stats  instruction/texture counters are charged here
+     */
+    FragmentShadeResult shadeFragment(const RenderState &state,
+                                      const Vec4 &color, const Vec2 &uv,
+                                      int px, int py, FrameStats &stats);
+
+  private:
+    /** Fragment processor (and texture cache) a pixel's quad maps to. */
+    unsigned
+    unitFor(int px, int py) const
+    {
+        return (static_cast<unsigned>(px >> 1) +
+                static_cast<unsigned>(py >> 1)) &
+               (num_units_ - 1);
+    }
+
+    Vec4 sampleTexture(int slot, const Vec2 &uv, unsigned unit,
+                       FrameStats &stats);
+
+    MemorySystem &mem_;
+    const std::vector<const Texture *> *textures_ = nullptr;
+    unsigned num_units_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_GPU_SHADER_HPP

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Timing model implementation.
+ */
+#include "gpu/timing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpu/shader.hpp"
+
+namespace evrsim {
+
+TimingModel::TimingModel(const GpuConfig &config, const TimingParams &params)
+    : config_(config), params_(params)
+{
+}
+
+Cycles
+TimingModel::geometryCycles(const FrameStats &f) const
+{
+    const TimingParams &p = params_;
+
+    double vertex_stage =
+        static_cast<double>(f.vertex_shader_instrs) /
+        config_.vertex_processors;
+
+    double assembly_stage =
+        static_cast<double>(f.prims_submitted) /
+        config_.assembly_tris_per_cycle;
+
+    double pb_bytes = static_cast<double>(f.param_attr_bytes) +
+                      f.param_list_bytes + f.layer_param_bytes;
+    double binning_stage =
+        f.bin_tile_pairs * p.bin_entry_cycles + pb_bytes / p.pb_bytes_per_cycle;
+
+    // Rendering Elimination: per-primitive CRC plus per-(prim, tile)
+    // combines, which stall the Polygon List Builder (paper section VII).
+    double signature_stage =
+        f.signature_updates * p.sig_combine_cycles +
+        f.signature_shift_bytes / p.sig_shift_bytes_per_cycle +
+        f.signature_bytes_hashed / p.crc_bytes_per_cycle;
+
+    // EVR lookups also serialize with binning.
+    double evr_stage =
+        (f.lgt_accesses + f.fvp_table_accesses) * p.evr_lookup_cycles;
+
+    double bottleneck = std::max(
+        {vertex_stage, assembly_stage,
+         binning_stage + signature_stage + evr_stage});
+
+    double stalls = f.geom_mem_latency * p.geom_mem_overlap;
+    return static_cast<Cycles>(std::llround(bottleneck + stalls));
+}
+
+Cycles
+TimingModel::tileCycles(const FrameStats &t) const
+{
+    const TimingParams &p = params_;
+
+    // Signature comparison happens whether or not the tile is skipped.
+    double cycles = t.signature_compares * p.skip_check_cycles;
+
+    if (t.tiles_rendered == 0) {
+        // Skipped (or empty-schedule) tile: only the check above.
+        return static_cast<Cycles>(std::llround(cycles));
+    }
+
+    double setup_stage =
+        t.prim_tile_rasterized *
+        std::ceil(p.attrs_per_prim / config_.raster_attrs_per_cycle);
+    double raster_stage = setup_stage + static_cast<double>(t.raster_quads);
+
+    double early_z_stage =
+        static_cast<double>(t.early_z_tests) /
+        (config_.early_z_quads_per_cycle * 4.0);
+
+    double shading_stage =
+        static_cast<double>(t.fragment_shader_instrs) /
+        config_.fragment_processors;
+
+    double blend_stage =
+        static_cast<double>(t.blend_ops) / config_.blend_frags_per_cycle;
+
+    double bottleneck = std::max(
+        {raster_stage, early_z_stage, shading_stage, blend_stage});
+
+    double flush =
+        (static_cast<double>(t.tile_flush_bytes) /
+         config_.mem.dram.bytes_per_cycle) *
+        p.flush_overlap;
+
+    double stalls = t.raster_mem_latency * p.raster_mem_overlap;
+
+    cycles += bottleneck + flush + stalls + p.tile_fixed_cycles;
+    return static_cast<Cycles>(std::llround(cycles));
+}
+
+} // namespace evrsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Analytic timing model (the Teapot cycle-accurate simulator substitution).
+ *
+ * Cycles are derived from counted events and the Table II throughputs.
+ * Each pipeline is modelled as its bottleneck stage plus partially
+ * overlapped memory stalls:
+ *
+ *  Geometry (per frame):
+ *     max(vertex shading, primitive assembly, binning + signatures + EVR
+ *     lookups) + overlap_factor * memory latency
+ *
+ *  Raster (per *tile*, summed over tiles — tiles are rendered
+ *  sequentially on this GPU class):
+ *     max(setup + rasterization, Early-Z, fragment shading, blending)
+ *     + partially-overlapped Color Buffer flush + memory stalls
+ *
+ * Modelling rationale: EVR/RE change *event counts* (shaded fragments,
+ * skipped tiles, signature combines); keeping stage throughputs constant
+ * between configurations makes the relative execution times (Figures 7
+ * and 11) a faithful function of those event-count changes.
+ */
+#ifndef EVRSIM_GPU_TIMING_MODEL_HPP
+#define EVRSIM_GPU_TIMING_MODEL_HPP
+
+#include "gpu/gpu_config.hpp"
+#include "gpu/gpu_stats.hpp"
+
+namespace evrsim {
+
+/** Tunable coefficients of the analytic model. */
+struct TimingParams {
+    /** Cycles to append one display-list entry (LUT + pointer write). */
+    double bin_entry_cycles = 2.0;
+    /** Parameter Buffer write port width in bytes/cycle. */
+    double pb_bytes_per_cycle = 8.0;
+    /** Fixed cycles of one Signature Buffer combine. The buffer is a
+     *  single-ported SRAM: read entry, shift, xor, write back serialize
+     *  (the stall the paper attributes to signature updates). */
+    double sig_combine_cycles = 4.0;
+    /** Bytes/cycle of the signature shifter. */
+    double sig_shift_bytes_per_cycle = 32.0;
+    /** Bytes/cycle of the per-primitive CRC32 unit. */
+    double crc_bytes_per_cycle = 8.0;
+    /** Cycles per Layer Generator Table / FVP Table lookup. The two
+     *  tables are independent SRAMs read in parallel during binning, so
+     *  each lookup costs half a cycle of the shared pipeline slot. */
+    double evr_lookup_cycles = 0.5;
+    /** Fraction of raw memory latency that is NOT hidden (geometry). */
+    double geom_mem_overlap = 0.30;
+    /** Fraction of raw memory latency that is NOT hidden (raster). */
+    double raster_mem_overlap = 0.25;
+    /** Fraction of the tile flush that is NOT overlapped with the next
+     *  tile's processing. */
+    double flush_overlap = 0.5;
+    /** Fixed per-rendered-tile cycles (scheduling, buffer clears). */
+    double tile_fixed_cycles = 32.0;
+    /** Cycles for one tile-skip signature comparison. */
+    double skip_check_cycles = 2.0;
+    /** Interpolated attributes per primitive (pos+z+w+rgba+uv, 3 verts). */
+    double attrs_per_prim = 27.0;
+};
+
+/** Converts event counters into pipeline cycles. */
+class TimingModel
+{
+  public:
+    TimingModel(const GpuConfig &config, const TimingParams &params = {});
+
+    /**
+     * Geometry Pipeline cycles for a whole frame, from the frame's
+     * geometry-side counters.
+     */
+    Cycles geometryCycles(const FrameStats &frame) const;
+
+    /**
+     * Raster Pipeline cycles for one tile, from that tile's counters
+     * (the raster pipeline accumulates per-tile FrameStats deltas).
+     */
+    Cycles tileCycles(const FrameStats &tile) const;
+
+    const TimingParams &params() const { return params_; }
+
+  private:
+    const GpuConfig &config_;
+    TimingParams params_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_GPU_TIMING_MODEL_HPP

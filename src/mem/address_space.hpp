@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Simulated GPU address-space layout.
+ *
+ * The functional pipeline computes all values directly, but cache behaviour
+ * must be driven by realistic addresses: vertex buffers, textures, the
+ * Parameter Buffer and the framebuffer each live in their own region, and
+ * allocations within a region are contiguous. A simple bump allocator per
+ * region is sufficient because the simulator allocates once per workload.
+ */
+#ifndef EVRSIM_MEM_ADDRESS_SPACE_HPP
+#define EVRSIM_MEM_ADDRESS_SPACE_HPP
+
+#include <cstdint>
+
+#include "common/log.hpp"
+#include "mem/mem_types.hpp"
+
+namespace evrsim {
+
+/** Fixed region bases (1 GB total, Table II main-memory size). */
+struct AddressSpace {
+    static constexpr Addr kVertexBase = 0x0000'0000ull;      ///< 256 MB
+    static constexpr Addr kTextureBase = 0x1000'0000ull;     ///< 256 MB
+    static constexpr Addr kParameterBase = 0x2000'0000ull;   ///< 256 MB
+    static constexpr Addr kFramebufferBase = 0x3000'0000ull; ///< 256 MB
+    static constexpr Addr kRegionSize = 0x1000'0000ull;
+
+    /** Allocate @p bytes in the vertex-buffer region. */
+    Addr
+    allocVertex(std::uint64_t bytes)
+    {
+        return bump(vertex_top_, kVertexBase, bytes);
+    }
+
+    /** Allocate @p bytes in the texture region. */
+    Addr
+    allocTexture(std::uint64_t bytes)
+    {
+        return bump(texture_top_, kTextureBase, bytes);
+    }
+
+    /** Allocate @p bytes in the Parameter Buffer region. */
+    Addr
+    allocParameter(std::uint64_t bytes)
+    {
+        return bump(parameter_top_, kParameterBase, bytes);
+    }
+
+    /** Reset the Parameter Buffer region (reused every frame). */
+    void resetParameter() { parameter_top_ = kRegionStart; }
+
+    /** Address of pixel (x, y) in a @p width pixels wide RGBA8 surface. */
+    static Addr
+    framebufferAddr(int x, int y, int width)
+    {
+        return kFramebufferBase +
+               (static_cast<Addr>(y) * width + x) * 4;
+    }
+
+  private:
+    /** First usable offset; 0 is reserved as the "unallocated" sentinel. */
+    static constexpr std::uint64_t kRegionStart = 64;
+
+    Addr
+    bump(std::uint64_t &top, Addr base, std::uint64_t bytes)
+    {
+        // Align every allocation to a cache line so objects do not share
+        // lines across unrelated buffers.
+        std::uint64_t aligned = (top + 63) & ~63ull;
+        if (aligned + bytes > kRegionSize)
+            fatal("address space region at %llx exhausted",
+                  static_cast<unsigned long long>(base));
+        top = aligned + bytes;
+        return base + aligned;
+    }
+
+    std::uint64_t vertex_top_ = kRegionStart;
+    std::uint64_t texture_top_ = kRegionStart;
+    std::uint64_t parameter_top_ = kRegionStart;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_MEM_ADDRESS_SPACE_HPP

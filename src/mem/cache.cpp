@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Set-associative cache implementation.
+ */
+#include "mem/cache.hpp"
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+namespace {
+
+bool
+isPowerOfTwo(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+void
+CacheStats::accumulate(const CacheStats &other)
+{
+    reads += other.reads;
+    writes += other.writes;
+    read_misses += other.read_misses;
+    write_misses += other.write_misses;
+    writebacks += other.writebacks;
+}
+
+SetAssocCache::SetAssocCache(const CacheConfig &config, SetAssocCache *next)
+    : config_(config), next_cache_(next)
+{
+    EVRSIM_ASSERT(next != nullptr);
+    EVRSIM_ASSERT(isPowerOfTwo(config_.line_bytes));
+    EVRSIM_ASSERT(config_.ways > 0);
+    EVRSIM_ASSERT(config_.size_bytes % (config_.line_bytes * config_.ways) ==
+                  0);
+    num_sets_ = config_.size_bytes / (config_.line_bytes * config_.ways);
+    lines_.assign(static_cast<std::size_t>(num_sets_) * config_.ways, Line{});
+}
+
+SetAssocCache::SetAssocCache(const CacheConfig &config, DramModel *dram)
+    : config_(config), dram_(dram)
+{
+    EVRSIM_ASSERT(dram != nullptr);
+    EVRSIM_ASSERT(isPowerOfTwo(config_.line_bytes));
+    EVRSIM_ASSERT(config_.ways > 0);
+    EVRSIM_ASSERT(config_.size_bytes % (config_.line_bytes * config_.ways) ==
+                  0);
+    num_sets_ = config_.size_bytes / (config_.line_bytes * config_.ways);
+    lines_.assign(static_cast<std::size_t>(num_sets_) * config_.ways, Line{});
+}
+
+AccessResult
+SetAssocCache::forward(Addr line_addr, bool write, TrafficClass cls)
+{
+    if (next_cache_)
+        return next_cache_->access(line_addr, config_.line_bytes, write, cls);
+    return dram_->access(line_addr, config_.line_bytes, write, cls);
+}
+
+Cycles
+SetAssocCache::accessLine(Addr line_addr, bool write, TrafficClass cls,
+                          bool &hit)
+{
+    std::uint64_t line_no = line_addr / config_.line_bytes;
+    unsigned set = static_cast<unsigned>(line_no % num_sets_);
+    std::uint64_t tag = line_no / num_sets_;
+    Line *set_lines = &lines_[static_cast<std::size_t>(set) * config_.ways];
+
+    ++lru_clock_;
+
+    // Lookup.
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &line = set_lines[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = lru_clock_;
+            if (write)
+                line.dirty = true;
+            hit = true;
+            return config_.hit_latency;
+        }
+    }
+
+    // Miss: pick the LRU victim.
+    hit = false;
+    unsigned victim = 0;
+    for (unsigned w = 1; w < config_.ways; ++w) {
+        if (!set_lines[w].valid) {
+            victim = w;
+            break;
+        }
+        if (set_lines[w].lru < set_lines[victim].lru)
+            victim = w;
+    }
+
+    Line &line = set_lines[victim];
+    Cycles latency = config_.hit_latency;
+
+    if (line.valid && line.dirty) {
+        // Write back the victim. Reconstruct its address from tag/set.
+        Addr victim_addr = (line.tag * num_sets_ + set) * config_.line_bytes;
+        forward(victim_addr, true, cls);
+        ++stats_.writebacks;
+    }
+
+    // Fetch the new line (write-allocate: writes fetch too).
+    AccessResult fill = forward(line_addr, false, cls);
+    latency += fill.latency;
+
+    line.valid = true;
+    line.dirty = write;
+    line.tag = tag;
+    line.lru = lru_clock_;
+    return latency;
+}
+
+AccessResult
+SetAssocCache::access(Addr addr, unsigned size, bool write, TrafficClass cls)
+{
+    EVRSIM_ASSERT(size > 0);
+
+    Addr first_line = addr & ~static_cast<Addr>(config_.line_bytes - 1);
+    Addr last_line = (addr + size - 1) &
+                     ~static_cast<Addr>(config_.line_bytes - 1);
+
+    AccessResult result;
+    result.hit = true;
+    for (Addr line_addr = first_line; line_addr <= last_line;
+         line_addr += config_.line_bytes) {
+        if (write)
+            ++stats_.writes;
+        else
+            ++stats_.reads;
+
+        bool hit = false;
+        result.latency += accessLine(line_addr, write, cls, hit);
+        if (!hit) {
+            result.hit = false;
+            if (write)
+                ++stats_.write_misses;
+            else
+                ++stats_.read_misses;
+        }
+    }
+    return result;
+}
+
+void
+SetAssocCache::flush(TrafficClass cls)
+{
+    for (unsigned set = 0; set < num_sets_; ++set) {
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            Line &line = lines_[static_cast<std::size_t>(set) * config_.ways +
+                                w];
+            if (line.valid && line.dirty) {
+                Addr addr = (line.tag * num_sets_ + set) * config_.line_bytes;
+                forward(addr, true, cls);
+                ++stats_.writebacks;
+            }
+            line = Line{};
+        }
+    }
+}
+
+} // namespace evrsim

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * The caches of the Mali-450-like hierarchy in Table II (vertex cache,
+ * texture caches, tile cache, L2) are instances of this class. The model
+ * is functional with respect to tags only: it tracks which lines are
+ * resident and dirty, forwards misses and write-backs to the next level,
+ * and counts every event the energy/timing models need. Data contents are
+ * not stored — producers compute values functionally and the hierarchy is
+ * consulted for latency/traffic.
+ *
+ * Policy: write-back, write-allocate.
+ */
+#ifndef EVRSIM_MEM_CACHE_HPP
+#define EVRSIM_MEM_CACHE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/dram.hpp"
+#include "mem/mem_types.hpp"
+
+namespace evrsim {
+
+/** Static configuration of one cache. */
+struct CacheConfig {
+    std::string name = "cache";
+    unsigned size_bytes = 4096;
+    unsigned line_bytes = 64;
+    unsigned ways = 2;
+    Cycles hit_latency = 1;
+};
+
+/** Event counters for one cache. */
+struct CacheStats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t read_misses = 0;
+    std::uint64_t write_misses = 0;
+    std::uint64_t writebacks = 0;
+
+    std::uint64_t accesses() const { return reads + writes; }
+    std::uint64_t misses() const { return read_misses + write_misses; }
+
+    /** Miss ratio in [0, 1]; 0 when there were no accesses. */
+    double
+    missRatio() const
+    {
+        auto a = accesses();
+        return a == 0 ? 0.0 : static_cast<double>(misses()) / a;
+    }
+
+    void accumulate(const CacheStats &other);
+};
+
+/**
+ * One level of cache. Misses are forwarded either to another cache or to
+ * DRAM, whichever was wired in.
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * Build a cache backed by another cache level.
+     * @param config geometry and latency
+     * @param next   the next cache level (not owned)
+     */
+    SetAssocCache(const CacheConfig &config, SetAssocCache *next);
+
+    /**
+     * Build a cache backed directly by DRAM.
+     */
+    SetAssocCache(const CacheConfig &config, DramModel *dram);
+
+    /**
+     * Access @p size bytes starting at @p addr. Requests spanning several
+     * lines touch each line once.
+     *
+     * @return aggregate latency and whether every line hit in this level.
+     */
+    AccessResult access(Addr addr, unsigned size, bool write,
+                        TrafficClass cls);
+
+    /** Invalidate all lines, writing back dirty ones. */
+    void flush(TrafficClass cls);
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CacheStats{}; }
+
+    unsigned numSets() const { return num_sets_; }
+
+  private:
+    struct Line {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0; ///< larger = more recently used
+    };
+
+    /** Access one whole line; returns latency. */
+    Cycles accessLine(Addr line_addr, bool write, TrafficClass cls,
+                      bool &hit);
+
+    /** Forward a whole-line request to the next level. */
+    AccessResult forward(Addr line_addr, bool write, TrafficClass cls);
+
+    CacheConfig config_;
+    SetAssocCache *next_cache_ = nullptr;
+    DramModel *dram_ = nullptr;
+    unsigned num_sets_ = 0;
+    std::uint64_t lru_clock_ = 0;
+    std::vector<Line> lines_; ///< num_sets_ * ways, set-major
+    CacheStats stats_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_MEM_CACHE_HPP

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * DRAM model implementation.
+ */
+#include "mem/dram.hpp"
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+namespace {
+constexpr std::uint64_t kNoOpenRow = ~0ull;
+}
+
+const char *
+trafficClassName(TrafficClass c)
+{
+    switch (c) {
+      case TrafficClass::VertexFetch:
+        return "vertex";
+      case TrafficClass::ParameterBuffer:
+        return "parameter-buffer";
+      case TrafficClass::Texture:
+        return "texture";
+      case TrafficClass::Framebuffer:
+        return "framebuffer";
+      case TrafficClass::Other:
+        return "other";
+      default:
+        return "invalid";
+    }
+}
+
+std::uint64_t
+DramStats::totalReadBytes() const
+{
+    std::uint64_t sum = 0;
+    for (auto b : read_bytes)
+        sum += b;
+    return sum;
+}
+
+std::uint64_t
+DramStats::totalWriteBytes() const
+{
+    std::uint64_t sum = 0;
+    for (auto b : write_bytes)
+        sum += b;
+    return sum;
+}
+
+std::uint64_t
+DramStats::totalBytes() const
+{
+    return totalReadBytes() + totalWriteBytes();
+}
+
+void
+DramStats::accumulate(const DramStats &other)
+{
+    for (int i = 0; i < kNumTrafficClasses; ++i) {
+        read_bytes[i] += other.read_bytes[i];
+        write_bytes[i] += other.write_bytes[i];
+    }
+    accesses += other.accesses;
+    row_hits += other.row_hits;
+    row_misses += other.row_misses;
+    bus_busy_cycles += other.bus_busy_cycles;
+}
+
+DramModel::DramModel(const DramConfig &config)
+    : config_(config)
+{
+    EVRSIM_ASSERT(config_.channels > 0 && config_.banks_per_channel > 0);
+    EVRSIM_ASSERT(config_.bytes_per_cycle > 0 && config_.row_bytes > 0);
+    open_rows_.assign(config_.channels * config_.banks_per_channel,
+                      kNoOpenRow);
+}
+
+AccessResult
+DramModel::access(Addr addr, unsigned size, bool write, TrafficClass cls)
+{
+    EVRSIM_ASSERT(size > 0);
+
+    // Address mapping: channel-interleave at row granularity, then bank.
+    std::uint64_t row_index = addr / config_.row_bytes;
+    unsigned channel = row_index % config_.channels;
+    unsigned bank = (row_index / config_.channels) % config_.banks_per_channel;
+    std::uint64_t row = row_index / config_.channels /
+                        config_.banks_per_channel;
+
+    std::uint64_t &open = open_rows_[channel * config_.banks_per_channel +
+                                     bank];
+    Cycles latency;
+    if (open == row) {
+        latency = config_.row_hit_latency;
+        ++stats_.row_hits;
+    } else {
+        latency = config_.row_miss_latency;
+        ++stats_.row_misses;
+        open = row;
+    }
+
+    Cycles transfer = (size + config_.bytes_per_cycle - 1) /
+                      config_.bytes_per_cycle;
+    stats_.bus_busy_cycles += transfer;
+    ++stats_.accesses;
+
+    auto idx = static_cast<int>(cls);
+    if (write)
+        stats_.write_bytes[idx] += size;
+    else
+        stats_.read_bytes[idx] += size;
+
+    return {latency + transfer, false};
+}
+
+void
+DramModel::clearStats()
+{
+    stats_ = DramStats{};
+}
+
+} // namespace evrsim

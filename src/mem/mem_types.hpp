@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared types for the modelled memory hierarchy.
+ */
+#ifndef EVRSIM_MEM_MEM_TYPES_HPP
+#define EVRSIM_MEM_MEM_TYPES_HPP
+
+#include <cstdint>
+
+namespace evrsim {
+
+/** Physical address within the simulated GPU address space. */
+using Addr = std::uint64_t;
+
+/** Simulated cycle count. */
+using Cycles = std::uint64_t;
+
+/**
+ * Classification of memory traffic by producer, used for the energy and
+ * bandwidth breakdowns in the evaluation figures.
+ */
+enum class TrafficClass : std::uint8_t {
+    VertexFetch = 0,     ///< vertex attributes read by the Geometry Pipeline
+    ParameterBuffer,     ///< Parameter Buffer reads/writes (binning, raster)
+    Texture,             ///< texture sampling by fragment shaders
+    Framebuffer,         ///< Color Buffer flushes to main memory
+    Other,               ///< miscellaneous (command lists, state)
+    NumClasses,
+};
+
+/** Number of traffic classes, for fixed-size stat arrays. */
+constexpr int kNumTrafficClasses =
+    static_cast<int>(TrafficClass::NumClasses);
+
+/** Human-readable traffic class name. */
+const char *trafficClassName(TrafficClass c);
+
+/** Outcome of a memory access as seen by the requester. */
+struct AccessResult {
+    /** Latency in cycles until the data is available. */
+    Cycles latency = 0;
+    /** True if the request was satisfied without reaching DRAM. */
+    bool hit = true;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_MEM_MEM_TYPES_HPP

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * MemorySystem implementation.
+ */
+#include "mem/memory_system.hpp"
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+void
+MemorySystemStats::accumulate(const MemorySystemStats &other)
+{
+    vertex_cache.accumulate(other.vertex_cache);
+    texture_caches.accumulate(other.texture_caches);
+    tile_cache.accumulate(other.tile_cache);
+    l2_cache.accumulate(other.l2_cache);
+    dram.accumulate(other.dram);
+}
+
+MemorySystem::MemorySystem(const MemorySystemConfig &config)
+    : config_(config),
+      dram_(config.dram),
+      l2_(config.l2_cache, &dram_),
+      vertex_cache_(config.vertex_cache, &l2_),
+      tile_cache_(config.tile_cache, &l2_)
+{
+    EVRSIM_ASSERT(config.num_texture_caches > 0);
+    for (unsigned i = 0; i < config.num_texture_caches; ++i) {
+        texture_caches_.push_back(
+            std::make_unique<SetAssocCache>(config.texture_cache, &l2_));
+    }
+}
+
+AccessResult
+MemorySystem::vertexFetch(Addr addr, unsigned size)
+{
+    return vertex_cache_.access(addr, size, false,
+                                TrafficClass::VertexFetch);
+}
+
+AccessResult
+MemorySystem::parameterWrite(Addr addr, unsigned size)
+{
+    return tile_cache_.access(addr, size, true,
+                              TrafficClass::ParameterBuffer);
+}
+
+AccessResult
+MemorySystem::parameterRead(Addr addr, unsigned size)
+{
+    return tile_cache_.access(addr, size, false,
+                              TrafficClass::ParameterBuffer);
+}
+
+AccessResult
+MemorySystem::textureFetch(unsigned unit, Addr addr, unsigned size)
+{
+    EVRSIM_ASSERT(unit < texture_caches_.size());
+    return texture_caches_[unit]->access(addr, size, false,
+                                         TrafficClass::Texture);
+}
+
+AccessResult
+MemorySystem::framebufferWrite(Addr addr, unsigned size)
+{
+    // Streaming store: bypasses the cache hierarchy.
+    return dram_.access(addr, size, true, TrafficClass::Framebuffer);
+}
+
+AccessResult
+MemorySystem::otherAccess(Addr addr, unsigned size, bool write)
+{
+    return dram_.access(addr, size, write, TrafficClass::Other);
+}
+
+MemorySystemStats
+MemorySystem::stats() const
+{
+    MemorySystemStats s;
+    s.vertex_cache = vertex_cache_.stats();
+    for (const auto &tc : texture_caches_)
+        s.texture_caches.accumulate(tc->stats());
+    s.tile_cache = tile_cache_.stats();
+    s.l2_cache = l2_.stats();
+    s.dram = dram_.stats();
+    return s;
+}
+
+void
+MemorySystem::clearStats()
+{
+    vertex_cache_.clearStats();
+    for (auto &tc : texture_caches_)
+        tc->clearStats();
+    tile_cache_.clearStats();
+    l2_.clearStats();
+    dram_.clearStats();
+}
+
+} // namespace evrsim

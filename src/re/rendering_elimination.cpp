@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Rendering Elimination implementation.
+ */
+#include <algorithm>
+
+#include "common/crc32.hpp"
+#include "re/rendering_elimination.hpp"
+
+namespace evrsim {
+
+RenderingElimination::RenderingElimination(int tile_count)
+    : signatures_(tile_count)
+{
+    excluded_count_.assign(static_cast<std::size_t>(tile_count), 0);
+    included_count_.assign(static_cast<std::size_t>(tile_count), 0);
+}
+
+void
+RenderingElimination::frameStart()
+{
+    signatures_.resetCurrent();
+    std::fill(excluded_count_.begin(), excluded_count_.end(), 0);
+    std::fill(included_count_.begin(), included_count_.end(), 0);
+}
+
+void
+RenderingElimination::addPrimitive(int tile, const ShadedPrimitive &prim,
+                                   bool excluded, FrameStats &stats)
+{
+    if (excluded) {
+        // EVR predicted the primitive occluded in this tile: the
+        // Signature Buffer entry is not read, shifted or updated.
+        ++stats.signature_updates_skipped;
+        ++excluded_count_[tile];
+        return;
+    }
+    signatures_.combine(tile, prim.attr_crc, prim.attr_bytes);
+    ++included_count_[tile];
+    ++stats.signature_updates;
+    stats.signature_shift_bytes += prim.attr_bytes;
+}
+
+bool
+RenderingElimination::shouldSkipTile(int tile, FrameStats &stats)
+{
+    ++stats.signature_compares;
+    return signatures_.matchesPrevious(tile);
+}
+
+void
+RenderingElimination::tileMispredicted(int tile)
+{
+    // A predicted-occluded (signature-excluded) primitive contributed to
+    // this tile's final pixels: the rendered surface is not described by
+    // the signature, so the signature must match nothing — this frame or
+    // (after rotation) the next. Skip references are therefore exactly
+    // the frames whose surface is fully explained by their signature,
+    // which makes every later exclusion against their FVP sound (see
+    // DESIGN.md section 4.1).
+    signatures_.poisonCurrent(tile);
+}
+
+void
+RenderingElimination::frameEnd()
+{
+    signatures_.rotate();
+}
+
+} // namespace evrsim

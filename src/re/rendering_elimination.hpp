@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Rendering Elimination (Anglada et al., HPCA 2019a), the prior technique
+ * EVR builds on: skip rendering tiles whose inputs — the attributes of
+ * every primitive sorted into them — are identical to the previous
+ * frame's, reusing the colors already present in the framebuffer.
+ *
+ * EVR improves RE through the @c excluded flag of addPrimitive(): when
+ * EVR predicts a primitive occluded in a tile, the primitive is left out
+ * of the tile's signature, so tiles whose only frame-to-frame changes are
+ * in hidden geometry still match (Table I, scenario C).
+ */
+#ifndef EVRSIM_RE_RENDERING_ELIMINATION_HPP
+#define EVRSIM_RE_RENDERING_ELIMINATION_HPP
+
+#include "gpu/pipeline_hooks.hpp"
+#include "re/signature_buffer.hpp"
+
+namespace evrsim {
+
+/** The complete RE mechanism, pluggable into the pipeline hooks. */
+class RenderingElimination : public SignatureUpdater
+{
+  public:
+    explicit RenderingElimination(int tile_count);
+
+    void frameStart() override;
+
+    void addPrimitive(int tile, const ShadedPrimitive &prim, bool excluded,
+                      FrameStats &stats) override;
+
+    bool shouldSkipTile(int tile, FrameStats &stats) override;
+
+    void tileMispredicted(int tile) override;
+
+    void frameEnd() override;
+
+    const SignatureBuffer &signatureBuffer() const { return signatures_; }
+
+    /** Primitives excluded from @p tile's signature this frame. */
+    std::uint32_t
+    excludedCount(int tile) const
+    {
+        return excluded_count_[tile];
+    }
+
+    /** Primitives combined into @p tile's signature this frame. */
+    std::uint32_t
+    includedCount(int tile) const
+    {
+        return included_count_[tile];
+    }
+
+  private:
+    SignatureBuffer signatures_;
+    std::vector<std::uint32_t> excluded_count_;
+    std::vector<std::uint32_t> included_count_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_RE_RENDERING_ELIMINATION_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Signature Buffer implementation.
+ */
+#include "re/signature_buffer.hpp"
+
+#include <algorithm>
+
+#include "common/crc32.hpp"
+#include "common/log.hpp"
+
+namespace evrsim {
+
+SignatureBuffer::SignatureBuffer(int tile_count)
+{
+    EVRSIM_ASSERT(tile_count > 0);
+    current_.assign(static_cast<std::size_t>(tile_count), Signature{});
+    previous_.assign(static_cast<std::size_t>(tile_count), Signature{});
+    previous_valid_.assign(static_cast<std::size_t>(tile_count), 0);
+    current_poisoned_.assign(static_cast<std::size_t>(tile_count), 0);
+    previous_poisoned_.assign(static_cast<std::size_t>(tile_count), 0);
+}
+
+void
+SignatureBuffer::resetCurrent()
+{
+    for (auto &s : current_)
+        s = Signature{};
+    std::fill(current_poisoned_.begin(), current_poisoned_.end(), 0);
+}
+
+void
+SignatureBuffer::combine(int tile, std::uint32_t prim_crc,
+                         std::uint32_t prim_bytes)
+{
+    Signature &s = current_[tile];
+    s.crc = Crc32::combine(s.crc, prim_crc, prim_bytes);
+    s.length += prim_bytes;
+}
+
+bool
+SignatureBuffer::matchesPrevious(int tile) const
+{
+    return previous_valid_[tile] != 0 && current_poisoned_[tile] == 0 &&
+           previous_poisoned_[tile] == 0 && current_[tile] == previous_[tile];
+}
+
+void
+SignatureBuffer::poisonCurrent(int tile)
+{
+    current_poisoned_[tile] = 1;
+}
+
+void
+SignatureBuffer::rotate()
+{
+    previous_ = current_;
+    previous_poisoned_ = current_poisoned_;
+    for (auto &v : previous_valid_)
+        v = 1;
+}
+
+} // namespace evrsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Signature Buffer: Rendering Elimination's per-tile CRC32 lookup
+ * table.
+ *
+ * Each tile holds two signatures: the finalized one of the previous frame
+ * and the in-progress one of the current frame. A signature is the CRC32
+ * of the concatenated attribute blocks of every primitive sorted into the
+ * tile, built incrementally: the running tile CRC is shifted by the size
+ * of the incoming primitive's attribute block and combined with the
+ * primitive's own CRC (GF(2) combine — see Crc32::combine).
+ */
+#ifndef EVRSIM_RE_SIGNATURE_BUFFER_HPP
+#define EVRSIM_RE_SIGNATURE_BUFFER_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace evrsim {
+
+/** A tile signature: CRC plus total hashed length. */
+struct Signature {
+    std::uint32_t crc = 0;
+    std::uint64_t length = 0;
+
+    constexpr bool operator==(const Signature &o) const = default;
+};
+
+/** Per-tile previous/current signature storage. */
+class SignatureBuffer
+{
+  public:
+    explicit SignatureBuffer(int tile_count);
+
+    /** Clear the in-progress (current-frame) signatures. */
+    void resetCurrent();
+
+    /** Fold a primitive CRC into @p tile's current signature. */
+    void combine(int tile, std::uint32_t prim_crc, std::uint32_t prim_bytes);
+
+    /**
+     * True if @p tile's current signature equals the previous frame's
+     * (and a previous frame exists for this tile), and neither frame's
+     * signature is poisoned.
+     */
+    bool matchesPrevious(int tile) const;
+
+    /**
+     * Mark @p tile's current signature as unreliable: it must match
+     * nothing, this frame or the next. Used when EVR's filtering
+     * excluded every primitive of a non-empty tile (the signature then
+     * carries no information about the tile's visible content).
+     */
+    void poisonCurrent(int tile);
+
+    bool currentPoisoned(int tile) const
+    {
+        return current_poisoned_[tile] != 0;
+    }
+
+    /** Promote current signatures to previous (end of frame). */
+    void rotate();
+
+    const Signature &current(int tile) const { return current_[tile]; }
+    const Signature &previous(int tile) const { return previous_[tile]; }
+    bool previousValid(int tile) const { return previous_valid_[tile] != 0; }
+
+    int tileCount() const { return static_cast<int>(current_.size()); }
+
+    /** Simulated SRAM bytes of the structure (two CRCs per tile). */
+    std::uint64_t
+    simulatedBytes() const
+    {
+        return static_cast<std::uint64_t>(current_.size()) * 8;
+    }
+
+  private:
+    std::vector<Signature> current_;
+    std::vector<Signature> previous_;
+    std::vector<char> previous_valid_;
+    std::vector<char> current_poisoned_;
+    std::vector<char> previous_poisoned_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_RE_SIGNATURE_BUFFER_HPP

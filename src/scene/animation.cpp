@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Animation helper implementation.
+ */
+#include "scene/animation.hpp"
+
+#include <cmath>
+
+namespace evrsim {
+namespace anim {
+
+namespace {
+constexpr float kTwoPi = 6.28318530717958647692f;
+}
+
+float
+oscillate(float center, float amplitude, float period, int frame, float phase)
+{
+    return center + amplitude * std::sin(kTwoPi * frame / period + phase);
+}
+
+float
+sawtooth(float from, float to, float period, int frame)
+{
+    float t = std::fmod(static_cast<float>(frame), period) / period;
+    return from + (to - from) * t;
+}
+
+float
+pingPong(float from, float to, float period, int frame)
+{
+    float t = std::fmod(static_cast<float>(frame), 2.0f * period) / period;
+    if (t > 1.0f)
+        t = 2.0f - t;
+    return from + (to - from) * t;
+}
+
+Vec3
+orbitXZ(const Vec3 &center, float radius, float period, int frame,
+        float phase)
+{
+    float a = kTwoPi * frame / period + phase;
+    return {center.x + radius * std::cos(a), center.y,
+            center.z + radius * std::sin(a)};
+}
+
+float
+spin(float period, int frame, float phase)
+{
+    return kTwoPi * frame / period + phase;
+}
+
+Mat4
+spriteAt(float x, float y, float w, float h, float z)
+{
+    return Mat4::translate({x, y, z}) * Mat4::scale({w, h, 1.0f});
+}
+
+} // namespace anim
+} // namespace evrsim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small deterministic animation helpers shared by workloads and examples.
+ *
+ * All helpers are pure functions of (parameters, frame index) so that a
+ * workload's frame N is identical no matter how many frames were generated
+ * before it — a requirement for the result cache and for reproducibility.
+ */
+#ifndef EVRSIM_SCENE_ANIMATION_HPP
+#define EVRSIM_SCENE_ANIMATION_HPP
+
+#include "common/mat4.hpp"
+
+namespace evrsim {
+namespace anim {
+
+/** Sine oscillation: center +- amplitude, @p period frames per cycle. */
+float oscillate(float center, float amplitude, float period, int frame,
+                float phase = 0.0f);
+
+/** Linear interpolation along a segment, wrapping every @p period frames. */
+float sawtooth(float from, float to, float period, int frame);
+
+/** Ping-pong interpolation between two values. */
+float pingPong(float from, float to, float period, int frame);
+
+/** Circular orbit in the XZ plane around @p center. */
+Vec3 orbitXZ(const Vec3 &center, float radius, float period, int frame,
+             float phase = 0.0f);
+
+/** Uniform spin (radians) completing a turn every @p period frames. */
+float spin(float period, int frame, float phase = 0.0f);
+
+/**
+ * Model matrix for a screen-space sprite: a unit quad scaled to
+ * (w x h) pixels with its center at (x, y) and depth z.
+ */
+Mat4 spriteAt(float x, float y, float w, float h, float z);
+
+} // namespace anim
+} // namespace evrsim
+
+#endif // EVRSIM_SCENE_ANIMATION_HPP

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Camera helper implementation.
+ */
+#include "scene/camera.hpp"
+
+namespace evrsim {
+
+void
+setCamera2D(Scene &scene, int width, int height)
+{
+    // Map pixel coordinates to clip space directly. The ortho matrix maps
+    // x: [0,w] -> [-1,1], y: [0,h] -> [1,-1] (top-left origin), and z so
+    // that application z in [0,1] lands at depth z (0 = near).
+    scene.view = Mat4::identity();
+    scene.proj = Mat4::ortho(0.0f, static_cast<float>(width),
+                             static_cast<float>(height), 0.0f,
+                             -1.0f, 1.0f);
+    // ortho maps z=-z_ndc; we want app z in [0,1] to map to depth [0,1].
+    // With near=-1, far=1: z_ndc = -z_app... adjust: use a simple scale so
+    // that depth = z_app after the viewport transform (depth = (z_ndc+1)/2).
+    scene.proj.m[2][2] = 2.0f; // z_ndc = 2*z_app - 1  => depth = z_app
+    scene.proj.m[3][2] = -1.0f;
+}
+
+void
+setCamera3D(Scene &scene, const Vec3 &eye, const Vec3 &at, float fovy_deg,
+            float aspect, float z_near, float z_far)
+{
+    constexpr float kPi = 3.14159265358979323846f;
+    scene.view = Mat4::lookAt(eye, at, {0.0f, 1.0f, 0.0f});
+    scene.proj = Mat4::perspective(fovy_deg * kPi / 180.0f, aspect, z_near,
+                                   z_far);
+}
+
+} // namespace evrsim

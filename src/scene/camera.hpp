@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Camera helpers for the two scene styles the benchmarks use.
+ */
+#ifndef EVRSIM_SCENE_CAMERA_HPP
+#define EVRSIM_SCENE_CAMERA_HPP
+
+#include "common/mat4.hpp"
+#include "scene/scene.hpp"
+
+namespace evrsim {
+
+/**
+ * Set up @p scene with a 2D pixel-space camera: x in [0, width), y in
+ * [0, height) with y growing downwards, z passed through to [0, 1]
+ * (smaller = nearer). 2D painter's-algorithm workloads position sprites
+ * directly in pixels.
+ */
+void setCamera2D(Scene &scene, int width, int height);
+
+/**
+ * Set up @p scene with a perspective 3D camera.
+ *
+ * @param fovy_deg vertical field of view in degrees
+ * @param aspect   width / height of the render target
+ */
+void setCamera3D(Scene &scene, const Vec3 &eye, const Vec3 &at,
+                 float fovy_deg, float aspect, float z_near = 0.1f,
+                 float z_far = 100.0f);
+
+} // namespace evrsim
+
+#endif // EVRSIM_SCENE_CAMERA_HPP

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Draw commands: the unit of work an application submits to the GPU.
+ *
+ * A draw command couples a mesh, a model transform and the render state
+ * under which its primitives are processed. The EVR layer mechanism
+ * counts *commands* per tile to derive layer identifiers, so command
+ * identity (its position in the frame's submission order) is significant.
+ */
+#ifndef EVRSIM_SCENE_DRAW_COMMAND_HPP
+#define EVRSIM_SCENE_DRAW_COMMAND_HPP
+
+#include <cstdint>
+
+#include "common/mat4.hpp"
+#include "scene/mesh.hpp"
+
+namespace evrsim {
+
+/** Built-in fragment programs (cost table lives in the GPU shader core). */
+enum class FragmentProgram : std::uint8_t {
+    Flat,          ///< interpolated vertex color only
+    Textured,      ///< nearest-sampled texture
+    TexturedTint,  ///< texture modulated by interpolated color
+    Procedural,    ///< ALU-heavy procedural pattern, no texture
+    TexturedDiscard, ///< textured; discards fragments with alpha < 0.5
+};
+
+/** Framebuffer blend modes. */
+enum class BlendMode : std::uint8_t {
+    Opaque, ///< overwrite (fragment alpha forced to 1)
+    Alpha,  ///< src-alpha / one-minus-src-alpha blending
+};
+
+/** Fixed-function and shader state for one draw command. */
+struct RenderState {
+    /** True if fragments update the Z Buffer: the paper's WOZ class. */
+    bool depth_write = true;
+    /** True if fragments are depth-tested against the Z Buffer. */
+    bool depth_test = true;
+    /** Cull triangles facing away from the camera (3D solids). */
+    bool cull_backface = false;
+    BlendMode blend = BlendMode::Opaque;
+    FragmentProgram program = FragmentProgram::Flat;
+    /** Texture slot in the workload's texture set; -1 = none. */
+    int texture = -1;
+
+    /** WOZ per the paper's classification (writes on Z). */
+    bool isWoz() const { return depth_write; }
+
+    /**
+     * True when the fragment shader can alter visibility (discard), which
+     * prevents the Early Depth Test from updating the Z Buffer early.
+     */
+    bool
+    shaderDiscards() const
+    {
+        return program == FragmentProgram::TexturedDiscard;
+    }
+
+    constexpr bool operator==(const RenderState &o) const = default;
+};
+
+/** One draw command: a mesh drawn with a transform and state. */
+struct DrawCommand {
+    /**
+     * Command identifier, unique within a frame and monotonically
+     * increasing in submission order. The Layer Generator Table compares
+     * these to detect "a primitive from a new command".
+     */
+    std::uint32_t id = 0;
+
+    /** Geometry; owned by the workload, must outlive the frame. */
+    const Mesh *mesh = nullptr;
+
+    /** Object-to-world transform. */
+    Mat4 model = Mat4::identity();
+
+    /**
+     * Draw in screen space: the model transform is interpreted in pixel
+     * coordinates and projected with an orthographic pixel matrix
+     * instead of the scene camera — how applications draw HUDs and
+     * overlays on top of a 3D view (they swap the projection uniform).
+     */
+    bool screen_space = false;
+
+    /** Color multiplier applied at vertex shading (animates attributes). */
+    Vec4 tint = {1.0f, 1.0f, 1.0f, 1.0f};
+
+    RenderState state;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_SCENE_DRAW_COMMAND_HPP

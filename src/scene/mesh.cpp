@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Procedural mesh builders.
+ */
+#include "scene/mesh.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+void
+Mesh::append(const Mesh &other)
+{
+    auto base = static_cast<std::uint32_t>(vertices.size());
+    vertices.insert(vertices.end(), other.vertices.begin(),
+                    other.vertices.end());
+    indices.reserve(indices.size() + other.indices.size());
+    for (auto idx : other.indices)
+        indices.push_back(base + idx);
+}
+
+namespace meshes {
+
+Mesh
+quad(const Vec4 &color)
+{
+    return quadCorners(color, color, color, color);
+}
+
+Mesh
+quadCorners(const Vec4 &c00, const Vec4 &c10, const Vec4 &c11,
+            const Vec4 &c01)
+{
+    Mesh m;
+    m.vertices = {
+        {{-0.5f, -0.5f, 0.0f}, c00, {0.0f, 0.0f}},
+        {{0.5f, -0.5f, 0.0f}, c10, {1.0f, 0.0f}},
+        {{0.5f, 0.5f, 0.0f}, c11, {1.0f, 1.0f}},
+        {{-0.5f, 0.5f, 0.0f}, c01, {0.0f, 1.0f}},
+    };
+    m.indices = {0, 1, 2, 0, 2, 3};
+    return m;
+}
+
+Mesh
+grid(int nx, int ny, const Vec4 &color, float jitter_z, std::uint64_t seed)
+{
+    EVRSIM_ASSERT(nx > 0 && ny > 0);
+    Mesh m;
+    Rng rng(seed);
+    for (int j = 0; j <= ny; ++j) {
+        for (int i = 0; i <= nx; ++i) {
+            float u = static_cast<float>(i) / nx;
+            float v = static_cast<float>(j) / ny;
+            float z = jitter_z != 0.0f
+                          ? rng.nextFloat(-jitter_z, jitter_z)
+                          : 0.0f;
+            m.vertices.push_back({{u - 0.5f, v - 0.5f, z}, color, {u, v}});
+        }
+    }
+    int stride = nx + 1;
+    for (int j = 0; j < ny; ++j) {
+        for (int i = 0; i < nx; ++i) {
+            auto v00 = static_cast<std::uint32_t>(j * stride + i);
+            auto v10 = v00 + 1;
+            auto v01 = v00 + stride;
+            auto v11 = v01 + 1;
+            m.indices.insert(m.indices.end(), {v00, v10, v11});
+            m.indices.insert(m.indices.end(), {v00, v11, v01});
+        }
+    }
+    return m;
+}
+
+Mesh
+box(const Vec4 &color)
+{
+    Mesh m;
+    // Six faces with slightly different tints so orientation is visible
+    // (and signatures change when the box rotates).
+    struct Face {
+        Vec3 origin, du, dv;
+        float tint;
+    };
+    const Face faces[] = {
+        {{-0.5f, -0.5f, 0.5f}, {1, 0, 0}, {0, 1, 0}, 1.00f},  // +Z
+        {{0.5f, -0.5f, -0.5f}, {-1, 0, 0}, {0, 1, 0}, 0.75f}, // -Z
+        {{0.5f, -0.5f, 0.5f}, {0, 0, -1}, {0, 1, 0}, 0.90f},  // +X
+        {{-0.5f, -0.5f, -0.5f}, {0, 0, 1}, {0, 1, 0}, 0.65f}, // -X
+        {{-0.5f, 0.5f, 0.5f}, {1, 0, 0}, {0, 0, -1}, 0.95f},  // +Y
+        {{-0.5f, -0.5f, -0.5f}, {1, 0, 0}, {0, 0, 1}, 0.60f}, // -Y
+    };
+    for (const Face &f : faces) {
+        auto base = static_cast<std::uint32_t>(m.vertices.size());
+        Vec4 c = {color.x * f.tint, color.y * f.tint, color.z * f.tint,
+                  color.w};
+        m.vertices.push_back({f.origin, c, {0, 0}});
+        m.vertices.push_back({f.origin + f.du, c, {1, 0}});
+        m.vertices.push_back({f.origin + f.du + f.dv, c, {1, 1}});
+        m.vertices.push_back({f.origin + f.dv, c, {0, 1}});
+        m.indices.insert(m.indices.end(),
+                         {base, base + 1, base + 2, base, base + 2, base + 3});
+    }
+    return m;
+}
+
+Mesh
+sphere(int stacks, int slices, const Vec4 &color)
+{
+    EVRSIM_ASSERT(stacks >= 2 && slices >= 3);
+    Mesh m;
+    constexpr float kPi = 3.14159265358979323846f;
+    for (int j = 0; j <= stacks; ++j) {
+        float phi = kPi * j / stacks;
+        for (int i = 0; i <= slices; ++i) {
+            float theta = 2.0f * kPi * i / slices;
+            Vec3 p = {0.5f * std::sin(phi) * std::cos(theta),
+                      0.5f * std::cos(phi),
+                      0.5f * std::sin(phi) * std::sin(theta)};
+            // Shade poles darker so rotation changes attribute bytes.
+            float shade = 0.6f + 0.4f * std::sin(phi);
+            Vec4 c = {color.x * shade, color.y * shade, color.z * shade,
+                      color.w};
+            m.vertices.push_back(
+                {p, c,
+                 {static_cast<float>(i) / slices,
+                  static_cast<float>(j) / stacks}});
+        }
+    }
+    int stride = slices + 1;
+    for (int j = 0; j < stacks; ++j) {
+        for (int i = 0; i < slices; ++i) {
+            auto v00 = static_cast<std::uint32_t>(j * stride + i);
+            auto v10 = v00 + 1;
+            auto v01 = v00 + stride;
+            auto v11 = v01 + 1;
+            m.indices.insert(m.indices.end(), {v00, v11, v10});
+            m.indices.insert(m.indices.end(), {v00, v01, v11});
+        }
+    }
+    return m;
+}
+
+Mesh
+character(std::uint64_t seed, const Vec4 &tint)
+{
+    Rng rng(seed);
+    Mesh m;
+
+    auto add_part = [&](const Vec3 &center, const Vec3 &size, float shade) {
+        Mesh part = box({tint.x * shade, tint.y * shade, tint.z * shade,
+                         tint.w});
+        for (auto &v : part.vertices) {
+            v.position = v.position * size + center;
+        }
+        m.append(part);
+    };
+
+    float torso_h = rng.nextFloat(0.35f, 0.5f);
+    float torso_w = rng.nextFloat(0.2f, 0.35f);
+    float head_r = rng.nextFloat(0.1f, 0.16f);
+    float leg_h = rng.nextFloat(0.25f, 0.4f);
+
+    add_part({0.0f, leg_h + torso_h * 0.5f, 0.0f},
+             {torso_w, torso_h, torso_w * 0.6f}, 1.0f);
+    add_part({0.0f, leg_h + torso_h + head_r, 0.0f},
+             {head_r * 2, head_r * 2, head_r * 2}, 0.9f);
+    add_part({-torso_w * 0.3f, leg_h * 0.5f, 0.0f},
+             {torso_w * 0.3f, leg_h, torso_w * 0.3f}, 0.7f);
+    add_part({torso_w * 0.3f, leg_h * 0.5f, 0.0f},
+             {torso_w * 0.3f, leg_h, torso_w * 0.3f}, 0.7f);
+    add_part({-torso_w * 0.65f, leg_h + torso_h * 0.7f, 0.0f},
+             {torso_w * 0.25f, torso_h * 0.8f, torso_w * 0.25f}, 0.8f);
+    add_part({torso_w * 0.65f, leg_h + torso_h * 0.7f, 0.0f},
+             {torso_w * 0.25f, torso_h * 0.8f, torso_w * 0.25f}, 0.8f);
+    return m;
+}
+
+} // namespace meshes
+
+} // namespace evrsim

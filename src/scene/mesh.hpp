@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Indexed triangle meshes and procedural builders.
+ *
+ * Meshes are the only geometry container: every workload builds its scenes
+ * from these (sprites are camera-facing quads, terrain is a displaced grid,
+ * models are boxes/spheres/extrusions). Each mesh can be "uploaded", which
+ * assigns it an address range in the simulated vertex-buffer region so the
+ * vertex cache sees realistic access patterns.
+ */
+#ifndef EVRSIM_SCENE_MESH_HPP
+#define EVRSIM_SCENE_MESH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mem/mem_types.hpp"
+#include "scene/vertex.hpp"
+
+namespace evrsim {
+
+/** Indexed triangle mesh. */
+struct Mesh {
+    std::vector<Vertex> vertices;
+    std::vector<std::uint32_t> indices; ///< triangle list, 3 per triangle
+
+    /** Base address in the simulated vertex-buffer region; 0 = not uploaded. */
+    Addr buffer_base = 0;
+
+    std::size_t triangleCount() const { return indices.size() / 3; }
+
+    /** Simulated address of vertex @p i's attributes. */
+    Addr
+    vertexAddr(std::uint32_t i) const
+    {
+        return buffer_base + static_cast<Addr>(i) * kVertexBytes;
+    }
+
+    /** Append another mesh's triangles (indices are rebased). */
+    void append(const Mesh &other);
+};
+
+/** Procedural mesh builders used by examples and workloads. */
+namespace meshes {
+
+/**
+ * Unit quad in the XY plane, centered at origin, +Z normal,
+ * with the given uniform color and a full [0,1]^2 UV range.
+ */
+Mesh quad(const Vec4 &color);
+
+/** Quad with one color per corner (gradient sprites). */
+Mesh quadCorners(const Vec4 &c00, const Vec4 &c10, const Vec4 &c11,
+                 const Vec4 &c01);
+
+/**
+ * Regular grid of (nx x ny) quads spanning [-0.5, 0.5]^2 in XY.
+ * @param jitter_z amplitude of deterministic per-vertex Z displacement,
+ *                 used to build terrain-like meshes.
+ */
+Mesh grid(int nx, int ny, const Vec4 &color, float jitter_z,
+          std::uint64_t seed);
+
+/** Axis-aligned unit cube centered at the origin, one color per face tint. */
+Mesh box(const Vec4 &color);
+
+/** UV sphere of the given resolution. */
+Mesh sphere(int stacks, int slices, const Vec4 &color);
+
+/**
+ * A low-poly "character": a stack of boxes (body, head, limbs) whose
+ * proportions are drawn deterministically from @p seed. Used by 3D
+ * workloads as animated actors.
+ */
+Mesh character(std::uint64_t seed, const Vec4 &tint);
+
+} // namespace meshes
+
+} // namespace evrsim
+
+#endif // EVRSIM_SCENE_MESH_HPP

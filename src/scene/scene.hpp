@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A frame's worth of work: camera, clear values and draw commands.
+ */
+#ifndef EVRSIM_SCENE_SCENE_HPP
+#define EVRSIM_SCENE_SCENE_HPP
+
+#include <vector>
+
+#include "common/color.hpp"
+#include "common/mat4.hpp"
+#include "scene/draw_command.hpp"
+#include "scene/texture.hpp"
+
+namespace evrsim {
+
+/** All state the GPU needs to render one frame. */
+struct Scene {
+    Mat4 view = Mat4::identity();
+    Mat4 proj = Mat4::identity();
+
+    Rgba8 clear_color = {20, 24, 40, 255};
+    float clear_depth = 1.0f;
+
+    std::vector<DrawCommand> commands;
+
+    /**
+     * Texture bindings for this frame; RenderState::texture indexes into
+     * this table. Textures are owned by the workload.
+     */
+    std::vector<const Texture *> textures;
+
+    /** Combined view-projection matrix. */
+    Mat4 viewProj() const { return proj * view; }
+
+    /**
+     * Append a command, assigning the next command id in submission
+     * order. Returns a reference so callers can tweak fields.
+     */
+    DrawCommand &
+    submit(const Mesh *mesh, const Mat4 &model, const RenderState &state)
+    {
+        DrawCommand cmd;
+        cmd.id = static_cast<std::uint32_t>(commands.size());
+        cmd.mesh = mesh;
+        cmd.model = model;
+        cmd.state = state;
+        commands.push_back(cmd);
+        return commands.back();
+    }
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_SCENE_SCENE_HPP

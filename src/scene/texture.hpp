@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Procedural textures mapped into the simulated address space.
+ *
+ * Texture *contents* are computed on the fly from a deterministic
+ * generator (no image assets are needed), but every texel has a simulated
+ * address, so the texture caches observe the same locality a stored
+ * RGBA8 texture would produce.
+ */
+#ifndef EVRSIM_SCENE_TEXTURE_HPP
+#define EVRSIM_SCENE_TEXTURE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/color.hpp"
+#include "common/vec.hpp"
+#include "mem/mem_types.hpp"
+
+namespace evrsim {
+
+/** Procedural texture families. */
+enum class TextureKind : std::uint8_t {
+    Solid,    ///< single color (cheap UI fills)
+    Checker,  ///< two-color checkerboard
+    Gradient, ///< vertical gradient between two colors
+    Noise,    ///< hash-based value noise (organic surfaces)
+    Stripes,  ///< horizontal stripes (HUD bars, decals)
+};
+
+/** One texture: generator parameters plus its simulated placement. */
+class Texture
+{
+  public:
+    /**
+     * @param kind   generator family
+     * @param size   width=height, must be a power of two
+     * @param a      primary color
+     * @param b      secondary color (ignored by Solid)
+     * @param seed   deterministic seed for Noise
+     * @param cells  feature scale (checker squares, stripe count, noise
+     *               cell count)
+     */
+    Texture(TextureKind kind, int size, const Vec4 &a, const Vec4 &b,
+            std::uint64_t seed = 0, int cells = 8);
+
+    /** Sample with nearest filtering; uv wraps (GL_REPEAT). */
+    Vec4 sample(float u, float v) const;
+
+    /** Simulated address of the texel that (u, v) maps to. */
+    Addr texelAddr(float u, float v) const;
+
+    int size() const { return size_; }
+    std::uint64_t byteSize() const
+    {
+        return static_cast<std::uint64_t>(size_) * size_ * 4;
+    }
+
+    Addr base() const { return base_; }
+    void setBase(Addr base) { base_ = base; }
+
+    /** Generator identity bytes, hashed into RE signatures. */
+    std::uint64_t contentKey() const;
+
+  private:
+    /** Integer texel lookup (x, y already wrapped). */
+    Vec4 texel(int x, int y) const;
+
+    /** Map (u, v) to wrapped integer texel coordinates. */
+    void toTexel(float u, float v, int &x, int &y) const;
+
+    TextureKind kind_;
+    int size_;
+    int cells_;
+    Vec4 color_a_;
+    Vec4 color_b_;
+    std::uint64_t seed_;
+    Addr base_ = 0;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_SCENE_TEXTURE_HPP

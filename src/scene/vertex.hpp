@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Vertex formats used by the pipeline.
+ */
+#ifndef EVRSIM_SCENE_VERTEX_HPP
+#define EVRSIM_SCENE_VERTEX_HPP
+
+#include "common/vec.hpp"
+
+namespace evrsim {
+
+/**
+ * Application-side (object-space) vertex, the unit stored in simulated
+ * vertex buffers and fetched by the Geometry Pipeline.
+ */
+struct Vertex {
+    Vec3 position; ///< object-space position
+    Vec4 color;    ///< per-vertex RGBA color
+    Vec2 uv;       ///< texture coordinates
+
+    constexpr bool operator==(const Vertex &o) const = default;
+};
+
+/** Bytes one vertex occupies in the simulated vertex buffer. */
+constexpr unsigned kVertexBytes = sizeof(Vertex);
+
+static_assert(kVertexBytes == 36, "vertex layout must stay 9 floats");
+
+} // namespace evrsim
+
+#endif // EVRSIM_SCENE_VERTEX_HPP

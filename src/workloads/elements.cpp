@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Shared workload elements implementation.
+ */
+#include "workloads/elements.hpp"
+
+#include "common/log.hpp"
+
+namespace evrsim {
+namespace workloads {
+
+RenderState
+state2D(FragmentProgram program, int texture, BlendMode blend)
+{
+    RenderState s;
+    s.depth_write = false;
+    s.depth_test = false;
+    s.cull_backface = false;
+    s.blend = blend;
+    s.program = program;
+    s.texture = texture;
+    return s;
+}
+
+RenderState
+state3D(FragmentProgram program, int texture, bool cull)
+{
+    RenderState s;
+    s.depth_write = true;
+    s.depth_test = true;
+    s.cull_backface = cull;
+    s.blend = BlendMode::Opaque;
+    s.program = program;
+    s.texture = texture;
+    return s;
+}
+
+RenderState
+state3DTranslucent(FragmentProgram program, int texture)
+{
+    RenderState s;
+    s.depth_write = false; // translucent primitives are NWOZ by definition
+    s.depth_test = true;
+    s.cull_backface = false;
+    s.blend = BlendMode::Alpha;
+    s.program = program;
+    s.texture = texture;
+    return s;
+}
+
+WorkloadBase::WorkloadBase(Info info, int width, int height,
+                           std::uint64_t seed)
+    : info_(std::move(info)), width_(width), height_(height), rng_root_(seed)
+{
+    EVRSIM_ASSERT(width > 0 && height > 0);
+}
+
+void
+WorkloadBase::setup(GpuSimulator &sim)
+{
+    for (Mesh &m : meshes_)
+        sim.uploadMesh(m);
+    for (Texture &t : textures_)
+        sim.registerTexture(t);
+}
+
+Mesh *
+WorkloadBase::addMesh(Mesh mesh)
+{
+    meshes_.push_back(std::move(mesh));
+    return &meshes_.back();
+}
+
+int
+WorkloadBase::addTexture(Texture texture)
+{
+    textures_.push_back(std::move(texture));
+    return static_cast<int>(textures_.size()) - 1;
+}
+
+Scene
+WorkloadBase::begin2D() const
+{
+    Scene scene;
+    setCamera2D(scene, width_, height_);
+    for (const Texture &t : textures_)
+        scene.textures.push_back(&t);
+    return scene;
+}
+
+Scene
+WorkloadBase::begin3D(const Vec3 &eye, const Vec3 &at, float fovy_deg) const
+{
+    Scene scene;
+    setCamera3D(scene, eye, at, fovy_deg,
+                screenW() / screenH());
+    for (const Texture &t : textures_)
+        scene.textures.push_back(&t);
+    return scene;
+}
+
+// ---------------------------------------------------------------- Hud --
+
+Hud::Hud(WorkloadBase &owner, int width, int height, int top_px,
+         int bottom_px, int widgets, std::uint64_t seed)
+    : width_(width), height_(height), top_px_(top_px), bottom_px_(bottom_px)
+{
+    WorkloadBase &o = owner;
+
+    quad_ = o.addMesh(meshes::quad({1, 1, 1, 1}));
+    texture_ = o.addTexture(Texture(TextureKind::Stripes, 64,
+                                    {0.25f, 0.27f, 0.33f, 1.0f},
+                                    {0.18f, 0.20f, 0.25f, 1.0f}, seed, 8));
+
+    Rng rng(seed);
+    for (int i = 0; i < widgets; ++i) {
+        Widget w;
+        bool on_top = top_px_ > 0 && (bottom_px_ == 0 || (i & 1));
+        float bar_h = on_top ? top_px_ : bottom_px_;
+        w.h = bar_h * rng.nextFloat(0.5f, 0.8f);
+        w.w = w.h * rng.nextFloat(1.0f, 3.0f);
+        w.x = rng.nextFloat(w.w, width - w.w);
+        w.y = on_top ? bar_h * 0.5f : height - bar_h * 0.5f;
+        w.tint = {rng.nextFloat(0.5f, 1.0f), rng.nextFloat(0.5f, 1.0f),
+                  rng.nextFloat(0.5f, 1.0f), 1.0f};
+        widgets_.push_back(w);
+    }
+}
+
+float
+Hud::coverage() const
+{
+    return static_cast<float>(top_px_ + bottom_px_) / height_;
+}
+
+void
+Hud::submit(Scene &scene, int frame, bool dynamic) const
+{
+    float w = static_cast<float>(width_);
+
+    if (top_px_ > 0) {
+        scene.submit(quad_,
+                     anim::spriteAt(w * 0.5f, top_px_ * 0.5f, w,
+                                    static_cast<float>(top_px_), 0.02f),
+                     state2D(FragmentProgram::Textured, texture_))
+            .screen_space = true;
+    }
+    if (bottom_px_ > 0) {
+        scene.submit(quad_,
+                     anim::spriteAt(w * 0.5f, height_ - bottom_px_ * 0.5f, w,
+                                    static_cast<float>(bottom_px_), 0.02f),
+                     state2D(FragmentProgram::Textured, texture_))
+            .screen_space = true;
+    }
+
+    for (std::size_t i = 0; i < widgets_.size(); ++i) {
+        const Widget &wd = widgets_[i];
+        DrawCommand &cmd = scene.submit(
+            quad_, anim::spriteAt(wd.x, wd.y, wd.w, wd.h, 0.01f),
+            state2D(FragmentProgram::Flat));
+        cmd.screen_space = true;
+        cmd.tint = wd.tint;
+        if (dynamic && i == 0) {
+            // Score counter: its color bytes change every frame, keeping
+            // its tiles non-redundant for plain RE.
+            cmd.tint.x = 0.5f + 0.5f * ((frame % 100) / 100.0f);
+        }
+    }
+}
+
+// -------------------------------------------------------- SpriteField --
+
+SpriteField::SpriteField(WorkloadBase &owner, int width, int height,
+                         const Params &params, std::uint64_t seed)
+    : width_(width), height_(height), params_(params)
+{
+    WorkloadBase &o = owner;
+
+    Rng rng(seed);
+
+    bg_texture_ = o.addTexture(Texture(TextureKind::Noise, 256,
+                                       {0.10f, 0.22f, 0.16f, 1.0f},
+                                       {0.20f, 0.38f, 0.28f, 1.0f},
+                                       seed ^ 0xbeef, 32));
+    sprite_texture_ = o.addTexture(Texture(TextureKind::Checker, 64,
+                                           {0.9f, 0.7f, 0.3f, 1.0f},
+                                           {0.7f, 0.3f, 0.2f, 1.0f},
+                                           seed ^ 0xcafe, 4));
+
+    background_ = o.addMesh(meshes::quad({1, 1, 1, 1}));
+    sprite_quad_ = o.addMesh(meshes::quad({1, 1, 1, 1}));
+
+    // Bake the static sprites into one mesh (one draw command), placed
+    // in screen coordinates directly.
+    float cx = width * 0.5f, cy = height * 0.5f;
+    float half_w = width * 0.5f * params_.spread;
+    float half_h = height * 0.5f * params_.spread;
+
+    Mesh baked;
+    for (int i = 0; i < params_.static_sprites; ++i) {
+        float size = rng.nextFloat(params_.min_size, params_.max_size);
+        float x = rng.nextFloat(cx - half_w, cx + half_w);
+        float y = rng.nextFloat(cy - half_h, cy + half_h);
+        Vec4 tint = {rng.nextFloat(0.4f, 1.0f), rng.nextFloat(0.4f, 1.0f),
+                     rng.nextFloat(0.4f, 1.0f), 1.0f};
+        Mesh s = meshes::quad(tint);
+        for (auto &v : s.vertices) {
+            v.position.x = v.position.x * size + x;
+            v.position.y = v.position.y * size + y;
+            v.position.z = 0.5f;
+        }
+        baked.append(s);
+    }
+    static_batch_ = o.addMesh(std::move(baked));
+
+    for (int i = 0; i < params_.moving_sprites; ++i) {
+        Mover m;
+        m.size = rng.nextFloat(params_.min_size, params_.max_size);
+        m.base_x = rng.nextFloat(cx - half_w, cx + half_w);
+        m.base_y = rng.nextFloat(cy - half_h, cy + half_h);
+        m.phase = rng.nextFloat(0.0f, 6.28f);
+        m.z = 0.4f;
+        m.tint = {rng.nextFloat(0.5f, 1.0f), rng.nextFloat(0.5f, 1.0f),
+                  rng.nextFloat(0.5f, 1.0f),
+                  params_.translucent_movers ? 0.6f : 1.0f};
+        movers_.push_back(m);
+    }
+}
+
+void
+SpriteField::submit(Scene &scene, int frame) const
+{
+    float w = static_cast<float>(width_), h = static_cast<float>(height_);
+
+    // Back-to-front painter's order: background, static layer, movers.
+    scene.submit(background_, anim::spriteAt(w * 0.5f, h * 0.5f, w, h, 0.9f),
+                 state2D(FragmentProgram::Textured, bg_texture_));
+
+    scene.submit(static_batch_, Mat4::identity(),
+                 state2D(FragmentProgram::TexturedTint, sprite_texture_));
+
+    for (const Mover &m : movers_) {
+        float x = anim::oscillate(m.base_x, params_.speed, params_.period,
+                                  frame, m.phase);
+        float y = anim::oscillate(m.base_y, params_.speed * 0.6f,
+                                  params_.period * 1.3f, frame,
+                                  m.phase * 1.7f);
+        DrawCommand &cmd = scene.submit(
+            sprite_quad_, anim::spriteAt(x, y, m.size, m.size, m.z),
+            state2D(FragmentProgram::TexturedTint, sprite_texture_,
+                    params_.translucent_movers ? BlendMode::Alpha
+                                               : BlendMode::Opaque));
+        cmd.tint = m.tint;
+    }
+}
+
+// ------------------------------------------------------ Environment3D --
+
+Environment3D::Environment3D(WorkloadBase &owner, const Params &params,
+                             std::uint64_t seed)
+{
+    WorkloadBase &o = owner;
+
+    Rng rng(seed);
+
+    terrain_texture_ = o.addTexture(Texture(TextureKind::Noise, 256,
+                                            {0.25f, 0.30f, 0.18f, 1.0f},
+                                            {0.45f, 0.42f, 0.30f, 1.0f},
+                                            seed ^ 0xd00d, 24));
+
+    // Far backdrop: an inward-facing sky sphere around the whole scene.
+    // It guarantees every tile is covered by opaque WOZ geometry from
+    // any camera position/direction, so each tile has a meaningful
+    // Z_far (the sphere builder's pole shading gives a sky gradient).
+    backdrop_ = o.addMesh(meshes::sphere(8, 12, {0.30f, 0.42f, 0.62f, 1.0f}));
+
+    terrain_ = o.addMesh(meshes::grid(params.terrain_res, params.terrain_res,
+                                      {1, 1, 1, 1}, 0.02f, seed ^ 0xfeed));
+
+    for (int i = 0; i < params.props; ++i) {
+        Vec4 tint = {rng.nextFloat(0.3f, 0.9f), rng.nextFloat(0.3f, 0.9f),
+                     rng.nextFloat(0.3f, 0.9f), 1.0f};
+        const Mesh *mesh = rng.nextBool(0.6f)
+                               ? o.addMesh(meshes::box(tint))
+                               : o.addMesh(meshes::sphere(6, 8, tint));
+        float s = rng.nextFloat(1.0f, 4.0f);
+        Mat4 xf = Mat4::translate({rng.nextFloat(-params.area, params.area),
+                                   s * 0.5f,
+                                   rng.nextFloat(-params.area, params.area)}) *
+                  Mat4::rotateY(rng.nextFloat(0.0f, 6.28f)) *
+                  Mat4::scale({s, s, s});
+        props_.emplace_back(mesh, xf);
+    }
+}
+
+void
+Environment3D::submit(Scene &scene) const
+{
+    // Far-to-near submission order (sky, ground, props): the
+    // overshading-prone order the reordering optimization targets.
+    // Sky radius 75: inside the cameras' far plane (100), outside every
+    // prop and camera orbit, so it is visible wherever nothing else is.
+    scene.submit(backdrop_, Mat4::scale({150.0f, 150.0f, 150.0f}),
+                 state3D(FragmentProgram::Flat, -1, false));
+
+    scene.submit(terrain_,
+                 Mat4::scale({90.0f, 1.0f, 90.0f}) *
+                     Mat4::rotateX(-1.57079632679f),
+                 state3D(FragmentProgram::Textured, terrain_texture_, false));
+
+    for (const auto &[mesh, xf] : props_)
+        scene.submit(mesh, xf, state3D(FragmentProgram::Flat));
+}
+
+// -------------------------------------------------------- ActorGroup3D --
+
+ActorGroup3D::ActorGroup3D(WorkloadBase &owner, const Params &params,
+                           std::uint64_t seed)
+{
+    WorkloadBase &o = owner;
+
+    Rng rng(seed);
+    for (int i = 0; i < params.actors; ++i) {
+        Actor a;
+        Vec4 tint = {rng.nextFloat(0.4f, 1.0f), rng.nextFloat(0.4f, 1.0f),
+                     rng.nextFloat(0.4f, 1.0f), 1.0f};
+        a.mesh = o.addMesh(meshes::character(seed + i * 977, tint));
+        a.phase = rng.nextFloat(0.0f, 6.28f);
+        a.radius = params.radius * rng.nextFloat(0.4f, 1.0f);
+        a.period = params.period * rng.nextFloat(0.7f, 1.4f);
+        a.scale = params.scale * rng.nextFloat(0.7f, 1.3f);
+        a.center = {rng.nextFloat(-4.0f, 4.0f), 0.0f,
+                    rng.nextFloat(-4.0f, 4.0f)};
+        actors_.push_back(a);
+    }
+}
+
+void
+ActorGroup3D::submit(Scene &scene, int frame) const
+{
+    for (const Actor &a : actors_) {
+        Vec3 pos = anim::orbitXZ(a.center, a.radius, a.period, frame,
+                                 a.phase);
+        float heading = anim::spin(a.period, frame, a.phase) + 1.5708f;
+        DrawCommand &cmd = scene.submit(
+            a.mesh,
+            Mat4::translate(pos) * Mat4::rotateY(-heading) *
+                Mat4::scale({a.scale, a.scale, a.scale}),
+            state3D(FragmentProgram::Flat));
+        // Subtle pulsing tint: actor attribute bytes change every frame.
+        cmd.tint.x = 0.9f + 0.1f * anim::oscillate(0.0f, 1.0f, 47.0f, frame,
+                                                   a.phase);
+    }
+}
+
+} // namespace workloads
+} // namespace evrsim

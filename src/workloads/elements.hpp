@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Shared scene-construction elements for the benchmark suite.
+ *
+ * The 20 benchmarks of Table III are synthesized from a small vocabulary
+ * of elements — full-screen backgrounds, sprite fields, boards, HUD bars,
+ * terrains, actors — combined with per-benchmark parameters that match
+ * each application's *structure*: WOZ/NWOZ mix, overlap depth,
+ * frame-to-frame redundancy, motion, HUD coverage.
+ */
+#ifndef EVRSIM_WORKLOADS_ELEMENTS_HPP
+#define EVRSIM_WORKLOADS_ELEMENTS_HPP
+
+#include <deque>
+
+#include "driver/workload.hpp"
+#include "scene/animation.hpp"
+#include "scene/camera.hpp"
+
+namespace evrsim {
+namespace workloads {
+
+/** NWOZ render state: painter's-algorithm 2D (no depth test/write). */
+RenderState state2D(FragmentProgram program, int texture = -1,
+                    BlendMode blend = BlendMode::Opaque);
+
+/** WOZ render state: depth-tested and depth-writing opaque 3D. */
+RenderState state3D(FragmentProgram program, int texture = -1,
+                    bool cull = true);
+
+/** Translucent 3D: depth-tested, no depth write, alpha-blended (NWOZ). */
+RenderState state3DTranslucent(FragmentProgram program, int texture = -1);
+
+/**
+ * Base class providing resource ownership, deterministic seeding and
+ * common builders. Subclasses populate meshes/textures in their
+ * constructor and implement frame().
+ */
+class WorkloadBase : public Workload
+{
+  public:
+    WorkloadBase(Info info, int width, int height, std::uint64_t seed);
+
+    Info info() const override { return info_; }
+
+    /** Upload every owned mesh and texture. */
+    void setup(GpuSimulator &sim) override;
+
+    /** Take ownership of a mesh; the pointer stays valid forever. */
+    Mesh *addMesh(Mesh mesh);
+
+    /** Take ownership of a texture; returns its binding slot. */
+    int addTexture(Texture texture);
+
+  protected:
+
+    /** Fresh scene with the 2D pixel camera and all textures bound. */
+    Scene begin2D() const;
+
+    /** Fresh scene with a 3D perspective camera and textures bound. */
+    Scene begin3D(const Vec3 &eye, const Vec3 &at, float fovy_deg) const;
+
+    /** Deterministic stream for element @p id (order-independent). */
+    Rng elementRng(std::uint64_t id) const { return rng_root_.fork(id); }
+
+    float screenW() const { return static_cast<float>(width_); }
+    float screenH() const { return static_cast<float>(height_); }
+
+    Info info_;
+    int width_;
+    int height_;
+
+  private:
+    Rng rng_root_;
+    std::deque<Mesh> meshes_;
+    std::deque<Texture> textures_;
+};
+
+/**
+ * A head-up display: opaque NWOZ bars/widgets drawn last.
+ * Construct once; submit() appends its draw commands to a scene.
+ */
+class Hud
+{
+  public:
+    /**
+     * @param top_px    height of the top bar (0 = none)
+     * @param bottom_px height of the bottom bar (0 = none)
+     * @param widgets   number of small widgets placed on the bars
+     */
+    Hud(WorkloadBase &owner, int width, int height, int top_px,
+        int bottom_px, int widgets, std::uint64_t seed);
+
+    /**
+     * Append the HUD's draw commands.
+     * @param frame      current frame (widgets may pulse deterministically)
+     * @param dynamic    if true, one widget changes tint every frame
+     *                   (a score counter), dirtying its tiles
+     */
+    void submit(Scene &scene, int frame, bool dynamic) const;
+
+    /** Screen fraction covered by the bars. */
+    float coverage() const;
+
+  private:
+    struct Widget {
+        float x, y, w, h;
+        Vec4 tint;
+    };
+
+    const Mesh *quad_;
+    int texture_;
+    int width_, height_, top_px_, bottom_px_;
+    std::vector<Widget> widgets_;
+};
+
+/**
+ * A field of 2D sprites over a full-screen background: the skeleton of
+ * every 2D benchmark. Static sprites are baked into one mesh (a single
+ * draw command, as real engines batch); moving sprites are separate
+ * commands whose transforms animate.
+ */
+class SpriteField
+{
+  public:
+    struct Params {
+        int static_sprites = 120;
+        int moving_sprites = 10;
+        float min_size = 24.0f;
+        float max_size = 64.0f;
+        float speed = 40.0f;     ///< movement amplitude in pixels
+        float period = 90.0f;    ///< frames per movement cycle
+        /** Cluster everything into this central fraction of the screen
+         *  (1 = whole screen; small = concentrated, like `hop`). */
+        float spread = 1.0f;
+        bool translucent_movers = false; ///< movers alpha-blend
+    };
+
+    SpriteField(WorkloadBase &owner, int width, int height,
+                const Params &params, std::uint64_t seed);
+
+    /** Background + static batch + moving sprites, in painter's order. */
+    void submit(Scene &scene, int frame) const;
+
+  private:
+    struct Mover {
+        float base_x, base_y, size, phase, z;
+        Vec4 tint;
+    };
+
+    int width_, height_;
+    Params params_;
+    const Mesh *background_;
+    const Mesh *static_batch_;
+    const Mesh *sprite_quad_;
+    int bg_texture_;
+    int sprite_texture_;
+    std::vector<Mover> movers_;
+};
+
+/**
+ * 3D environment: a displaced terrain, a far backdrop and a scattering
+ * of static props — the screen-covering WOZ geometry of 3D benchmarks,
+ * drawn far-to-near-ish (the overshading-prone order real engines often
+ * produce).
+ */
+class Environment3D
+{
+  public:
+    struct Params {
+        int terrain_res = 24;     ///< terrain grid resolution
+        int props = 16;           ///< static boxes/spheres scattered about
+        float area = 22.0f;       ///< world-units half-extent
+    };
+
+    Environment3D(WorkloadBase &owner, const Params &params,
+                  std::uint64_t seed);
+
+    /** Submit backdrop, terrain and props (WOZ, opaque). */
+    void submit(Scene &scene) const;
+
+  private:
+    const Mesh *backdrop_;
+    const Mesh *terrain_;
+    std::vector<std::pair<const Mesh *, Mat4>> props_;
+    int terrain_texture_;
+};
+
+/**
+ * Animated 3D actors (low-poly characters) orbiting/patrolling the
+ * environment. Each actor is one draw command with an animated model
+ * matrix and a subtly animated tint, so its attribute bytes change
+ * every frame.
+ */
+class ActorGroup3D
+{
+  public:
+    struct Params {
+        int actors = 6;
+        float radius = 8.0f;   ///< patrol radius
+        float period = 180.0f; ///< frames per lap
+        float scale = 2.0f;
+    };
+
+    ActorGroup3D(WorkloadBase &owner, const Params &params,
+                 std::uint64_t seed);
+
+    void submit(Scene &scene, int frame) const;
+
+  private:
+    struct Actor {
+        const Mesh *mesh;
+        float phase, radius, period, scale;
+        Vec3 center;
+    };
+
+    std::vector<Actor> actors_;
+};
+
+} // namespace workloads
+} // namespace evrsim
+
+#endif // EVRSIM_WORKLOADS_ELEMENTS_HPP

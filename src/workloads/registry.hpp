@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The benchmark registry: Table III's twenty applications, mapped onto
+ * the workload families with per-benchmark parameters.
+ */
+#ifndef EVRSIM_WORKLOADS_REGISTRY_HPP
+#define EVRSIM_WORKLOADS_REGISTRY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/workload.hpp"
+
+namespace evrsim {
+namespace workloads {
+
+/** All twenty aliases in Table III order. */
+const std::vector<std::string> &allAliases();
+
+/** The six 3D benchmarks (Figure 8's subject set). */
+const std::vector<std::string> &aliases3D();
+
+/** Table III row for an alias (fatal on unknown alias). */
+Workload::Info infoFor(const std::string &alias);
+
+/**
+ * Instantiate a benchmark for the given render-target size. Pixel-space
+ * parameters scale with the target so workloads look the same at bench
+ * (608x384) and paper (1196x768) resolutions.
+ * @return null for unknown aliases.
+ */
+std::unique_ptr<Workload> make(const std::string &alias, int width,
+                               int height);
+
+/** Factory adapter for the ExperimentRunner. */
+WorkloadFactory factory();
+
+} // namespace workloads
+} // namespace evrsim
+
+#endif // EVRSIM_WORKLOADS_REGISTRY_HPP

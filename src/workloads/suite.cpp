@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Workload family implementations.
+ */
+#include "workloads/suite.hpp"
+
+namespace evrsim {
+namespace workloads {
+
+// -------------------------------------------------------- SpriteGame2D --
+
+SpriteGame2D::SpriteGame2D(Info info, int width, int height,
+                           std::uint64_t seed, const Params &params)
+    : WorkloadBase(std::move(info), width, height, seed),
+      params_(params),
+      field_(*this, width, height, params.field, seed ^ 0x5157)
+{
+    if (params_.hud_top > 0 || params_.hud_bottom > 0) {
+        hud_.emplace(*this, width, height, params_.hud_top,
+                     params_.hud_bottom, params_.hud_widgets, seed ^ 0x4d4d);
+    }
+    if (params_.popup_period > 0) {
+        popup_panel_ = addMesh(meshes::quad({0.85f, 0.82f, 0.75f, 1.0f}));
+        popup_texture_ = addTexture(Texture(TextureKind::Gradient, 64,
+                                            {0.9f, 0.88f, 0.8f, 1.0f},
+                                            {0.7f, 0.66f, 0.6f, 1.0f},
+                                            seed ^ 0x9999));
+        // Buttons baked into one mesh laid out in unit-popup space.
+        Mesh content;
+        Rng rng = elementRng(0xb7770);
+        for (int i = 0; i < 4; ++i) {
+            Mesh b = meshes::quad({rng.nextFloat(0.3f, 0.9f),
+                                   rng.nextFloat(0.3f, 0.9f),
+                                   rng.nextFloat(0.3f, 0.9f), 1.0f});
+            for (auto &v : b.vertices) {
+                v.position.x = v.position.x * 0.7f;
+                v.position.y = v.position.y * 0.16f - 0.33f + i * 0.22f;
+            }
+            content.append(b);
+        }
+        popup_content_ = addMesh(std::move(content));
+    }
+}
+
+bool
+SpriteGame2D::popupVisible(int frame) const
+{
+    // The popup is up two thirds of the time (menus/shops stay open for
+    // a while): one period closed, two periods open.
+    return params_.popup_period > 0 &&
+           (frame / params_.popup_period) % 3 != 0;
+}
+
+Scene
+SpriteGame2D::frame(int index)
+{
+    Scene scene = begin2D();
+    field_.submit(scene, index);
+
+    if (popupVisible(index)) {
+        // A modal menu covering the centre of the screen: the sprites
+        // underneath keep animating but are fully occluded.
+        float pw = screenW() * params_.popup_coverage;
+        float ph = screenH() * params_.popup_coverage;
+        Mat4 at = anim::spriteAt(screenW() * 0.5f, screenH() * 0.5f, pw, ph,
+                                 0.1f);
+        scene.submit(popup_panel_, at,
+                     state2D(FragmentProgram::Textured, popup_texture_));
+        scene.submit(popup_content_, at, state2D(FragmentProgram::Flat));
+    }
+
+    if (hud_)
+        hud_->submit(scene, index, params_.dynamic_hud);
+    return scene;
+}
+
+// --------------------------------------------------------- BoardGame2D --
+
+BoardGame2D::BoardGame2D(Info info, int width, int height,
+                         std::uint64_t seed, const Params &params)
+    : WorkloadBase(std::move(info), width, height, seed), params_(params)
+{
+    bg_texture_ = addTexture(Texture(TextureKind::Gradient, 128,
+                                     {0.15f, 0.10f, 0.25f, 1.0f},
+                                     {0.30f, 0.15f, 0.35f, 1.0f},
+                                     seed ^ 0xb6));
+    cell_texture_ = addTexture(Texture(TextureKind::Checker, 32,
+                                       {0.95f, 0.9f, 0.85f, 1.0f},
+                                       {0.8f, 0.75f, 0.65f, 1.0f},
+                                       seed ^ 0xce11, 2));
+    background_ = addMesh(meshes::quad({1, 1, 1, 1}));
+    cell_quad_ = addMesh(meshes::quad({1, 1, 1, 1}));
+
+    // Lay the board out in the central area between the HUD bars.
+    Rng rng = elementRng(0xb0a2d);
+    float top = static_cast<float>(params_.hud_top);
+    float usable_h = height - top - params_.hud_bottom;
+    float cell = std::min(static_cast<float>(width) / (params_.cols + 1),
+                          usable_h / (params_.rows + 1));
+    float x0 = (width - cell * params_.cols) * 0.5f + cell * 0.5f;
+    float y0 = top + (usable_h - cell * params_.rows) * 0.5f + cell * 0.5f;
+
+    for (int r = 0; r < params_.rows; ++r) {
+        for (int c = 0; c < params_.cols; ++c) {
+            Cell cl;
+            cl.x = x0 + c * cell;
+            cl.y = y0 + r * cell;
+            cl.size = cell * 0.92f;
+            cl.tint = {rng.nextFloat(0.4f, 1.0f), rng.nextFloat(0.4f, 1.0f),
+                       rng.nextFloat(0.4f, 1.0f), 1.0f};
+            cells_.push_back(cl);
+        }
+    }
+
+    if (params_.hud_top > 0 || params_.hud_bottom > 0) {
+        hud_.emplace(*this, width, height, params_.hud_top,
+                     params_.hud_bottom, params_.hud_widgets, seed ^ 0x4d4e);
+    }
+}
+
+Scene
+BoardGame2D::frame(int index)
+{
+    Scene scene = begin2D();
+
+    scene.submit(background_,
+                 anim::spriteAt(screenW() * 0.5f, screenH() * 0.5f,
+                                screenW(), screenH(), 0.9f),
+                 state2D(FragmentProgram::Textured, bg_texture_));
+
+    // Exactly one cell animates at any time (a "match" pulse); all other
+    // cells are bit-identical frame to frame.
+    std::size_t active =
+        cells_.empty() ? 0
+                       : static_cast<std::size_t>(index / params_.anim_period) %
+                             cells_.size();
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        const Cell &cl = cells_[i];
+        float size = cl.size;
+        Vec4 tint = cl.tint;
+        if (i == active) {
+            size *= 0.8f + 0.2f * anim::pingPong(0.0f, 1.0f, 8.0f, index);
+            tint.x = anim::pingPong(0.3f, 1.0f, 6.0f, index);
+        }
+        DrawCommand &cmd = scene.submit(
+            cell_quad_, anim::spriteAt(cl.x, cl.y, size, size, 0.5f),
+            state2D(FragmentProgram::TexturedTint, cell_texture_));
+        cmd.tint = tint;
+    }
+
+    if (hud_)
+        hud_->submit(scene, index, params_.dynamic_hud);
+    return scene;
+}
+
+// ------------------------------------------------------ StrategyGame2D --
+
+StrategyGame2D::StrategyGame2D(Info info, int width, int height,
+                               std::uint64_t seed, const Params &params)
+    : WorkloadBase(std::move(info), width, height, seed), params_(params)
+{
+    map_texture_ = addTexture(Texture(TextureKind::Noise, 256,
+                                      {0.18f, 0.30f, 0.12f, 1.0f},
+                                      {0.35f, 0.30f, 0.20f, 1.0f},
+                                      seed ^ 0x3a9, 48));
+    unit_texture_ = addTexture(Texture(TextureKind::Checker, 32,
+                                       {0.85f, 0.85f, 0.9f, 1.0f},
+                                       {0.3f, 0.3f, 0.4f, 1.0f},
+                                       seed ^ 0x111, 2));
+    map_ = addMesh(meshes::quad({1, 1, 1, 1}));
+    unit_quad_ = addMesh(meshes::quad({1, 1, 1, 1}));
+    panel_ = addMesh(meshes::quad({0.2f, 0.2f, 0.24f, 1.0f}));
+    popup_panel_ = addMesh(meshes::quad({0.9f, 0.87f, 0.8f, 1.0f}));
+
+    // Static decorations (trees/houses) baked into one batch.
+    Rng rng = elementRng(0xdec0);
+    Mesh decor;
+    for (int i = 0; i < 40; ++i) {
+        Mesh d = meshes::quad({rng.nextFloat(0.2f, 0.7f),
+                               rng.nextFloat(0.3f, 0.8f),
+                               rng.nextFloat(0.2f, 0.5f), 1.0f});
+        float s = rng.nextFloat(14.0f, 40.0f);
+        float x = rng.nextFloat(0.0f, width - params_.panel_px);
+        float y = rng.nextFloat(static_cast<float>(params_.hud_top),
+                                static_cast<float>(height));
+        for (auto &v : d.vertices) {
+            v.position.x = v.position.x * s + x;
+            v.position.y = v.position.y * s + y;
+            v.position.z = 0.6f;
+        }
+        decor.append(d);
+    }
+    decor_batch_ = addMesh(std::move(decor));
+
+    int total = params_.idle_units + params_.marching_units;
+    for (int i = 0; i < total; ++i) {
+        Unit u;
+        u.marching = i >= params_.idle_units;
+        u.x = rng.nextFloat(params_.unit_size,
+                            width - params_.panel_px - params_.unit_size);
+        u.y = rng.nextFloat(params_.hud_top + params_.unit_size,
+                            height - params_.unit_size);
+        u.phase = rng.nextFloat(0.0f, 6.28f);
+        u.radius = params_.march_radius * rng.nextFloat(0.5f, 1.0f);
+        u.period = params_.march_period * rng.nextFloat(0.8f, 1.3f);
+        u.tint = {rng.nextFloat(0.4f, 1.0f), rng.nextFloat(0.4f, 1.0f),
+                  rng.nextFloat(0.4f, 1.0f), 1.0f};
+        units_.push_back(u);
+    }
+
+    if (params_.hud_top > 0 || params_.hud_bottom > 0) {
+        hud_.emplace(*this, width, height, params_.hud_top,
+                     params_.hud_bottom, 3, seed ^ 0x4d4f);
+    }
+}
+
+Scene
+StrategyGame2D::frame(int index)
+{
+    Scene scene = begin2D();
+
+    scene.submit(map_,
+                 anim::spriteAt(screenW() * 0.5f, screenH() * 0.5f,
+                                screenW(), screenH(), 0.9f),
+                 state2D(FragmentProgram::Textured, map_texture_));
+    scene.submit(decor_batch_, Mat4::identity(),
+                 state2D(FragmentProgram::Flat));
+
+    for (const Unit &u : units_) {
+        float x = u.x, y = u.y;
+        if (u.marching) {
+            Vec3 p = anim::orbitXZ({u.x, 0.0f, u.y}, u.radius, u.period,
+                                   index, u.phase);
+            x = p.x;
+            y = p.z;
+        }
+        DrawCommand &cmd = scene.submit(
+            unit_quad_,
+            anim::spriteAt(x, y, params_.unit_size, params_.unit_size, 0.5f),
+            state2D(FragmentProgram::TexturedTint, unit_texture_));
+        cmd.tint = u.tint;
+    }
+
+    if (params_.panel_px > 0) {
+        scene.submit(panel_,
+                     anim::spriteAt(screenW() - params_.panel_px * 0.5f,
+                                    screenH() * 0.5f,
+                                    static_cast<float>(params_.panel_px),
+                                    screenH(), 0.1f),
+                     state2D(FragmentProgram::Flat));
+    }
+
+    bool popup = params_.popup_period > 0 &&
+                 (index / params_.popup_period) % 3 != 0;
+    if (popup) {
+        float pw = screenW() * params_.popup_coverage;
+        float ph = screenH() * params_.popup_coverage;
+        scene.submit(popup_panel_,
+                     anim::spriteAt(screenW() * 0.45f, screenH() * 0.5f, pw,
+                                    ph, 0.05f),
+                     state2D(FragmentProgram::Flat));
+    }
+
+    if (hud_)
+        hud_->submit(scene, index, params_.dynamic_hud);
+    return scene;
+}
+
+// ------------------------------------------------------------ Action3D --
+
+Action3D::Action3D(Info info, int width, int height, std::uint64_t seed,
+                   const Params &params)
+    : WorkloadBase(std::move(info), width, height, seed),
+      params_(params),
+      env_(*this, params.env, seed ^ 0xe4711),
+      actors_(*this, params.actors, seed ^ 0xac708)
+{
+    if (params_.hud_top > 0 || params_.hud_bottom > 0) {
+        hud_.emplace(*this, width, height, params_.hud_top,
+                     params_.hud_bottom, params_.hud_widgets, seed ^ 0x4d50);
+    }
+    if (params_.weapon)
+        weapon_mesh_ = addMesh(meshes::box({0.35f, 0.32f, 0.3f, 1.0f}));
+    if (params_.particles > 0) {
+        particle_quad_ = addMesh(meshes::quad({1.0f, 0.8f, 0.3f, 0.45f}));
+        Rng rng = elementRng(0x9a27);
+        for (int i = 0; i < params_.particles; ++i)
+            particle_phase_.push_back(rng.nextFloat(0.0f, 6.28f));
+    }
+}
+
+Scene
+Action3D::frame(int index)
+{
+    // Camera with a subtle bob/sway: every world-space primitive's screen
+    // attributes change each frame, so the 3D region never matches for
+    // plain RE.
+    float bob = anim::oscillate(0.0f, params_.cam_bob, 37.0f, index);
+    float sway = anim::oscillate(0.0f, params_.cam_bob * 0.6f, 53.0f, index);
+    Vec3 eye = {sway, params_.cam_height + bob, params_.cam_distance};
+    Vec3 at = {0.0f, 1.5f, 0.0f};
+    Scene scene = begin3D(eye, at, 55.0f);
+
+    env_.submit(scene);
+    actors_.submit(scene, index);
+
+    if (weapon_mesh_) {
+        // First-person weapon: a large prop locked to the camera,
+        // covering the lower-right of the screen and very close to the
+        // near plane — a strong occluder with a tiny Z_near.
+        float kick = anim::oscillate(0.0f, 0.02f, 23.0f, index);
+        Mat4 xf = Mat4::translate({eye.x + 0.55f, eye.y - 0.55f + kick,
+                                   eye.z - 1.1f}) *
+                  Mat4::rotateY(0.25f) * Mat4::scale({0.8f, 0.5f, 1.8f});
+        scene.submit(weapon_mesh_, xf, state3D(FragmentProgram::Flat));
+    }
+
+    for (std::size_t i = 0; i < particle_phase_.size(); ++i) {
+        // Translucent embers drifting above the arena (back-to-front
+        // enough for our purposes: they do not overlap each other).
+        float ph = particle_phase_[i];
+        Vec3 p = anim::orbitXZ({0.0f, 0.0f, 0.0f}, 6.0f + (i % 5),
+                               240.0f + 10.0f * (i % 7), index, ph);
+        p.y = 2.0f + anim::oscillate(1.0f, 1.0f, 90.0f, index, ph);
+        Mat4 xf = Mat4::translate(p) * Mat4::scale({0.8f, 0.8f, 1.0f});
+        scene.submit(particle_quad_, xf,
+                     state3DTranslucent(FragmentProgram::Flat));
+    }
+
+    if (hud_)
+        hud_->submit(scene, index, params_.dynamic_hud);
+    return scene;
+}
+
+// ------------------------------------------------------------ Arcade3D --
+
+Arcade3D::Arcade3D(Info info, int width, int height, std::uint64_t seed,
+                   const Params &params)
+    : WorkloadBase(std::move(info), width, height, seed),
+      params_(params),
+      env_(*this, params.env, seed ^ 0xa5c4)
+{
+    Rng rng = elementRng(0x0b7ec);
+    for (int i = 0; i < params_.objects; ++i) {
+        Object o;
+        Vec4 tint = {rng.nextFloat(0.4f, 1.0f), rng.nextFloat(0.4f, 1.0f),
+                     rng.nextFloat(0.4f, 1.0f), 1.0f};
+        o.mesh = rng.nextBool() ? addMesh(meshes::sphere(8, 10, tint))
+                                : addMesh(meshes::box(tint));
+        o.phase = rng.nextFloat(0.0f, 6.28f);
+        o.radius = params_.orbit_radius * rng.nextFloat(0.5f, 1.2f);
+        o.period = params_.orbit_period * rng.nextFloat(0.8f, 1.3f);
+        o.scale = params_.object_scale * rng.nextFloat(0.7f, 1.4f);
+        o.height = rng.nextFloat(1.0f, 6.0f);
+        objects_.push_back(o);
+    }
+
+    if (params_.hud_top > 0 || params_.hud_bottom > 0) {
+        hud_.emplace(*this, width, height, params_.hud_top,
+                     params_.hud_bottom, params_.hud_widgets, seed ^ 0x4d51);
+    }
+    if (params_.particles > 0)
+        particle_quad_ = addMesh(meshes::quad({0.9f, 0.95f, 1.0f, 0.35f}));
+}
+
+Scene
+Arcade3D::frame(int index)
+{
+    Vec3 eye = {0.0f, params_.cam_height, params_.cam_distance};
+    if (params_.cam_orbit_period > 0.0f) {
+        eye = anim::orbitXZ({0.0f, params_.cam_height, 0.0f},
+                            params_.cam_distance, params_.cam_orbit_period,
+                            index);
+    }
+    Scene scene = begin3D(eye, {0.0f, 2.0f, 0.0f}, 60.0f);
+
+    env_.submit(scene);
+
+    for (const Object &o : objects_) {
+        Vec3 p = anim::orbitXZ({0.0f, o.height, 0.0f}, o.radius, o.period,
+                               index, o.phase);
+        float spin = anim::spin(o.period * 0.45f, index, o.phase);
+        scene.submit(o.mesh,
+                     Mat4::translate(p) * Mat4::rotateY(spin) *
+                         Mat4::scale({o.scale, o.scale, o.scale}),
+                     state3D(FragmentProgram::Flat));
+    }
+
+    if (particle_quad_) {
+        for (int i = 0; i < params_.particles; ++i) {
+            Vec3 p = anim::orbitXZ({0.0f, 0.0f, 0.0f}, 4.0f + i,
+                                   200.0f + 12.0f * i, index,
+                                   static_cast<float>(i));
+            p.y = 3.0f + anim::oscillate(0.0f, 2.0f, 70.0f, index,
+                                         static_cast<float>(i));
+            scene.submit(particle_quad_,
+                         Mat4::translate(p) * Mat4::scale({1.2f, 1.2f, 1.0f}),
+                         state3DTranslucent(FragmentProgram::Flat));
+        }
+    }
+
+    if (hud_)
+        hud_->submit(scene, index, params_.dynamic_hud);
+    return scene;
+}
+
+} // namespace workloads
+} // namespace evrsim

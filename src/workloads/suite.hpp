@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The five workload families that synthesize the 20 benchmarks of
+ * Table III. Each family reproduces the pipeline-relevant *structure* of
+ * its genre; the registry instantiates them with per-benchmark
+ * parameters (see registry.cpp for the full mapping and rationale).
+ */
+#ifndef EVRSIM_WORKLOADS_SUITE_HPP
+#define EVRSIM_WORKLOADS_SUITE_HPP
+
+#include <optional>
+
+#include "workloads/elements.hpp"
+
+namespace evrsim {
+namespace workloads {
+
+/**
+ * Casual 2D sprite game (abi, ctr, wmw, dpe, wog, mto, hop): full-screen
+ * background, a batched static sprite layer, a handful of animated
+ * sprites, optional HUD, and an optional periodic full/partial-screen
+ * popup menu under which the animation keeps running — the scenario
+ * where EVR's layer-based prediction beats plain RE.
+ */
+class SpriteGame2D : public WorkloadBase
+{
+  public:
+    struct Params {
+        SpriteField::Params field;
+        /** Popup toggles every this many frames (0 = never). */
+        int popup_period = 0;
+        /** Popup size as a fraction of the screen. */
+        float popup_coverage = 0.55f;
+        int hud_top = 0;
+        int hud_bottom = 0;
+        int hud_widgets = 0;
+        bool dynamic_hud = false;
+    };
+
+    SpriteGame2D(Info info, int width, int height, std::uint64_t seed,
+                 const Params &params);
+
+    Scene frame(int index) override;
+
+  private:
+    bool popupVisible(int frame) const;
+
+    Params params_;
+    SpriteField field_;
+    std::optional<Hud> hud_;
+    const Mesh *popup_panel_ = nullptr;
+    const Mesh *popup_content_ = nullptr;
+    int popup_texture_ = -1;
+};
+
+/**
+ * 2D board/puzzle game (ccs, cde): static chrome and a grid of cells of
+ * which only one animates at a time — extremely high frame-to-frame
+ * redundancy, the RE sweet spot.
+ */
+class BoardGame2D : public WorkloadBase
+{
+  public:
+    struct Params {
+        int cols = 8;
+        int rows = 8;
+        /** Frames each cell animation lasts. */
+        int anim_period = 24;
+        int hud_top = 0;
+        int hud_bottom = 0;
+        int hud_widgets = 4;
+        bool dynamic_hud = false;
+    };
+
+    BoardGame2D(Info info, int width, int height, std::uint64_t seed,
+                const Params &params);
+
+    Scene frame(int index) override;
+
+  private:
+    struct Cell {
+        float x, y, size;
+        Vec4 tint;
+    };
+
+    Params params_;
+    const Mesh *background_ = nullptr;
+    const Mesh *cell_quad_ = nullptr;
+    int bg_texture_ = -1;
+    int cell_texture_ = -1;
+    std::vector<Cell> cells_;
+    std::optional<Hud> hud_;
+};
+
+/**
+ * 2D strategy/simulation (arm, ale, coc, red, hay): a large static map,
+ * many unit sprites of which a fraction patrol along loops, side panels,
+ * and (hay) periodic popup menus over the animated farm.
+ */
+class StrategyGame2D : public WorkloadBase
+{
+  public:
+    struct Params {
+        int idle_units = 60;
+        int marching_units = 14;
+        float unit_size = 26.0f;
+        float march_radius = 60.0f;
+        float march_period = 150.0f;
+        int panel_px = 0;        ///< right-hand side panel width
+        int popup_period = 0;    ///< as in SpriteGame2D
+        float popup_coverage = 0.5f;
+        int hud_top = 0;
+        int hud_bottom = 0;
+        bool dynamic_hud = false;
+    };
+
+    StrategyGame2D(Info info, int width, int height, std::uint64_t seed,
+                   const Params &params);
+
+    Scene frame(int index) override;
+
+  private:
+    struct Unit {
+        float x, y, phase, radius, period;
+        Vec4 tint;
+        bool marching;
+    };
+
+    Params params_;
+    const Mesh *map_ = nullptr;
+    const Mesh *decor_batch_ = nullptr;
+    const Mesh *unit_quad_ = nullptr;
+    const Mesh *panel_ = nullptr;
+    const Mesh *popup_panel_ = nullptr;
+    int map_texture_ = -1;
+    int unit_texture_ = -1;
+    std::vector<Unit> units_;
+    std::optional<Hud> hud_;
+};
+
+/**
+ * 3D action game (300, mst): full 3D environment, animated fighters, an
+ * optional first-person weapon filling part of the screen, translucent
+ * particles, camera bob (so the 3D region never matches frame-to-frame)
+ * and a large HUD — under which moving geometry hides, the tiles EVR
+ * reclaims on these benchmarks.
+ */
+class Action3D : public WorkloadBase
+{
+  public:
+    struct Params {
+        Environment3D::Params env;
+        ActorGroup3D::Params actors;
+        /** Camera bob amplitude in world units (0 = static camera). */
+        float cam_bob = 0.15f;
+        float cam_height = 6.0f;
+        float cam_distance = 16.0f;
+        /** First-person weapon quad covering the lower-right area. */
+        bool weapon = false;
+        int particles = 0;
+        int hud_top = 0;
+        int hud_bottom = 0;
+        int hud_widgets = 4;
+        bool dynamic_hud = true;
+    };
+
+    Action3D(Info info, int width, int height, std::uint64_t seed,
+             const Params &params);
+
+    Scene frame(int index) override;
+
+  private:
+    Params params_;
+    Environment3D env_;
+    ActorGroup3D actors_;
+    std::optional<Hud> hud_;
+    const Mesh *weapon_mesh_ = nullptr;
+    const Mesh *particle_quad_ = nullptr;
+    std::vector<float> particle_phase_;
+};
+
+/**
+ * 3D arcade/platform game (ata, csn, ter, tib): environment + moving
+ * vehicles/objects, optionally a slowly travelling camera (ter), a small
+ * HUD, and translucent effects.
+ */
+class Arcade3D : public WorkloadBase
+{
+  public:
+    struct Params {
+        Environment3D::Params env;
+        int objects = 8;          ///< orbiting spheres/boxes
+        float object_scale = 1.5f;
+        float orbit_radius = 10.0f;
+        float orbit_period = 160.0f;
+        /** Camera orbits the scene with this period (0 = fixed). */
+        float cam_orbit_period = 0.0f;
+        float cam_height = 8.0f;
+        float cam_distance = 20.0f;
+        int particles = 0;
+        int hud_top = 0;
+        int hud_bottom = 0;
+        int hud_widgets = 2;
+        bool dynamic_hud = false;
+    };
+
+    Arcade3D(Info info, int width, int height, std::uint64_t seed,
+             const Params &params);
+
+    Scene frame(int index) override;
+
+  private:
+    struct Object {
+        const Mesh *mesh;
+        float phase, radius, period, scale, height;
+    };
+
+    Params params_;
+    Environment3D env_;
+    std::vector<Object> objects_;
+    std::optional<Hud> hud_;
+    const Mesh *particle_quad_ = nullptr;
+};
+
+} // namespace workloads
+} // namespace evrsim
+
+#endif // EVRSIM_WORKLOADS_SUITE_HPP

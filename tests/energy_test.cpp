@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the energy model: zero-event baselines, linearity in
+ * event counts, the Figure 6 overhead grouping, and leakage gating.
+ */
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+
+using namespace evrsim;
+
+namespace {
+
+EnergyEvents
+emptyEvents()
+{
+    return EnergyEvents{};
+}
+
+} // namespace
+
+TEST(Energy, NoEventsNoEnergy)
+{
+    EnergyModel model;
+    EnergyBreakdown e = model.compute(emptyEvents());
+    EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+TEST(Energy, StaticEnergyScalesWithCycles)
+{
+    EnergyModel model;
+    EnergyEvents ev = emptyEvents();
+    ev.cycles = 400; // 1 us at 400 MHz... scaled below
+    double one = model.compute(ev).static_nj;
+    ev.cycles = 800;
+    double two = model.compute(ev).static_nj;
+    EXPECT_GT(one, 0.0);
+    EXPECT_DOUBLE_EQ(two, 2.0 * one);
+}
+
+TEST(Energy, StaticPowerValue)
+{
+    EnergyParams p;
+    p.static_power_mw = 100.0;
+    p.clock_mhz = 400.0;
+    EnergyModel model(p);
+    EnergyEvents ev = emptyEvents();
+    ev.cycles = 400'000'000; // exactly one second
+    // 100 mW for 1 s = 0.1 J = 1e8 nJ.
+    EXPECT_NEAR(model.compute(ev).static_nj, 1e8, 1.0);
+}
+
+TEST(Energy, DramEnergyProportionalToBytes)
+{
+    EnergyParams p;
+    p.dram_pj_per_byte = 100.0;
+    EnergyModel model(p);
+    EnergyEvents ev = emptyEvents();
+    ev.mem.dram.read_bytes[0] = 1000;
+    EXPECT_NEAR(model.compute(ev).dram_nj, 100.0, 1e-9);
+    ev.mem.dram.write_bytes[2] = 1000;
+    EXPECT_NEAR(model.compute(ev).dram_nj, 200.0, 1e-9);
+}
+
+TEST(Energy, DatapathCountsShaderInstructions)
+{
+    EnergyParams p;
+    p.shader_instr_pj = 10.0;
+    EnergyModel model(p);
+    EnergyEvents ev = emptyEvents();
+    ev.fragment_shader_instrs = 100;
+    ev.vertex_shader_instrs = 50;
+    EXPECT_NEAR(model.compute(ev).datapath_nj, 1.5, 1e-9);
+}
+
+TEST(Energy, OverheadGroupsAreSeparatedFromBaseline)
+{
+    EnergyModel model;
+    EnergyEvents ev = emptyEvents();
+    ev.lgt_accesses = 1000;
+    ev.fvp_table_accesses = 1000;
+    ev.layer_buffer_accesses = 1000;
+    ev.signature_buffer_accesses = 1000;
+    ev.signature_bytes_hashed = 10000;
+    ev.layer_param_bytes = 5000;
+
+    EnergyBreakdown e = model.compute(ev);
+    EXPECT_GT(e.evr_hardware_nj, 0.0);
+    EXPECT_GT(e.re_hardware_nj, 0.0);
+    EXPECT_GT(e.layer_writes_nj, 0.0);
+    EXPECT_DOUBLE_EQ(e.baselineComponents(), 0.0);
+    EXPECT_DOUBLE_EQ(e.total(), e.evr_hardware_nj + e.re_hardware_nj +
+                                    e.layer_writes_nj);
+}
+
+TEST(Energy, HardwarePresenceAddsLeakage)
+{
+    EnergyModel model;
+    EnergyEvents ev = emptyEvents();
+    ev.cycles = 1'000'000;
+    double base = model.compute(ev).static_nj;
+
+    ev.re_hardware_present = true;
+    double with_re = model.compute(ev).static_nj;
+    EXPECT_GT(with_re, base);
+
+    ev.evr_hardware_present = true;
+    double with_evr = model.compute(ev).static_nj;
+    EXPECT_GT(with_evr, with_re);
+}
+
+TEST(Energy, CacheEnergyUsesPerLevelAccessCounts)
+{
+    EnergyParams p;
+    p.vertex_cache_pj = 1.0;
+    p.l2_cache_pj = 10.0;
+    p.texture_cache_pj = 0.0;
+    p.tile_cache_pj = 0.0;
+    EnergyModel model(p);
+    EnergyEvents ev = emptyEvents();
+    ev.mem.vertex_cache.reads = 100;
+    ev.mem.l2_cache.reads = 10;
+    // 100 * 1 pJ + 10 * 10 pJ = 200 pJ = 0.2 nJ.
+    EXPECT_NEAR(model.compute(ev).caches_nj, 0.2, 1e-9);
+}
+
+/** Linearity sweep: doubling all events doubles dynamic energy. */
+class EnergyLinearity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EnergyLinearity, DynamicEnergyIsLinear)
+{
+    int k = GetParam();
+    EnergyModel model;
+
+    auto events_for = [&](std::uint64_t scale) {
+        EnergyEvents ev = emptyEvents();
+        ev.fragment_shader_instrs = 100 * scale * k;
+        ev.raster_quads = 40 * scale * k;
+        ev.depth_tests = 70 * scale * k;
+        ev.blend_ops = 30 * scale * k;
+        ev.color_buffer_accesses = 30 * scale * k;
+        ev.mem.dram.read_bytes[0] = 512 * scale * k;
+        ev.lgt_accesses = 9 * scale * k;
+        return ev;
+    };
+
+    double one = model.compute(events_for(1)).total();
+    double two = model.compute(events_for(2)).total();
+    EXPECT_NEAR(two, 2.0 * one, 1e-9 * (1.0 + two));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, EnergyLinearity, ::testing::Values(1, 3, 17));

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Unit tests for the Geometry Pipeline: vertex fetch/shade accounting,
+ * near-plane clipping, backface culling, viewport rejection, binning
+ * into display lists, Parameter Buffer layout and signature CRC inputs.
+ */
+#include <gtest/gtest.h>
+
+#include "gpu/geometry_pipeline.hpp"
+#include "support.hpp"
+
+using namespace evrsim;
+using namespace evrsim::test;
+
+namespace {
+
+/** Run the geometry pipeline over a scene; returns the stats. */
+FrameStats
+runGeometry(const GpuConfig &gpu, MemorySystem &mem, const Scene &scene,
+            ParameterBuffer &pb, const GeometryHooks &hooks = {})
+{
+    FrameStats stats;
+    pb.beginFrame(gpu.tileCount(), mem.addressSpace());
+    GeometryPipeline geom(gpu, mem);
+    geom.run(scene, pb, hooks, stats);
+    return stats;
+}
+
+/** Fixture owning a small GPU and a quad mesh ready to draw. */
+class GeometryTest : public ::testing::Test
+{
+  protected:
+    GeometryTest() : gpu(tinyGpu()), mem(gpu.mem)
+    {
+        quad = meshes::quad({1, 1, 1, 1});
+        quad.buffer_base = mem.addressSpace().allocVertex(
+            quad.vertices.size() * kVertexBytes);
+        scene2d();
+    }
+
+    void
+    scene2d()
+    {
+        scene = Scene{};
+        setCamera2D(scene, gpu.screen_width, gpu.screen_height);
+    }
+
+    void
+    scene3d()
+    {
+        scene = Scene{};
+        setCamera3D(scene, {0, 0, 5}, {0, 0, 0}, 60.0f,
+                    static_cast<float>(gpu.screen_width) /
+                        gpu.screen_height);
+    }
+
+    GpuConfig gpu;
+    MemorySystem mem;
+    Mesh quad;
+    Scene scene;
+    ParameterBuffer pb;
+};
+
+} // namespace
+
+TEST_F(GeometryTest, QuadProducesTwoBinnedPrims)
+{
+    submitRect(scene, &quad, 4, 4, 8, 8, 0.5f, RenderState{});
+    FrameStats s = runGeometry(gpu, mem, scene, pb);
+    EXPECT_EQ(s.prims_submitted, 2u);
+    EXPECT_EQ(s.prims_binned, 2u);
+    EXPECT_EQ(s.draw_commands, 1u);
+    EXPECT_EQ(pb.prims().size(), 2u);
+    // The 8x8 quad at (4,4) falls entirely inside tile (0,0).
+    EXPECT_EQ(s.bin_tile_pairs, 2u);
+    EXPECT_EQ(pb.firstList(0).size(), 2u);
+}
+
+TEST_F(GeometryTest, QuadSpanningTilesBinnedToEach)
+{
+    // 64x48 screen with 16px tiles = 4x3 tiles. A quad covering the top
+    // two tile rows spans 8 tiles; each tile holds at least one of the
+    // quad's two triangles (both only where the diagonal crosses it —
+    // the binner is exact, not bbox-based).
+    submitRect(scene, &quad, 0, 0, 64, 32, 0.5f, RenderState{});
+    FrameStats s = runGeometry(gpu, mem, scene, pb);
+    EXPECT_GE(s.bin_tile_pairs, 8u);
+    EXPECT_LE(s.bin_tile_pairs, 16u);
+    for (int tile = 0; tile < 8; ++tile)
+        EXPECT_GE(pb.firstList(tile).size(), 1u) << "tile " << tile;
+    for (int tile = 8; tile < 12; ++tile)
+        EXPECT_TRUE(pb.firstList(tile).empty()) << "tile " << tile;
+}
+
+TEST_F(GeometryTest, DiagonalTriangleNotBinnedToUntouchedCorner)
+{
+    // A triangle covering the upper-left half of the screen must not be
+    // binned into the bottom-right corner tile even though its bounding
+    // box covers the whole screen.
+    Mesh tri;
+    tri.vertices = {
+        {{0, 0, 0.5f}, {1, 1, 1, 1}, {0, 0}},
+        {{64, 0, 0.5f}, {1, 1, 1, 1}, {1, 0}},
+        {{0, 48, 0.5f}, {1, 1, 1, 1}, {0, 1}},
+    };
+    tri.indices = {0, 1, 2};
+    tri.buffer_base = mem.addressSpace().allocVertex(3 * kVertexBytes);
+
+    scene.submit(&tri, Mat4::identity(), RenderState{});
+    FrameStats s = runGeometry(gpu, mem, scene, pb);
+    EXPECT_EQ(s.prims_binned, 1u);
+    // Bottom-right tile (3, 2) = index 11 must be empty.
+    EXPECT_TRUE(pb.firstList(11).empty());
+    // Top-left tile must have it.
+    EXPECT_EQ(pb.firstList(0).size(), 1u);
+}
+
+TEST_F(GeometryTest, OffscreenPrimitiveRejected)
+{
+    submitRect(scene, &quad, 200, 200, 8, 8, 0.5f, RenderState{});
+    FrameStats s = runGeometry(gpu, mem, scene, pb);
+    EXPECT_EQ(s.prims_binned, 0u);
+    EXPECT_EQ(s.prims_clipped_away, 2u);
+}
+
+TEST_F(GeometryTest, VertexFetchUsesPostTransformCache)
+{
+    // A quad has 4 unique vertices referenced by 6 indices: the
+    // post-transform cache must limit shading to 4.
+    submitRect(scene, &quad, 4, 4, 8, 8, 0.5f, RenderState{});
+    FrameStats s = runGeometry(gpu, mem, scene, pb);
+    EXPECT_EQ(s.vertices_shaded, 4u);
+    EXPECT_EQ(s.vertices_fetched, 4u);
+}
+
+TEST_F(GeometryTest, BackfaceCullingDropsAwayFacingTriangles)
+{
+    scene3d();
+    RenderState cull;
+    cull.cull_backface = true;
+    Mesh box = meshes::box({1, 1, 1, 1});
+    box.buffer_base =
+        mem.addressSpace().allocVertex(box.vertices.size() * kVertexBytes);
+    scene.submit(&box, Mat4::identity(), cull);
+    FrameStats s = runGeometry(gpu, mem, scene, pb);
+    EXPECT_EQ(s.prims_submitted, 12u);
+    // The camera at (0,0,5) looking at the origin sees at most 3 faces
+    // of a cube, so at least 3 faces (6 triangles) must be culled.
+    EXPECT_GE(s.prims_backface_culled, 6u);
+    EXPECT_GT(s.prims_binned, 0u);
+}
+
+TEST_F(GeometryTest, CullingDisabledKeepsAllFaces)
+{
+    scene3d();
+    Mesh box = meshes::box({1, 1, 1, 1});
+    box.buffer_base =
+        mem.addressSpace().allocVertex(box.vertices.size() * kVertexBytes);
+    RenderState no_cull;
+    no_cull.cull_backface = false;
+    scene.submit(&box, Mat4::identity(), no_cull);
+    FrameStats s = runGeometry(gpu, mem, scene, pb);
+    EXPECT_EQ(s.prims_backface_culled, 0u);
+}
+
+TEST_F(GeometryTest, NearPlaneClipSplitsCrossingTriangles)
+{
+    scene3d();
+    // A long quad passing through the camera: part in front of the near
+    // plane, part behind it.
+    RenderState rs;
+    scene.submit(&quad,
+                 Mat4::rotateX(1.5708f) * Mat4::scale({4.0f, 40.0f, 1.0f}),
+                 rs);
+    FrameStats s = runGeometry(gpu, mem, scene, pb);
+    EXPECT_GT(s.prims_clip_split, 0u);
+    EXPECT_GT(s.prims_binned, 0u);
+}
+
+TEST_F(GeometryTest, FullyBehindCameraRejected)
+{
+    scene3d();
+    scene.submit(&quad, Mat4::translate({0, 0, 20.0f}), RenderState{});
+    FrameStats s = runGeometry(gpu, mem, scene, pb);
+    EXPECT_EQ(s.prims_binned, 0u);
+    EXPECT_EQ(s.prims_clipped_away, 2u);
+}
+
+TEST_F(GeometryTest, ZNearIsMinimumVertexDepth)
+{
+    scene3d();
+    scene.submit(&quad,
+                 Mat4::rotateX(0.8f) * Mat4::scale({2, 2, 1}),
+                 RenderState{});
+    FrameStats s = runGeometry(gpu, mem, scene, pb);
+    ASSERT_GT(s.prims_binned, 0u);
+    for (const ShadedPrimitive &p : pb.prims()) {
+        float min_d = std::min({p.v[0].depth, p.v[1].depth, p.v[2].depth});
+        EXPECT_FLOAT_EQ(p.z_near, min_d);
+    }
+}
+
+TEST_F(GeometryTest, TintChangesSignatureCrc)
+{
+    submitRect(scene, &quad, 4, 4, 8, 8, 0.5f, RenderState{});
+    runGeometry(gpu, mem, scene, pb);
+    std::uint32_t crc_before = pb.prim(0).attr_crc;
+
+    scene.commands[0].tint = {0.5f, 1.0f, 1.0f, 1.0f};
+    runGeometry(gpu, mem, scene, pb);
+    EXPECT_NE(pb.prim(0).attr_crc, crc_before);
+}
+
+TEST_F(GeometryTest, IdenticalFramesProduceIdenticalCrcs)
+{
+    submitRect(scene, &quad, 4, 4, 24, 24, 0.5f, RenderState{});
+    runGeometry(gpu, mem, scene, pb);
+    std::vector<std::uint32_t> crcs;
+    for (const auto &p : pb.prims())
+        crcs.push_back(p.attr_crc);
+
+    runGeometry(gpu, mem, scene, pb);
+    ASSERT_EQ(pb.prims().size(), crcs.size());
+    for (std::size_t i = 0; i < crcs.size(); ++i)
+        EXPECT_EQ(pb.prim(i).attr_crc, crcs[i]);
+}
+
+TEST_F(GeometryTest, ParameterBufferTrafficAccounted)
+{
+    submitRect(scene, &quad, 0, 0, 64, 48, 0.5f, RenderState{});
+    FrameStats s = runGeometry(gpu, mem, scene, pb);
+    EXPECT_EQ(s.param_attr_bytes, 2u * ShadedPrimitive::kAttrBytes);
+    EXPECT_EQ(s.param_list_bytes,
+              s.bin_tile_pairs * DisplayListEntry::kBaseBytes);
+    EXPECT_EQ(s.layer_param_bytes, 0u); // no EVR
+    EXPECT_GT(mem.stats().tile_cache.writes, 0u);
+}
+
+TEST_F(GeometryTest, StoreLayersAddsParameterBytes)
+{
+    submitRect(scene, &quad, 0, 0, 64, 48, 0.5f, RenderState{});
+    GeometryHooks hooks;
+    hooks.store_layers = true;
+    FrameStats s = runGeometry(gpu, mem, scene, pb, hooks);
+    EXPECT_EQ(s.layer_param_bytes,
+              s.bin_tile_pairs * DisplayListEntry::kLayerBytes);
+}
+
+TEST_F(GeometryTest, UnuploadedMeshIsFatal)
+{
+    Mesh fresh = meshes::quad({1, 1, 1, 1});
+    scene.submit(&fresh, Mat4::identity(), RenderState{});
+    EXPECT_EXIT(runGeometry(gpu, mem, scene, pb),
+                ::testing::ExitedWithCode(1), "never uploaded");
+}
+
+// ---------------------------------------------------- ParameterBuffer --
+
+TEST(ParameterBuffer, TwoListOrdering)
+{
+    AddressSpace as;
+    ParameterBuffer pb;
+    pb.beginFrame(4, as);
+
+    ShadedPrimitive p;
+    std::uint32_t a = pb.addPrimitive(p);
+    std::uint32_t b = pb.addPrimitive(p);
+    std::uint32_t c = pb.addPrimitive(p);
+
+    pb.append(0, {a, 0, false}, false, 4);
+    pb.append(0, {b, 0, true}, true, 4);
+    pb.append(0, {c, 0, false}, false, 4);
+
+    auto order = pb.renderOrder(0);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0].prim, a);
+    EXPECT_EQ(order[1].prim, c);
+    EXPECT_EQ(order[2].prim, b); // second list drains last
+}
+
+TEST(ParameterBuffer, MoveSecondToFirstPreservesRelativeOrder)
+{
+    AddressSpace as;
+    ParameterBuffer pb;
+    pb.beginFrame(1, as);
+    ShadedPrimitive p;
+    std::uint32_t ids[4];
+    for (auto &id : ids)
+        id = pb.addPrimitive(p);
+
+    pb.append(0, {ids[0], 0, false}, false, 4);
+    pb.append(0, {ids[1], 0, false}, true, 4);
+    pb.append(0, {ids[2], 0, false}, true, 4);
+    EXPECT_TRUE(pb.moveSecondToFirst(0));
+    pb.append(0, {ids[3], 0, false}, false, 4);
+
+    auto order = pb.renderOrder(0);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0].prim, ids[0]);
+    EXPECT_EQ(order[1].prim, ids[1]);
+    EXPECT_EQ(order[2].prim, ids[2]);
+    EXPECT_EQ(order[3].prim, ids[3]);
+    EXPECT_FALSE(pb.moveSecondToFirst(0)); // now empty
+}
+
+TEST(ParameterBuffer, EntryAddressesAreChunked)
+{
+    AddressSpace as;
+    ParameterBuffer pb;
+    pb.beginFrame(2, as);
+    ShadedPrimitive p;
+    std::uint32_t id = pb.addPrimitive(p);
+
+    // Consecutive entries of one tile pack into the same 256 B chunk.
+    Addr a0 = pb.append(0, {id, 0, false}, false, 4);
+    Addr a1 = pb.append(0, {id, 0, false}, false, 4);
+    EXPECT_EQ(a1, a0 + 4);
+
+    // A different tile allocates its own chunk elsewhere.
+    Addr b0 = pb.append(1, {id, 0, false}, false, 4);
+    EXPECT_NE(b0, a0 + 8);
+}
+
+TEST(ParameterBuffer, BeginFrameResets)
+{
+    AddressSpace as;
+    ParameterBuffer pb;
+    pb.beginFrame(1, as);
+    ShadedPrimitive p;
+    pb.append(0, {pb.addPrimitive(p), 0, false}, false, 4);
+    EXPECT_EQ(pb.firstList(0).size(), 1u);
+
+    pb.beginFrame(1, as);
+    EXPECT_TRUE(pb.firstList(0).empty());
+    EXPECT_TRUE(pb.prims().empty());
+}

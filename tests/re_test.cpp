@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for Rendering Elimination: the Signature Buffer, skip decisions,
+ * end-to-end tile reuse correctness, and the stall/energy accounting the
+ * evaluation depends on.
+ */
+#include <gtest/gtest.h>
+
+#include "common/crc32.hpp"
+#include "re/rendering_elimination.hpp"
+#include "support.hpp"
+
+using namespace evrsim;
+using namespace evrsim::test;
+
+namespace {
+
+ShadedPrimitive
+primWithCrc(std::uint32_t crc, std::uint32_t bytes = 128)
+{
+    ShadedPrimitive p;
+    p.attr_crc = crc;
+    p.attr_bytes = bytes;
+    return p;
+}
+
+} // namespace
+
+// ---------------------------------------------------- SignatureBuffer --
+
+TEST(SignatureBuffer, FreshBufferNeverMatches)
+{
+    SignatureBuffer sb(4);
+    EXPECT_FALSE(sb.matchesPrevious(0));
+    EXPECT_FALSE(sb.previousValid(0));
+}
+
+TEST(SignatureBuffer, EmptyTileMatchesAfterFirstRotation)
+{
+    SignatureBuffer sb(4);
+    sb.rotate();
+    // Both frames empty: signatures equal.
+    EXPECT_TRUE(sb.matchesPrevious(0));
+}
+
+TEST(SignatureBuffer, SamePrimitiveSequenceMatches)
+{
+    SignatureBuffer sb(2);
+    sb.combine(0, 0xdeadbeef, 100);
+    sb.combine(0, 0x12345678, 140);
+    sb.rotate();
+    sb.resetCurrent();
+    sb.combine(0, 0xdeadbeef, 100);
+    sb.combine(0, 0x12345678, 140);
+    EXPECT_TRUE(sb.matchesPrevious(0));
+    // Untouched tile also matches (empty == empty).
+    EXPECT_TRUE(sb.matchesPrevious(1));
+}
+
+TEST(SignatureBuffer, ChangedPrimitiveBreaksMatch)
+{
+    SignatureBuffer sb(1);
+    sb.combine(0, 0xdeadbeef, 100);
+    sb.rotate();
+    sb.resetCurrent();
+    sb.combine(0, 0xdeadbeee, 100); // one bit differs
+    EXPECT_FALSE(sb.matchesPrevious(0));
+}
+
+TEST(SignatureBuffer, OrderMatters)
+{
+    SignatureBuffer sb(2);
+    sb.combine(0, 0xaaaa0001, 64);
+    sb.combine(0, 0xbbbb0002, 64);
+    sb.combine(1, 0xbbbb0002, 64);
+    sb.combine(1, 0xaaaa0001, 64);
+    // The per-tile signature encodes order (shift-then-xor), exactly as
+    // concatenating the attribute streams would.
+    EXPECT_NE(sb.current(0).crc, sb.current(1).crc);
+}
+
+TEST(SignatureBuffer, MissingPrimitiveBreaksMatch)
+{
+    SignatureBuffer sb(1);
+    sb.combine(0, 0xaaaa0001, 64);
+    sb.combine(0, 0xbbbb0002, 64);
+    sb.rotate();
+    sb.resetCurrent();
+    sb.combine(0, 0xaaaa0001, 64);
+    EXPECT_FALSE(sb.matchesPrevious(0));
+}
+
+TEST(SignatureBuffer, SignatureEqualsConcatenatedCrc)
+{
+    // The incremental per-tile combine must equal hashing the
+    // concatenated attribute blocks in one go.
+    std::vector<unsigned char> blk_a(100), blk_b(60);
+    Rng rng(5);
+    for (auto *blk : {&blk_a, &blk_b})
+        for (auto &byte : *blk)
+            byte = static_cast<unsigned char>(rng.nextBelow(256));
+
+    SignatureBuffer sb(1);
+    sb.combine(0, Crc32::of(blk_a.data(), blk_a.size()),
+               static_cast<std::uint32_t>(blk_a.size()));
+    sb.combine(0, Crc32::of(blk_b.data(), blk_b.size()),
+               static_cast<std::uint32_t>(blk_b.size()));
+
+    std::vector<unsigned char> cat = blk_a;
+    cat.insert(cat.end(), blk_b.begin(), blk_b.end());
+    EXPECT_EQ(sb.current(0).crc, Crc32::of(cat.data(), cat.size()));
+    EXPECT_EQ(sb.current(0).length, cat.size());
+}
+
+// ----------------------------------------------- RenderingElimination --
+
+TEST(RenderingElimination, ExcludedPrimitiveSkipsUpdate)
+{
+    RenderingElimination re(2);
+    FrameStats stats;
+    re.frameStart();
+    re.addPrimitive(0, primWithCrc(0x1111), false, stats);
+    re.addPrimitive(0, primWithCrc(0x2222), true, stats); // EVR-excluded
+    EXPECT_EQ(stats.signature_updates, 1u);
+    EXPECT_EQ(stats.signature_updates_skipped, 1u);
+    EXPECT_EQ(stats.signature_shift_bytes, 128u);
+
+    // The excluded primitive left no trace: a tile seeing only the
+    // included one has the same signature.
+    re.addPrimitive(1, primWithCrc(0x1111), false, stats);
+    EXPECT_EQ(re.signatureBuffer().current(0),
+              re.signatureBuffer().current(1));
+}
+
+TEST(RenderingElimination, SkipDecisionCountsCompare)
+{
+    RenderingElimination re(1);
+    FrameStats stats;
+    re.frameStart();
+    EXPECT_FALSE(re.shouldSkipTile(0, stats)); // no previous frame
+    re.frameEnd();
+    re.frameStart();
+    EXPECT_TRUE(re.shouldSkipTile(0, stats)); // empty == empty
+    EXPECT_EQ(stats.signature_compares, 2u);
+}
+
+// ---------------------------------------------- End-to-end behaviour --
+
+namespace {
+
+class ReEndToEnd : public ::testing::Test
+{
+  protected:
+    ReEndToEnd()
+        : sim(SimConfig::renderingElimination(tinyGpu())),
+          quad(meshes::quad({1, 1, 1, 1}))
+    {
+        sim.uploadMesh(quad);
+    }
+
+    /** One static quad plus one whose tint animates with the frame. */
+    Scene
+    frame(int i)
+    {
+        Scene scene;
+        setCamera2D(scene, 64, 48);
+        RenderState rs; // default WOZ opaque
+        DrawCommand &stat =
+            submitRect(scene, &quad, 2, 2, 10, 10, 0.5f, rs);
+        stat.tint = {0, 1, 0, 1};
+        DrawCommand &anim =
+            submitRect(scene, &quad, 40, 20, 10, 10, 0.5f, rs);
+        anim.tint = {0.5f + 0.4f * ((i % 10) / 10.0f), 0, 0, 1};
+        return scene;
+    }
+
+    GpuSimulator sim;
+    Mesh quad;
+};
+
+} // namespace
+
+TEST_F(ReEndToEnd, SecondFrameSkipsStaticTilesOnly)
+{
+    sim.renderFrame(frame(0));
+    FrameStats s1 = sim.renderFrame(frame(1));
+
+    // 4x3 = 12 tiles. The animated quad at (40..50, 20..30) touches
+    // tiles (2,1) and (3,1); everything else is static.
+    EXPECT_EQ(s1.tiles_total, 12u);
+    EXPECT_EQ(s1.tiles_skipped_re, 10u);
+}
+
+TEST_F(ReEndToEnd, SkippedTilesKeepExactColors)
+{
+    sim.renderFrame(frame(0));
+
+    // Render the same frame content again: every tile skips, and the
+    // output must equal a from-scratch render by a baseline GPU.
+    FrameStats s = sim.renderFrame(frame(0));
+    EXPECT_EQ(s.tiles_skipped_re, 12u);
+
+    GpuSimulator baseline(SimConfig::baseline(tinyGpu()));
+    Mesh q2 = meshes::quad({1, 1, 1, 1});
+    baseline.uploadMesh(q2);
+    Scene scene;
+    setCamera2D(scene, 64, 48);
+    RenderState rs;
+    DrawCommand &stat = submitRect(scene, &q2, 2, 2, 10, 10, 0.5f, rs);
+    stat.tint = {0, 1, 0, 1};
+    DrawCommand &anim = submitRect(scene, &q2, 40, 20, 10, 10, 0.5f, rs);
+    anim.tint = {0.5f, 0, 0, 1};
+    baseline.renderFrame(scene);
+
+    EXPECT_TRUE(sim.framebuffer().equals(baseline.framebuffer()));
+}
+
+TEST_F(ReEndToEnd, FirstFrameNeverSkips)
+{
+    FrameStats s0 = sim.renderFrame(frame(0));
+    EXPECT_EQ(s0.tiles_skipped_re, 0u);
+}
+
+TEST_F(ReEndToEnd, AnimationCycleKeepsStaticTilesSkipping)
+{
+    sim.renderFrame(frame(0));
+    for (int i = 1; i <= 11; ++i) {
+        FrameStats s = sim.renderFrame(frame(i));
+        // Static tiles always skip; the animated quad's tiles never do
+        // (its tint changes each frame).
+        EXPECT_EQ(s.tiles_skipped_re, 10u) << "frame " << i;
+    }
+}
+
+TEST_F(ReEndToEnd, SkippedTileCostsOnlyTheCompare)
+{
+    sim.renderFrame(frame(0));
+    FrameStats s = sim.renderFrame(frame(0)); // everything skips
+    EXPECT_EQ(s.tiles_skipped_re, 12u);
+    EXPECT_EQ(s.fragments_generated, 0u);
+    EXPECT_EQ(s.tile_flush_bytes, 0u);
+    // Raster cycles collapse to the signature compares.
+    EXPECT_LT(s.raster_cycles, 200u);
+}
+
+TEST_F(ReEndToEnd, OracleStatisticSeesSkippedTilesAsEqual)
+{
+    sim.renderFrame(frame(0));
+    FrameStats s = sim.renderFrame(frame(0));
+    EXPECT_EQ(s.tiles_equal_oracle, 12u);
+}
+
+TEST(ReOverhead, SignatureWorkAppearsInGeometryCycles)
+{
+    auto run = [](const SimConfig &cfg) {
+        GpuSimulator sim(cfg);
+        Mesh q = meshes::quad({1, 1, 1, 1});
+        sim.uploadMesh(q);
+        Scene scene;
+        setCamera2D(scene, 64, 48);
+        submitRect(scene, &q, 0, 0, 60, 44, 0.5f, RenderState{});
+        return sim.renderFrame(scene);
+    };
+
+    FrameStats base = run(SimConfig::baseline(tinyGpu()));
+    FrameStats re = run(SimConfig::renderingElimination(tinyGpu()));
+    EXPECT_GT(re.signature_updates, 0u);
+    EXPECT_GT(re.geometry_cycles, base.geometry_cycles);
+    // The raster side is unaffected on the first frame (nothing skips).
+    EXPECT_EQ(re.fragments_shaded, base.fragments_shaded);
+}

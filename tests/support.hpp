@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the pipeline test suites.
+ */
+#ifndef EVRSIM_TESTS_SUPPORT_HPP
+#define EVRSIM_TESTS_SUPPORT_HPP
+
+#include <vector>
+
+#include "driver/gpu_simulator.hpp"
+#include "gpu/primitive.hpp"
+#include "gpu/rasterizer.hpp"
+#include "scene/camera.hpp"
+
+namespace evrsim {
+namespace test {
+
+/** Build a screen-space primitive directly (bypassing geometry). */
+inline ShadedPrimitive
+screenTriangle(Vec2 a, Vec2 b, Vec2 c, float depth = 0.5f,
+               Vec4 color = {1, 1, 1, 1})
+{
+    ShadedPrimitive prim;
+    prim.v[0] = {a, depth, 1.0f, color, {0, 0}};
+    prim.v[1] = {b, depth, 1.0f, color, {1, 0}};
+    prim.v[2] = {c, depth, 1.0f, color, {0, 1}};
+    prim.updateZNear();
+    return prim;
+}
+
+/** Collect all fragments a primitive produces inside @p bounds. */
+inline std::vector<Fragment>
+collectFragments(const ShadedPrimitive &prim, const RectI &bounds)
+{
+    FrameStats stats;
+    std::vector<Fragment> out;
+    Rasterizer::rasterize(prim, bounds, stats,
+                          [&](const Fragment &f) { out.push_back(f); });
+    return out;
+}
+
+/** Small GPU configuration for fast pipeline tests. */
+inline GpuConfig
+tinyGpu(int width = 64, int height = 48)
+{
+    GpuConfig gpu;
+    gpu.screen_width = width;
+    gpu.screen_height = height;
+    return gpu;
+}
+
+/**
+ * A screen-space quad draw: two triangles covering the pixel rectangle
+ * [x, x+w) x [y, y+h) at depth z, submitted to a 2D-camera scene.
+ */
+inline DrawCommand &
+submitRect(Scene &scene, const Mesh *quad, float x, float y, float w,
+           float h, float z, const RenderState &state)
+{
+    Mat4 m = Mat4::translate({x + w * 0.5f, y + h * 0.5f, z}) *
+             Mat4::scale({w, h, 1.0f});
+    return scene.submit(quad, m, state);
+}
+
+} // namespace test
+} // namespace evrsim
+
+#endif // EVRSIM_TESTS_SUPPORT_HPP
