@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_time.dir/bench_fig07_time.cpp.o"
+  "CMakeFiles/bench_fig07_time.dir/bench_fig07_time.cpp.o.d"
+  "bench_fig07_time"
+  "bench_fig07_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

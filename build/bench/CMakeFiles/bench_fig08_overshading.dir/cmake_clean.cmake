@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_overshading.dir/bench_fig08_overshading.cpp.o"
+  "CMakeFiles/bench_fig08_overshading.dir/bench_fig08_overshading.cpp.o.d"
+  "bench_fig08_overshading"
+  "bench_fig08_overshading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_overshading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_time_vs_re.dir/bench_fig11_time_vs_re.cpp.o"
+  "CMakeFiles/bench_fig11_time_vs_re.dir/bench_fig11_time_vs_re.cpp.o.d"
+  "bench_fig11_time_vs_re"
+  "bench_fig11_time_vs_re.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_time_vs_re.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11_time_vs_re.
+# This may be replaced when dependencies are built.

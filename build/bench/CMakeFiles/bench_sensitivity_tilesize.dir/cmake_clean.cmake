@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_tilesize.dir/bench_sensitivity_tilesize.cpp.o"
+  "CMakeFiles/bench_sensitivity_tilesize.dir/bench_sensitivity_tilesize.cpp.o.d"
+  "bench_sensitivity_tilesize"
+  "bench_sensitivity_tilesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_tilesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_casuistry.dir/bench_table1_casuistry.cpp.o"
+  "CMakeFiles/bench_table1_casuistry.dir/bench_table1_casuistry.cpp.o.d"
+  "bench_table1_casuistry"
+  "bench_table1_casuistry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_casuistry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

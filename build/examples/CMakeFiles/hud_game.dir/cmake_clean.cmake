@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hud_game.dir/hud_game.cpp.o"
+  "CMakeFiles/hud_game.dir/hud_game.cpp.o.d"
+  "hud_game"
+  "hud_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hud_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

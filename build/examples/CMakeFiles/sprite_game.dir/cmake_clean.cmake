@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprite_game.dir/sprite_game.cpp.o"
+  "CMakeFiles/sprite_game.dir/sprite_game.cpp.o.d"
+  "sprite_game"
+  "sprite_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprite_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrsim_common.dir/crc32.cpp.o"
+  "CMakeFiles/evrsim_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/evrsim_common.dir/log.cpp.o"
+  "CMakeFiles/evrsim_common.dir/log.cpp.o.d"
+  "CMakeFiles/evrsim_common.dir/mat4.cpp.o"
+  "CMakeFiles/evrsim_common.dir/mat4.cpp.o.d"
+  "CMakeFiles/evrsim_common.dir/rng.cpp.o"
+  "CMakeFiles/evrsim_common.dir/rng.cpp.o.d"
+  "libevrsim_common.a"
+  "libevrsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

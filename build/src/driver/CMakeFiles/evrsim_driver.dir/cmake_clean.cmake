@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrsim_driver.dir/experiment.cpp.o"
+  "CMakeFiles/evrsim_driver.dir/experiment.cpp.o.d"
+  "CMakeFiles/evrsim_driver.dir/gpu_simulator.cpp.o"
+  "CMakeFiles/evrsim_driver.dir/gpu_simulator.cpp.o.d"
+  "CMakeFiles/evrsim_driver.dir/json.cpp.o"
+  "CMakeFiles/evrsim_driver.dir/json.cpp.o.d"
+  "CMakeFiles/evrsim_driver.dir/report.cpp.o"
+  "CMakeFiles/evrsim_driver.dir/report.cpp.o.d"
+  "CMakeFiles/evrsim_driver.dir/run_result.cpp.o"
+  "CMakeFiles/evrsim_driver.dir/run_result.cpp.o.d"
+  "libevrsim_driver.a"
+  "libevrsim_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrsim_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

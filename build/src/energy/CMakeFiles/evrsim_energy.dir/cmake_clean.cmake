@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrsim_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/evrsim_energy.dir/energy_model.cpp.o.d"
+  "libevrsim_energy.a"
+  "libevrsim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrsim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evr/evr.cpp" "src/evr/CMakeFiles/evrsim_evr.dir/evr.cpp.o" "gcc" "src/evr/CMakeFiles/evrsim_evr.dir/evr.cpp.o.d"
+  "/root/repo/src/evr/fvp_table.cpp" "src/evr/CMakeFiles/evrsim_evr.dir/fvp_table.cpp.o" "gcc" "src/evr/CMakeFiles/evrsim_evr.dir/fvp_table.cpp.o.d"
+  "/root/repo/src/evr/layer_buffer.cpp" "src/evr/CMakeFiles/evrsim_evr.dir/layer_buffer.cpp.o" "gcc" "src/evr/CMakeFiles/evrsim_evr.dir/layer_buffer.cpp.o.d"
+  "/root/repo/src/evr/layer_generator_table.cpp" "src/evr/CMakeFiles/evrsim_evr.dir/layer_generator_table.cpp.o" "gcc" "src/evr/CMakeFiles/evrsim_evr.dir/layer_generator_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/evrsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/evrsim_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/evrsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/evrsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrsim_evr.dir/evr.cpp.o"
+  "CMakeFiles/evrsim_evr.dir/evr.cpp.o.d"
+  "CMakeFiles/evrsim_evr.dir/fvp_table.cpp.o"
+  "CMakeFiles/evrsim_evr.dir/fvp_table.cpp.o.d"
+  "CMakeFiles/evrsim_evr.dir/layer_buffer.cpp.o"
+  "CMakeFiles/evrsim_evr.dir/layer_buffer.cpp.o.d"
+  "CMakeFiles/evrsim_evr.dir/layer_generator_table.cpp.o"
+  "CMakeFiles/evrsim_evr.dir/layer_generator_table.cpp.o.d"
+  "libevrsim_evr.a"
+  "libevrsim_evr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrsim_evr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/framebuffer.cpp" "src/gpu/CMakeFiles/evrsim_gpu.dir/framebuffer.cpp.o" "gcc" "src/gpu/CMakeFiles/evrsim_gpu.dir/framebuffer.cpp.o.d"
+  "/root/repo/src/gpu/geometry_pipeline.cpp" "src/gpu/CMakeFiles/evrsim_gpu.dir/geometry_pipeline.cpp.o" "gcc" "src/gpu/CMakeFiles/evrsim_gpu.dir/geometry_pipeline.cpp.o.d"
+  "/root/repo/src/gpu/gpu_stats.cpp" "src/gpu/CMakeFiles/evrsim_gpu.dir/gpu_stats.cpp.o" "gcc" "src/gpu/CMakeFiles/evrsim_gpu.dir/gpu_stats.cpp.o.d"
+  "/root/repo/src/gpu/parameter_buffer.cpp" "src/gpu/CMakeFiles/evrsim_gpu.dir/parameter_buffer.cpp.o" "gcc" "src/gpu/CMakeFiles/evrsim_gpu.dir/parameter_buffer.cpp.o.d"
+  "/root/repo/src/gpu/raster_pipeline.cpp" "src/gpu/CMakeFiles/evrsim_gpu.dir/raster_pipeline.cpp.o" "gcc" "src/gpu/CMakeFiles/evrsim_gpu.dir/raster_pipeline.cpp.o.d"
+  "/root/repo/src/gpu/rasterizer.cpp" "src/gpu/CMakeFiles/evrsim_gpu.dir/rasterizer.cpp.o" "gcc" "src/gpu/CMakeFiles/evrsim_gpu.dir/rasterizer.cpp.o.d"
+  "/root/repo/src/gpu/shader.cpp" "src/gpu/CMakeFiles/evrsim_gpu.dir/shader.cpp.o" "gcc" "src/gpu/CMakeFiles/evrsim_gpu.dir/shader.cpp.o.d"
+  "/root/repo/src/gpu/timing_model.cpp" "src/gpu/CMakeFiles/evrsim_gpu.dir/timing_model.cpp.o" "gcc" "src/gpu/CMakeFiles/evrsim_gpu.dir/timing_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evrsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/evrsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/evrsim_scene.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrsim_gpu.dir/framebuffer.cpp.o"
+  "CMakeFiles/evrsim_gpu.dir/framebuffer.cpp.o.d"
+  "CMakeFiles/evrsim_gpu.dir/geometry_pipeline.cpp.o"
+  "CMakeFiles/evrsim_gpu.dir/geometry_pipeline.cpp.o.d"
+  "CMakeFiles/evrsim_gpu.dir/gpu_stats.cpp.o"
+  "CMakeFiles/evrsim_gpu.dir/gpu_stats.cpp.o.d"
+  "CMakeFiles/evrsim_gpu.dir/parameter_buffer.cpp.o"
+  "CMakeFiles/evrsim_gpu.dir/parameter_buffer.cpp.o.d"
+  "CMakeFiles/evrsim_gpu.dir/raster_pipeline.cpp.o"
+  "CMakeFiles/evrsim_gpu.dir/raster_pipeline.cpp.o.d"
+  "CMakeFiles/evrsim_gpu.dir/rasterizer.cpp.o"
+  "CMakeFiles/evrsim_gpu.dir/rasterizer.cpp.o.d"
+  "CMakeFiles/evrsim_gpu.dir/shader.cpp.o"
+  "CMakeFiles/evrsim_gpu.dir/shader.cpp.o.d"
+  "CMakeFiles/evrsim_gpu.dir/timing_model.cpp.o"
+  "CMakeFiles/evrsim_gpu.dir/timing_model.cpp.o.d"
+  "libevrsim_gpu.a"
+  "libevrsim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrsim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

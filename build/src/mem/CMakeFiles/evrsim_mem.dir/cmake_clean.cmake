@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrsim_mem.dir/cache.cpp.o"
+  "CMakeFiles/evrsim_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/evrsim_mem.dir/dram.cpp.o"
+  "CMakeFiles/evrsim_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/evrsim_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/evrsim_mem.dir/memory_system.cpp.o.d"
+  "libevrsim_mem.a"
+  "libevrsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

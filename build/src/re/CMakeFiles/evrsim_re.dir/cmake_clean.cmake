@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrsim_re.dir/rendering_elimination.cpp.o"
+  "CMakeFiles/evrsim_re.dir/rendering_elimination.cpp.o.d"
+  "CMakeFiles/evrsim_re.dir/signature_buffer.cpp.o"
+  "CMakeFiles/evrsim_re.dir/signature_buffer.cpp.o.d"
+  "libevrsim_re.a"
+  "libevrsim_re.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrsim_re.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

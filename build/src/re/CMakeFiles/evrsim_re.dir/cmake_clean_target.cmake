@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libevrsim_re.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scene/animation.cpp" "src/scene/CMakeFiles/evrsim_scene.dir/animation.cpp.o" "gcc" "src/scene/CMakeFiles/evrsim_scene.dir/animation.cpp.o.d"
+  "/root/repo/src/scene/camera.cpp" "src/scene/CMakeFiles/evrsim_scene.dir/camera.cpp.o" "gcc" "src/scene/CMakeFiles/evrsim_scene.dir/camera.cpp.o.d"
+  "/root/repo/src/scene/mesh.cpp" "src/scene/CMakeFiles/evrsim_scene.dir/mesh.cpp.o" "gcc" "src/scene/CMakeFiles/evrsim_scene.dir/mesh.cpp.o.d"
+  "/root/repo/src/scene/texture.cpp" "src/scene/CMakeFiles/evrsim_scene.dir/texture.cpp.o" "gcc" "src/scene/CMakeFiles/evrsim_scene.dir/texture.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evrsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/evrsim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

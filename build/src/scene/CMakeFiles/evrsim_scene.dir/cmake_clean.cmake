@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrsim_scene.dir/animation.cpp.o"
+  "CMakeFiles/evrsim_scene.dir/animation.cpp.o.d"
+  "CMakeFiles/evrsim_scene.dir/camera.cpp.o"
+  "CMakeFiles/evrsim_scene.dir/camera.cpp.o.d"
+  "CMakeFiles/evrsim_scene.dir/mesh.cpp.o"
+  "CMakeFiles/evrsim_scene.dir/mesh.cpp.o.d"
+  "CMakeFiles/evrsim_scene.dir/texture.cpp.o"
+  "CMakeFiles/evrsim_scene.dir/texture.cpp.o.d"
+  "libevrsim_scene.a"
+  "libevrsim_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrsim_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

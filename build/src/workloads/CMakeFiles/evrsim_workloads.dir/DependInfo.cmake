@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/elements.cpp" "src/workloads/CMakeFiles/evrsim_workloads.dir/elements.cpp.o" "gcc" "src/workloads/CMakeFiles/evrsim_workloads.dir/elements.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/evrsim_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/evrsim_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/evrsim_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/evrsim_workloads.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/evrsim_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/evrsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/evr/CMakeFiles/evrsim_evr.dir/DependInfo.cmake"
+  "/root/repo/build/src/re/CMakeFiles/evrsim_re.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/evrsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/evrsim_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/evrsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/evrsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrsim_workloads.dir/elements.cpp.o"
+  "CMakeFiles/evrsim_workloads.dir/elements.cpp.o.d"
+  "CMakeFiles/evrsim_workloads.dir/registry.cpp.o"
+  "CMakeFiles/evrsim_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/evrsim_workloads.dir/suite.cpp.o"
+  "CMakeFiles/evrsim_workloads.dir/suite.cpp.o.d"
+  "libevrsim_workloads.a"
+  "libevrsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evr_test.dir/evr_test.cpp.o"
+  "CMakeFiles/evr_test.dir/evr_test.cpp.o.d"
+  "evr_test"
+  "evr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raster_pipeline_test.dir/raster_pipeline_test.cpp.o"
+  "CMakeFiles/raster_pipeline_test.dir/raster_pipeline_test.cpp.o.d"
+  "raster_pipeline_test"
+  "raster_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raster_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

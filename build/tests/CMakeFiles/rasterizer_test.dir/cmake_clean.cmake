@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasterizer_test.dir/rasterizer_test.cpp.o"
+  "CMakeFiles/rasterizer_test.dir/rasterizer_test.cpp.o.d"
+  "rasterizer_test"
+  "rasterizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasterizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

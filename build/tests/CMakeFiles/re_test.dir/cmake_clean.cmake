@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_test.dir/re_test.cpp.o"
+  "CMakeFiles/re_test.dir/re_test.cpp.o.d"
+  "re_test"
+  "re_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

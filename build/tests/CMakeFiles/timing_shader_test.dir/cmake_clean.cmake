@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_shader_test.dir/timing_shader_test.cpp.o"
+  "CMakeFiles/timing_shader_test.dir/timing_shader_test.cpp.o.d"
+  "timing_shader_test"
+  "timing_shader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_shader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;13;evrsim_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mem_test "/root/repo/build/tests/mem_test")
+set_tests_properties(mem_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;14;evrsim_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(energy_test "/root/repo/build/tests/energy_test")
+set_tests_properties(energy_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;15;evrsim_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(scene_test "/root/repo/build/tests/scene_test")
+set_tests_properties(scene_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;16;evrsim_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rasterizer_test "/root/repo/build/tests/rasterizer_test")
+set_tests_properties(rasterizer_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;17;evrsim_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(geometry_test "/root/repo/build/tests/geometry_test")
+set_tests_properties(geometry_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;18;evrsim_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(raster_pipeline_test "/root/repo/build/tests/raster_pipeline_test")
+set_tests_properties(raster_pipeline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;19;evrsim_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(re_test "/root/repo/build/tests/re_test")
+set_tests_properties(re_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;20;evrsim_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(evr_test "/root/repo/build/tests/evr_test")
+set_tests_properties(evr_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;21;evrsim_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(driver_test "/root/repo/build/tests/driver_test")
+set_tests_properties(driver_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;22;evrsim_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workloads_test "/root/repo/build/tests/workloads_test")
+set_tests_properties(workloads_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;23;evrsim_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(correctness_test "/root/repo/build/tests/correctness_test")
+set_tests_properties(correctness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;24;evrsim_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(timing_shader_test "/root/repo/build/tests/timing_shader_test")
+set_tests_properties(timing_shader_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;25;evrsim_add_test;/root/repo/tests/CMakeLists.txt;0;")
