@@ -22,6 +22,14 @@ main()
                      "filter-only / full EVR",
                      ctx.params);
 
+    ctx.needForAllWorkloads(
+        {SimConfig::baseline(ctx.gpu()),
+         SimConfig::renderingElimination(ctx.gpu()),
+         SimConfig::evrReorderOnly(ctx.gpu()),
+         SimConfig::evrFilterOnly(ctx.gpu()), SimConfig::evr(ctx.gpu()),
+         SimConfig::zPrepass(ctx.gpu())});
+    ctx.prefetch();
+
     ReportTable table({"bench", "RE", "reorder", "filter", "full-EVR",
                        "z-prepass"});
     std::vector<double> re_v, ro_v, fo_v, full_v, zp_v;

@@ -3,13 +3,22 @@
  * Shared plumbing for the per-figure bench binaries.
  *
  * Every binary resolves the same environment-driven parameters
- * (EVRSIM_FULL / EVRSIM_FRAMES / EVRSIM_NO_CACHE / EVRSIM_CACHE_DIR),
- * builds an ExperimentRunner over the Table III workload registry, and
- * shares simulation results through the on-disk cache, so running all
- * benches simulates each (workload, config) pair exactly once.
+ * (EVRSIM_FULL / EVRSIM_FRAMES / EVRSIM_NO_CACHE / EVRSIM_CACHE_DIR /
+ * EVRSIM_JOBS), builds an ExperimentRunner over the Table III workload
+ * registry, and shares simulation results through the on-disk cache, so
+ * running all benches simulates each (workload, config) pair exactly
+ * once.
+ *
+ * Binaries declare every run they will need up front (need()), then
+ * prefetch() executes the whole batch on the parallel scheduler before
+ * any table is printed; the subsequent run() calls inside the table
+ * loops are all memo hits. prefetch() also prints the binary's sweep
+ * throughput summary (sims/s, frames/s, parallel speedup).
  */
 #ifndef EVRSIM_BENCH_BENCH_COMMON_HPP
 #define EVRSIM_BENCH_BENCH_COMMON_HPP
+
+#include <vector>
 
 #include "driver/experiment.hpp"
 #include "driver/report.hpp"
@@ -22,6 +31,7 @@ namespace bench {
 struct BenchContext {
     BenchParams params;
     ExperimentRunner runner;
+    std::vector<RunRequest> plan;
 
     BenchContext()
         : params(benchParamsFromEnv()),
@@ -30,6 +40,34 @@ struct BenchContext {
     }
 
     GpuConfig gpu() const { return params.gpuConfig(); }
+
+    /** Declare one run of this binary's sweep. */
+    void
+    need(const std::string &alias, const SimConfig &config)
+    {
+        plan.push_back({alias, config});
+    }
+
+    /** Declare @p configs for every Table III workload. */
+    void
+    needForAllWorkloads(const std::vector<SimConfig> &configs)
+    {
+        for (const std::string &alias : workloads::allAliases())
+            for (const SimConfig &config : configs)
+                need(alias, config);
+    }
+
+    /**
+     * Execute every declared run on the EVRSIM_JOBS-wide scheduler and
+     * print the sweep throughput summary. Later run() calls for the
+     * declared triples return instantly from the in-memory memo.
+     */
+    void
+    prefetch()
+    {
+        runner.runAll(plan);
+        printSweepSummary(runner);
+    }
 };
 
 } // namespace bench

@@ -19,6 +19,10 @@ main()
                      "GPU+memory energy of EVR normalized to baseline",
                      ctx.params);
 
+    ctx.needForAllWorkloads(
+        {SimConfig::baseline(ctx.gpu()), SimConfig::evr(ctx.gpu())});
+    ctx.prefetch();
+
     ReportTable table({"bench", "EVR/base", "layer-wr", "EVR-hw", "RE-hw",
                        "bar"});
     std::vector<double> ratios;

@@ -19,6 +19,10 @@ main()
                      "(geometry/raster split)",
                      ctx.params);
 
+    ctx.needForAllWorkloads(
+        {SimConfig::baseline(ctx.gpu()), SimConfig::evr(ctx.gpu())});
+    ctx.prefetch();
+
     ReportTable table(
         {"bench", "EVR/base", "geom", "raster", "geom-share", "bar"});
     std::vector<double> ratios;

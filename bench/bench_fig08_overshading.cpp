@@ -20,6 +20,13 @@ main()
                      "Oracle (3D benchmarks)",
                      ctx.params);
 
+    for (const std::string &alias : workloads::aliases3D()) {
+        ctx.need(alias, SimConfig::baseline(ctx.gpu()));
+        ctx.need(alias, SimConfig::evrReorderOnly(ctx.gpu()));
+        ctx.need(alias, SimConfig::oracleZ(ctx.gpu()));
+    }
+    ctx.prefetch();
+
     ReportTable table({"bench", "baseline", "EVR", "oracle", "EVR-red.",
                        "oracle-red."});
     std::vector<double> base_v, evr_v, oracle_v;

@@ -19,6 +19,11 @@ main()
                      "redundant (equal) tiles detected: RE / EVR / oracle",
                      ctx.params);
 
+    ctx.needForAllWorkloads({SimConfig::renderingElimination(ctx.gpu()),
+                             SimConfig::evr(ctx.gpu()),
+                             SimConfig::baseline(ctx.gpu())});
+    ctx.prefetch();
+
     ReportTable table({"bench", "RE", "EVR", "oracle", "EVR-RE", "bar(EVR)"});
     std::vector<double> re_v, evr_v, oracle_v;
 

@@ -17,6 +17,10 @@ main()
     printBenchHeader("Figure 10", "energy of EVR normalized to RE",
                      ctx.params);
 
+    ctx.needForAllWorkloads({SimConfig::renderingElimination(ctx.gpu()),
+                             SimConfig::evr(ctx.gpu())});
+    ctx.prefetch();
+
     ReportTable table({"bench", "EVR/RE", "EVR-overheads", "bar"});
     std::vector<double> ratios;
 

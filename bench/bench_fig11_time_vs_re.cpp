@@ -21,6 +21,11 @@ main()
                      "execution time of RE and EVR normalized to baseline",
                      ctx.params);
 
+    ctx.needForAllWorkloads({SimConfig::baseline(ctx.gpu()),
+                             SimConfig::renderingElimination(ctx.gpu()),
+                             SimConfig::evr(ctx.gpu())});
+    ctx.prefetch();
+
     ReportTable table({"bench", "RE", "RE-geom", "EVR", "EVR-geom",
                        "geom-delta"});
     std::vector<double> re_v, evr_v, geom_delta_v;

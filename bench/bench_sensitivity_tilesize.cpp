@@ -27,6 +27,16 @@ main()
     // One high-redundancy 2D, one popup 2D, one 3D-with-HUD benchmark.
     const char *kAliases[] = {"ccs", "wmw", "300"};
 
+    for (const char *alias : kAliases) {
+        ctx.need(alias, SimConfig::baseline(ctx.gpu()));
+        for (int ts : kTileSizes) {
+            GpuConfig gpu = ctx.gpu();
+            gpu.tile_size = ts;
+            ctx.need(alias, SimConfig::evr(gpu));
+        }
+    }
+    ctx.prefetch();
+
     ReportTable table({"bench", "tile", "skip%", "cycles/base16",
                        "fvp-entries"});
 

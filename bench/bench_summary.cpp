@@ -21,6 +21,14 @@ main()
                      "headline paper claims vs measured (whole suite)",
                      ctx.params);
 
+    ctx.needForAllWorkloads({SimConfig::baseline(ctx.gpu()),
+                             SimConfig::renderingElimination(ctx.gpu()),
+                             SimConfig::evr(ctx.gpu())});
+    for (const std::string &alias : workloads::allAliases())
+        if (workloads::infoFor(alias).is_3d)
+            ctx.need(alias, SimConfig::evrReorderOnly(ctx.gpu()));
+    ctx.prefetch();
+
     std::vector<double> time_ratio, energy_ratio, re_skip, evr_skip,
         layer_overhead, hw_overhead, geom_sig_share;
     std::vector<double> overshade_base, overshade_evr;

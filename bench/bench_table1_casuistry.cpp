@@ -24,6 +24,9 @@ main()
                      "pair, EVR prediction vs rendered ground truth)",
                      ctx.params);
 
+    ctx.needForAllWorkloads({SimConfig::evrReorderOnly(ctx.gpu())});
+    ctx.prefetch();
+
     ReportTable table({"bench", "A vis->vis", "B vis->occ", "C occ->occ",
                        "D occ->vis", "pred-precision"});
 

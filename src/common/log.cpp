@@ -1,22 +1,55 @@
 /**
  * @file
  * Implementation of the logging helpers.
+ *
+ * Reporters are thread-safe: each message is formatted into a private
+ * buffer first, then emitted as one line under a single global mutex, so
+ * parallel scheduler workers never interleave partial lines.
  */
 #include "common/log.hpp"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
 
 namespace evrsim {
 
 namespace {
 LogLevel g_level = LogLevel::Normal;
 
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
 void
 vreport(FILE *stream, const char *prefix, const char *fmt, va_list ap)
 {
-    std::fprintf(stream, "%s", prefix);
-    std::vfprintf(stream, fmt, ap);
+    // Format outside the lock; emit the whole line in one locked write.
+    char stack_buf[512];
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, ap);
+    if (n < 0) {
+        va_end(ap2);
+        return;
+    }
+    const char *msg = stack_buf;
+    std::vector<char> heap_buf;
+    if (static_cast<std::size_t>(n) >= sizeof(stack_buf)) {
+        heap_buf.resize(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, ap2);
+        msg = heap_buf.data();
+    }
+    va_end(ap2);
+
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fputs(prefix, stream);
+    std::fputs(msg, stream);
     std::fputc('\n', stream);
     std::fflush(stream);
 }

@@ -4,14 +4,31 @@
  */
 #include "driver/experiment.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "common/log.hpp"
+#include "driver/job_pool.hpp"
 
 namespace evrsim {
+
+namespace {
+
+double
+elapsedMs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // namespace
 
 GpuConfig
 BenchParams::gpuConfig() const
@@ -20,6 +37,12 @@ BenchParams::gpuConfig() const
     gpu.screen_width = width;
     gpu.screen_height = height;
     return gpu;
+}
+
+int
+BenchParams::resolvedJobs() const
+{
+    return jobs > 0 ? jobs : JobPool::defaultThreads();
 }
 
 BenchParams
@@ -50,6 +73,12 @@ benchParamsFromEnv()
         p.cache_dir = dir;
     else
         p.cache_dir = ".bench_cache";
+    if (const char *jobs = std::getenv("EVRSIM_JOBS")) {
+        int n = std::atoi(jobs);
+        if (n <= 0)
+            fatal("EVRSIM_JOBS must be a positive integer");
+        p.jobs = n;
+    }
     return p;
 }
 
@@ -75,6 +104,8 @@ ExperimentRunner::cachePath(const std::string &alias,
 RunResult
 ExperimentRunner::simulate(const std::string &alias, const SimConfig &config)
 {
+    auto start = std::chrono::steady_clock::now();
+
     std::unique_ptr<Workload> workload =
         factory_(alias, params_.width, params_.height);
     if (!workload)
@@ -100,14 +131,16 @@ ExperimentRunner::simulate(const std::string &alias, const SimConfig &config)
     r.totals = sim.totals();
     r.energy = sim.energyOf(sim.totals());
     r.image_crc = sim.framebuffer().contentCrc();
+    r.sim_wall_ms = elapsedMs(start);
     return r;
 }
 
 RunResult
-ExperimentRunner::run(const std::string &alias, const SimConfig &config)
+ExperimentRunner::computeUncached(const std::string &alias,
+                                  const SimConfig &config,
+                                  const std::string &path, bool &from_disk)
 {
-    std::string path = cachePath(alias, config);
-
+    from_disk = false;
     if (params_.use_cache) {
         std::ifstream in(path);
         if (in) {
@@ -117,6 +150,7 @@ ExperimentRunner::run(const std::string &alias, const SimConfig &config)
             std::string error;
             Json j = Json::parse(buf.str(), ok, error);
             if (ok) {
+                from_disk = true;
                 return RunResult::fromJson(j);
             }
             warn("discarding corrupt cache entry %s: %s", path.c_str(),
@@ -129,14 +163,116 @@ ExperimentRunner::run(const std::string &alias, const SimConfig &config)
     if (params_.use_cache) {
         std::error_code ec;
         std::filesystem::create_directories(params_.cache_dir, ec);
-        std::ofstream out(path);
+        // Write-then-rename so a concurrent bench binary (or a kill mid
+        // write) can never observe a truncated entry: rename() within a
+        // directory is atomic on POSIX. The tmp name is pid-qualified;
+        // within one process the memo guarantees a single writer per key.
+        std::filesystem::path tmp =
+            path + ".tmp." + std::to_string(::getpid());
+        std::ofstream out(tmp);
         if (out) {
             out << r.toJson().dump(1);
+            out.close();
+            if (!out) {
+                warn("could not write cache entry %s", tmp.c_str());
+                std::filesystem::remove(tmp, ec);
+            } else {
+                std::filesystem::rename(tmp, path, ec);
+                if (ec) {
+                    warn("could not publish cache entry %s: %s",
+                         path.c_str(), ec.message().c_str());
+                    std::filesystem::remove(tmp, ec);
+                }
+            }
         } else {
-            warn("could not write cache entry %s", path.c_str());
+            warn("could not write cache entry %s", tmp.c_str());
         }
     }
     return r;
+}
+
+RunResult
+ExperimentRunner::runMemoized(const std::string &alias,
+                              const SimConfig &config)
+{
+    std::string key = cachePath(alias, config);
+
+    std::shared_ptr<MemoEntry> entry;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        ++stats_.requested;
+        auto it = memo_.find(key);
+        if (it != memo_.end()) {
+            // Either already computed or in flight on another worker;
+            // both count as a memo hit for this requester.
+            entry = it->second;
+            memo_done_.wait(lock, [&] { return entry->done; });
+            ++stats_.memo_hits;
+            return entry->result;
+        }
+        entry = std::make_shared<MemoEntry>();
+        memo_.emplace(key, entry);
+    }
+
+    // We own the computation for this key; everyone else waits on entry.
+    bool from_disk = false;
+    auto start = std::chrono::steady_clock::now();
+    RunResult r = computeUncached(alias, config, key, from_disk);
+    double wall_ms = elapsedMs(start);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        entry->result = r;
+        entry->done = true;
+        if (from_disk) {
+            ++stats_.disk_hits;
+        } else {
+            ++stats_.simulated;
+            stats_.frames_simulated +=
+                static_cast<std::uint64_t>(params_.frames);
+            stats_.sim_wall_ms += wall_ms;
+        }
+    }
+    memo_done_.notify_all();
+    return r;
+}
+
+RunResult
+ExperimentRunner::run(const std::string &alias, const SimConfig &config)
+{
+    return runMemoized(alias, config);
+}
+
+std::vector<RunResult>
+ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
+{
+    auto start = std::chrono::steady_clock::now();
+    std::vector<RunResult> results(requests.size());
+    {
+        int jobs = params_.resolvedJobs();
+        if (jobs > static_cast<int>(requests.size()) && !requests.empty())
+            jobs = static_cast<int>(requests.size());
+        JobPool pool(std::max(jobs, 1));
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            pool.submit([this, &requests, &results, i] {
+                results[i] =
+                    runMemoized(requests[i].alias, requests[i].config);
+            });
+        }
+        pool.wait();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.batch_wall_ms += elapsedMs(start);
+    }
+    return results;
+}
+
+SweepStats
+ExperimentRunner::sweepStats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
 }
 
 } // namespace evrsim

@@ -6,13 +6,30 @@
  *
  * The per-figure benches overlap heavily in the simulations they need
  * (Figure 6 and Figure 7 both need baseline+EVR runs of all 20
- * workloads; Figures 9-11 share the RE runs). The cache lets
- * the full bench sweep simulate each triple exactly once.
+ * workloads; Figures 9-11 share the RE runs). Two layers of sharing keep
+ * the full sweep at "each triple simulates exactly once":
+ *
+ *  - an on-disk JSON cache shared *across* bench processes, written
+ *    atomically (tmp file + rename) so an interrupted or concurrent run
+ *    can never leave a truncated entry behind;
+ *  - an in-memory memo with in-flight deduplication shared *within* a
+ *    process, so a triple requested by several figures (or by several
+ *    scheduler workers at once) simulates exactly once per process.
+ *
+ * runAll() executes a declared batch of runs on a JobPool
+ * (EVRSIM_JOBS workers, default hardware_concurrency); every simulation
+ * owns its GpuSimulator/MemorySystem/Scene, so parallel results are
+ * bit-identical to the EVRSIM_JOBS=1 serial path.
  */
 #ifndef EVRSIM_DRIVER_EXPERIMENT_HPP
 #define EVRSIM_DRIVER_EXPERIMENT_HPP
 
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "driver/run_result.hpp"
 #include "driver/sim_config.hpp"
@@ -32,9 +49,15 @@ struct BenchParams {
     int warmup = 2;
     bool use_cache = true; ///< EVRSIM_NO_CACHE=1 disables
     std::string cache_dir; ///< EVRSIM_CACHE_DIR overrides
+    /** Scheduler width for runAll(); 0 = hardware_concurrency,
+     *  1 = serial (EVRSIM_JOBS). */
+    int jobs = 0;
 
     /** GpuConfig for these parameters (Table II otherwise). */
     GpuConfig gpuConfig() const;
+
+    /** Worker count runAll() will actually use (>= 1). */
+    int resolvedJobs() const;
 };
 
 /**
@@ -43,8 +66,30 @@ struct BenchParams {
  *   EVRSIM_FRAMES=n    override the frame count
  *   EVRSIM_NO_CACHE=1  ignore and do not write the result cache
  *   EVRSIM_CACHE_DIR   cache location (default: <repo>/.bench_cache)
+ *   EVRSIM_JOBS=n      scheduler workers (default: hardware_concurrency;
+ *                      1 restores the serial path)
  */
 BenchParams benchParamsFromEnv();
+
+/** One declared simulation of a batch: (workload alias, configuration). */
+struct RunRequest {
+    std::string alias;
+    SimConfig config;
+};
+
+/**
+ * Per-runner accounting of how a sweep's runs were satisfied, for the
+ * bench throughput summaries.
+ */
+struct SweepStats {
+    std::uint64_t requested = 0;  ///< runs asked of run()/runAll()
+    std::uint64_t simulated = 0;  ///< cold runs actually simulated
+    std::uint64_t disk_hits = 0;  ///< served from the on-disk cache
+    std::uint64_t memo_hits = 0;  ///< served from the in-process memo
+    std::uint64_t frames_simulated = 0; ///< measured frames, cold runs only
+    double sim_wall_ms = 0.0;   ///< summed per-simulation wall-clock
+    double batch_wall_ms = 0.0; ///< summed runAll() wall-clock
+};
 
 /** Simulates and caches runs. */
 class ExperimentRunner
@@ -52,34 +97,67 @@ class ExperimentRunner
   public:
     /**
      * @param factory creates workloads by alias
-     * @param params  bench parameters (cache policy, dimensions)
+     * @param params  bench parameters (cache policy, dimensions, jobs)
      */
     ExperimentRunner(WorkloadFactory factory, const BenchParams &params);
 
     /**
      * Return the result of simulating @p alias under @p config for the
-     * bench frame count, using the cache when permitted.
+     * bench frame count, using the memo and the on-disk cache when
+     * permitted. Thread-safe; concurrent calls for the same triple
+     * deduplicate onto a single simulation.
      */
     RunResult run(const std::string &alias, const SimConfig &config);
 
-    /** Force a fresh simulation (never touches the cache). */
+    /**
+     * Execute a batch of runs on a JobPool of resolvedJobs() workers
+     * (inline when 1) and return the results in request order.
+     * Duplicate requests are simulated once. Results are bit-identical
+     * to issuing the same run() calls serially.
+     */
+    std::vector<RunResult> runAll(const std::vector<RunRequest> &requests);
+
+    /** Force a fresh simulation (never touches the cache or memo). */
     RunResult simulate(const std::string &alias, const SimConfig &config);
 
     const BenchParams &params() const { return params_; }
 
+    /** Snapshot of the sweep accounting so far. */
+    SweepStats sweepStats() const;
+
   private:
+    /** A memoized run: filled once, then shared by every requester. */
+    struct MemoEntry {
+        bool done = false;
+        RunResult result;
+    };
+
     std::string cachePath(const std::string &alias,
                           const SimConfig &config) const;
 
+    /** run() body: memo lookup / in-flight wait / compute-and-publish. */
+    RunResult runMemoized(const std::string &alias, const SimConfig &config);
+
+    /** Disk-cache lookup, else simulate and write-back atomically. */
+    RunResult computeUncached(const std::string &alias,
+                              const SimConfig &config,
+                              const std::string &path, bool &from_disk);
+
     WorkloadFactory factory_;
     BenchParams params_;
+
+    mutable std::mutex mu_;
+    std::condition_variable memo_done_;
+    std::map<std::string, std::shared_ptr<MemoEntry>> memo_;
+    SweepStats stats_;
 };
 
 /**
  * Version tag mixed into cache filenames; bump when simulation semantics
- * change so stale results are never reused.
+ * or the persisted RunResult schema change so stale results are never
+ * reused. v2: added per-run sim_wall_ms.
  */
-constexpr int kResultCacheVersion = 1;
+constexpr int kResultCacheVersion = 2;
 
 } // namespace evrsim
 

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * JobPool implementation.
+ */
+#include "driver/job_pool.hpp"
+
+#include "common/log.hpp"
+
+namespace evrsim {
+
+JobPool::JobPool(int threads) : threads_(threads)
+{
+    EVRSIM_ASSERT(threads_ >= 1);
+    if (threads_ == 1)
+        return; // inline mode: no workers
+    workers_.reserve(static_cast<std::size_t>(threads_));
+    for (int i = 0; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+JobPool::~JobPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+JobPool::submit(std::function<void()> job)
+{
+    EVRSIM_ASSERT(job != nullptr);
+    if (threads_ == 1) {
+        job(); // serial path: execute in submission order, same thread
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        EVRSIM_ASSERT(!stop_);
+        queue_.push_back(std::move(job));
+        ++pending_;
+    }
+    work_ready_.notify_one();
+}
+
+void
+JobPool::wait()
+{
+    if (threads_ == 1)
+        return;
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+JobPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_ready_.wait(lock,
+                             [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to run
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--pending_ == 0)
+                all_done_.notify_all();
+        }
+    }
+}
+
+int
+JobPool::defaultThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+} // namespace evrsim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * JobPool: a small fixed-size thread pool for the experiment scheduler.
+ *
+ * The pool exists to parallelize *independent* simulations — each job
+ * owns its own GpuSimulator/MemorySystem/Scene, so workers never share
+ * simulator state and parallel results are bit-identical to serial ones.
+ *
+ * A pool of size 1 runs every job inline on the submitting thread, which
+ * restores the exact serial execution order (and stack) of a plain loop;
+ * `EVRSIM_JOBS=1` therefore reproduces the historical serial bench path.
+ */
+#ifndef EVRSIM_DRIVER_JOB_POOL_HPP
+#define EVRSIM_DRIVER_JOB_POOL_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace evrsim {
+
+/** Fixed-size worker pool with a FIFO job queue. */
+class JobPool
+{
+  public:
+    /**
+     * @param threads number of workers (>= 1). With 1, jobs execute
+     *                inline in submit() and no thread is spawned.
+     */
+    explicit JobPool(int threads);
+
+    /** Drains the queue (waits for pending jobs), then joins workers. */
+    ~JobPool();
+
+    JobPool(const JobPool &) = delete;
+    JobPool &operator=(const JobPool &) = delete;
+
+    /** Enqueue one job. Jobs must not throw. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished executing. */
+    void wait();
+
+    int threadCount() const { return threads_; }
+
+    /** Default worker count: hardware_concurrency, at least 1. */
+    static int defaultThreads();
+
+  private:
+    void workerLoop();
+
+    int threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable work_ready_;  ///< queue non-empty or stopping
+    std::condition_variable all_done_;    ///< pending_ reached zero
+    std::deque<std::function<void()>> queue_;
+    std::size_t pending_ = 0; ///< queued + currently-running jobs
+    bool stop_ = false;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_DRIVER_JOB_POOL_HPP

@@ -123,4 +123,30 @@ printPaperShape(const std::string &expectation)
     std::printf("\npaper shape: %s\n\n", expectation.c_str());
 }
 
+void
+printSweepSummary(const ExperimentRunner &runner)
+{
+    SweepStats s = runner.sweepStats();
+    std::printf("sweep: %llu runs (%llu simulated, %llu disk cache, "
+                "%llu memo) on %d job(s)\n",
+                static_cast<unsigned long long>(s.requested),
+                static_cast<unsigned long long>(s.simulated),
+                static_cast<unsigned long long>(s.disk_hits),
+                static_cast<unsigned long long>(s.memo_hits),
+                runner.params().resolvedJobs());
+    if (s.batch_wall_ms > 0.0 && s.simulated > 0) {
+        double secs = s.batch_wall_ms / 1000.0;
+        std::printf("sweep throughput: %.2f sims/s, %.1f frames/s "
+                    "(%.2fs wall, %.2fs aggregate sim time, "
+                    "avg concurrency %.2fx)\n",
+                    s.simulated / secs, s.frames_simulated / secs, secs,
+                    s.sim_wall_ms / 1000.0, s.sim_wall_ms / s.batch_wall_ms);
+    } else if (s.batch_wall_ms > 0.0) {
+        std::printf("sweep throughput: all runs served from cache in "
+                    "%.2fs wall\n",
+                    s.batch_wall_ms / 1000.0);
+    }
+    std::printf("\n");
+}
+
 } // namespace evrsim

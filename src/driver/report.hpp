@@ -54,6 +54,15 @@ void printBenchHeader(const std::string &experiment_id,
 /** Print the paper-vs-measured comparison footer line. */
 void printPaperShape(const std::string &expectation);
 
+/**
+ * Print the sweep throughput summary for a bench binary: how the
+ * requested runs were satisfied (simulated / disk cache / memo), the
+ * batch wall-clock, sims/s and frames/s, and the aggregate-sim-time to
+ * wall-clock ratio (the scheduler's average concurrency). Speedup is
+ * measured by comparing sims/s between EVRSIM_JOBS=1 and =N runs.
+ */
+void printSweepSummary(const ExperimentRunner &runner);
+
 } // namespace evrsim
 
 #endif // EVRSIM_DRIVER_REPORT_HPP

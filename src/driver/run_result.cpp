@@ -180,7 +180,7 @@ frameStatsFromJson(const Json &j)
 }
 
 Json
-RunResult::toJson() const
+RunResult::toJson(bool include_host_timing) const
 {
     Json j = Json::object();
     j.set("workload", workload);
@@ -202,6 +202,8 @@ RunResult::toJson() const
     j.set("energy", std::move(e));
 
     j.set("image_crc", static_cast<std::uint64_t>(image_crc));
+    if (include_host_timing)
+        j.set("sim_wall_ms", sim_wall_ms);
     return j;
 }
 
@@ -227,6 +229,7 @@ RunResult::fromJson(const Json &j)
     r.energy.layer_writes_nj = e.at("layer_writes_nj").asDouble();
 
     r.image_crc = static_cast<std::uint32_t>(j.at("image_crc").asU64());
+    r.sim_wall_ms = j.get("sim_wall_ms", Json(0.0)).asDouble();
     return r;
 }
 

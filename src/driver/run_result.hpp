@@ -31,6 +31,14 @@ struct RunResult {
     /** CRC32 of the final frame's pixels (output-identity checks). */
     std::uint32_t image_crc = 0;
 
+    /**
+     * Host wall-clock of the simulation that produced this result, in
+     * milliseconds (0 when unknown). Host-timing metadata, not a
+     * simulated statistic: it is excluded from toJson(false), which the
+     * determinism checks compare byte-for-byte across scheduler widths.
+     */
+    double sim_wall_ms = 0.0;
+
     // --- Convenience metrics used by the benches ---
     std::uint64_t totalCycles() const { return totals.totalCycles(); }
     double totalEnergyNj() const { return energy.total(); }
@@ -64,7 +72,12 @@ struct RunResult {
         return totals.shadedFragmentsPerPixel(pixels);
     }
 
-    Json toJson() const;
+    /**
+     * Serialize. @p include_host_timing controls the sim_wall_ms field;
+     * pass false to get the deterministic, simulation-only document
+     * (identical bytes regardless of host speed or EVRSIM_JOBS).
+     */
+    Json toJson(bool include_host_timing = true) const;
     static RunResult fromJson(const Json &j);
 };
 

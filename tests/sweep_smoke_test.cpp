@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Parallel-sweep smoke test: exercise the JobPool-backed scheduler on
+ * two tiny registry workloads (one 2D, one 3D) across the three main
+ * configurations, and check parallel output against the serial path.
+ *
+ * This is the TSan target: built with -DEVRSIM_SANITIZE=thread it takes
+ * the full concurrent path — worker threads, in-flight memo
+ * deduplication, the shared sweep statistics, and line-at-a-time
+ * logging — under the race detector while staying fast enough for CI.
+ */
+#include <gtest/gtest.h>
+
+#include "driver/experiment.hpp"
+#include "workloads/registry.hpp"
+
+using namespace evrsim;
+
+namespace {
+
+BenchParams
+smokeParams(int jobs)
+{
+    BenchParams p;
+    p.width = 64;
+    p.height = 48;
+    p.frames = 2;
+    p.warmup = 1;
+    p.use_cache = false;
+    p.jobs = jobs;
+    return p;
+}
+
+std::vector<RunRequest>
+smokeBatch(const GpuConfig &gpu)
+{
+    std::vector<RunRequest> reqs;
+    for (const char *alias : {"ccs", "300"}) {
+        reqs.push_back({alias, SimConfig::baseline(gpu)});
+        reqs.push_back({alias, SimConfig::renderingElimination(gpu)});
+        reqs.push_back({alias, SimConfig::evr(gpu)});
+    }
+    // A duplicate, so the in-flight deduplication path runs under TSan.
+    reqs.push_back({"ccs", SimConfig::evr(gpu)});
+    return reqs;
+}
+
+} // namespace
+
+TEST(SweepSmoke, ParallelRegistrySweepMatchesSerial)
+{
+    ExperimentRunner serial(workloads::factory(), smokeParams(1));
+    ExperimentRunner parallel(workloads::factory(), smokeParams(4));
+
+    std::vector<RunRequest> reqs = smokeBatch(smokeParams(1).gpuConfig());
+    std::vector<RunResult> a = serial.runAll(reqs);
+    std::vector<RunResult> b = parallel.runAll(reqs);
+
+    ASSERT_EQ(a.size(), reqs.size());
+    ASSERT_EQ(b.size(), reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+        EXPECT_EQ(a[i].toJson(false).dump(), b[i].toJson(false).dump())
+            << reqs[i].alias << "/" << reqs[i].config.name;
+
+    SweepStats stats = parallel.sweepStats();
+    EXPECT_EQ(stats.requested, reqs.size());
+    EXPECT_EQ(stats.simulated, reqs.size() - 1); // duplicate memoized
+    EXPECT_EQ(stats.memo_hits, 1u);
+}
