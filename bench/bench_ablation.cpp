@@ -34,7 +34,7 @@ main()
                        "z-prepass"});
     std::vector<double> re_v, ro_v, fo_v, full_v, zp_v;
 
-    for (const std::string &alias : workloads::allAliases()) {
+    for (const std::string &alias : ctx.aliases()) {
         RunResult base = ctx.runner.run(alias, SimConfig::baseline(ctx.gpu()));
         RunResult re =
             ctx.runner.run(alias, SimConfig::renderingElimination(ctx.gpu()));
@@ -68,5 +68,5 @@ main()
         "motion; the full technique dominates both (the two halves "
         "address disjoint waste); the real Z-Prepass pays its extra "
         "pass — the paper's argument for EVR needing no prepass");
-    return 0;
+    return ctx.exitCode();
 }

@@ -18,6 +18,7 @@
 #ifndef EVRSIM_BENCH_BENCH_COMMON_HPP
 #define EVRSIM_BENCH_BENCH_COMMON_HPP
 
+#include <algorithm>
 #include <vector>
 
 #include "driver/experiment.hpp"
@@ -32,6 +33,7 @@ struct BenchContext {
     BenchParams params;
     ExperimentRunner runner;
     std::vector<RunRequest> plan;
+    BatchOutcome outcome; ///< filled by prefetch()
 
     BenchContext()
         : params(benchParamsFromEnv()),
@@ -61,12 +63,52 @@ struct BenchContext {
      * Execute every declared run on the EVRSIM_JOBS-wide scheduler and
      * print the sweep throughput summary. Later run() calls for the
      * declared triples return instantly from the in-memory memo.
+     *
+     * Runs that fail permanently (after quarantine/retry) are reported
+     * and excluded from aliases(); the binary still prints its tables
+     * from the surviving runs and returns exitCode() != 0.
      */
     void
     prefetch()
     {
-        runner.runAll(plan);
+        outcome = runner.runAllChecked(plan);
         printSweepSummary(runner);
+        printFailureReport(outcome);
+    }
+
+    /** True when every declared run for @p alias succeeded. */
+    bool
+    ok(const std::string &alias) const
+    {
+        for (const RunFailure &f : outcome.failures)
+            if (f.alias == alias)
+                return false;
+        return true;
+    }
+
+    /**
+     * The planned workload aliases, in first-declared order without
+     * duplicates, minus any with a failed run — the alias list the
+     * binary's table loops should iterate.
+     */
+    std::vector<std::string>
+    aliases() const
+    {
+        std::vector<std::string> out;
+        for (const RunRequest &r : plan) {
+            if (std::find(out.begin(), out.end(), r.alias) != out.end())
+                continue;
+            if (ok(r.alias))
+                out.push_back(r.alias);
+        }
+        return out;
+    }
+
+    /** Process exit status: 0 on a clean sweep, 1 if any run failed. */
+    int
+    exitCode() const
+    {
+        return outcome.ok() ? 0 : 1;
     }
 };
 

@@ -27,7 +27,7 @@ main()
                        "bar"});
     std::vector<double> ratios;
 
-    for (const std::string &alias : workloads::allAliases()) {
+    for (const std::string &alias : ctx.aliases()) {
         RunResult base = ctx.runner.run(alias, SimConfig::baseline(ctx.gpu()));
         RunResult evr = ctx.runner.run(alias, SimConfig::evr(ctx.gpu()));
 
@@ -50,5 +50,5 @@ main()
         "paper reports 43% average energy saving, savings in every "
         "benchmark (max >80% for cde/dpe); overheads: ~2.1% layer "
         "writes, ~1.2% EVR+RE hardware");
-    return 0;
+    return ctx.exitCode();
 }

@@ -27,7 +27,7 @@ main()
         {"bench", "EVR/base", "geom", "raster", "geom-share", "bar"});
     std::vector<double> ratios;
 
-    for (const std::string &alias : workloads::allAliases()) {
+    for (const std::string &alias : ctx.aliases()) {
         RunResult base = ctx.runner.run(alias, SimConfig::baseline(ctx.gpu()));
         RunResult evr = ctx.runner.run(alias, SimConfig::evr(ctx.gpu()));
 
@@ -50,5 +50,5 @@ main()
         "paper reports 39% average execution-time reduction, gains in "
         "every benchmark (max >70% for ccs/cde/dpe); geometry overhead "
         "of signatures ~0.5% of total");
-    return 0;
+    return ctx.exitCode();
 }

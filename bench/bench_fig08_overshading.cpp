@@ -31,7 +31,7 @@ main()
                        "oracle-red."});
     std::vector<double> base_v, evr_v, oracle_v;
 
-    for (const std::string &alias : workloads::aliases3D()) {
+    for (const std::string &alias : ctx.aliases()) {
         RunResult base = ctx.runner.run(alias, SimConfig::baseline(ctx.gpu()));
         RunResult evr =
             ctx.runner.run(alias, SimConfig::evrReorderOnly(ctx.gpu()));
@@ -59,5 +59,5 @@ main()
         "paper reports ~20% fewer shaded fragments with EVR, close to "
         "(but not reaching) the oracle; the gap comes from prediction "
         "granularity (primitive vs fragment) and one-frame staleness");
-    return 0;
+    return ctx.exitCode();
 }

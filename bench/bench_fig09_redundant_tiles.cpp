@@ -27,7 +27,7 @@ main()
     ReportTable table({"bench", "RE", "EVR", "oracle", "EVR-RE", "bar(EVR)"});
     std::vector<double> re_v, evr_v, oracle_v;
 
-    for (const std::string &alias : workloads::allAliases()) {
+    for (const std::string &alias : ctx.aliases()) {
         RunResult re =
             ctx.runner.run(alias, SimConfig::renderingElimination(ctx.gpu()));
         RunResult evr = ctx.runner.run(alias, SimConfig::evr(ctx.gpu()));
@@ -57,5 +57,5 @@ main()
         "largest gains where hidden geometry moves under covers "
         "(300/mst HUDs, wmw/hay menus, >10% extra there); oracle above "
         "both everywhere");
-    return 0;
+    return ctx.exitCode();
 }

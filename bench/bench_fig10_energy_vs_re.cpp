@@ -24,7 +24,7 @@ main()
     ReportTable table({"bench", "EVR/RE", "EVR-overheads", "bar"});
     std::vector<double> ratios;
 
-    for (const std::string &alias : workloads::allAliases()) {
+    for (const std::string &alias : ctx.aliases()) {
         RunResult re =
             ctx.runner.run(alias, SimConfig::renderingElimination(ctx.gpu()));
         RunResult evr = ctx.runner.run(alias, SimConfig::evr(ctx.gpu()));
@@ -49,5 +49,5 @@ main()
         "EVR's extra structures (LGT/Layer Buffer/FVP Table, layer "
         "writes) cost ~1-2%, more than offset by extra skipped tiles "
         "and Early-Z improvements");
-    return 0;
+    return ctx.exitCode();
 }

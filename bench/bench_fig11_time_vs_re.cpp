@@ -30,7 +30,7 @@ main()
                        "geom-delta"});
     std::vector<double> re_v, evr_v, geom_delta_v;
 
-    for (const std::string &alias : workloads::allAliases()) {
+    for (const std::string &alias : ctx.aliases()) {
         RunResult base = ctx.runner.run(alias, SimConfig::baseline(ctx.gpu()));
         RunResult re =
             ctx.runner.run(alias, SimConfig::renderingElimination(ctx.gpu()));
@@ -65,5 +65,5 @@ main()
         "~4% below RE's (except hop, whose few primitives concentrate "
         "in few tiles); RE alone can lose time on low-redundancy 3D "
         "benchmarks (300/mst) where EVR still wins via reordering");
-    return 0;
+    return ctx.exitCode();
 }

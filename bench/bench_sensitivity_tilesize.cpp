@@ -40,7 +40,7 @@ main()
     ReportTable table({"bench", "tile", "skip%", "cycles/base16",
                        "fvp-entries"});
 
-    for (const char *alias : kAliases) {
+    for (const std::string &alias : ctx.aliases()) {
         // Reference: baseline at the paper's 16x16.
         RunResult base16 =
             ctx.runner.run(alias, SimConfig::baseline(ctx.gpu()));
@@ -64,5 +64,5 @@ main()
         "binning cost; 8x8 skips a larger screen fraction at 4x the "
         "table entries, 32x32 loses skips because any change dirties "
         "4x the area — consistent with the paper's choice");
-    return 0;
+    return ctx.exitCode();
 }

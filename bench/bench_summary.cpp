@@ -33,7 +33,7 @@ main()
         layer_overhead, hw_overhead, geom_sig_share;
     std::vector<double> overshade_base, overshade_evr;
 
-    for (const std::string &alias : workloads::allAliases()) {
+    for (const std::string &alias : ctx.aliases()) {
         RunResult base = ctx.runner.run(alias, SimConfig::baseline(ctx.gpu()));
         RunResult re =
             ctx.runner.run(alias, SimConfig::renderingElimination(ctx.gpu()));
@@ -79,5 +79,5 @@ main()
         "analytic timing/energy substitutes; the qualitative claims — "
         "EVR wins everywhere, overheads ~1-2%, EVR > RE on tiles — are "
         "the reproduction target (see EXPERIMENTS.md)");
-    return 0;
+    return ctx.exitCode();
 }

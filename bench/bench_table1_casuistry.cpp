@@ -32,7 +32,7 @@ main()
 
     std::uint64_t grand[4] = {0, 0, 0, 0};
 
-    for (const std::string &alias : workloads::allAliases()) {
+    for (const std::string &alias : ctx.aliases()) {
         // Reorder-only: every tile renders, so ground truth exists for
         // every pair (RE-skipped tiles have no per-frame ground truth).
         RunResult r =
@@ -75,5 +75,5 @@ main()
         "scenario C is the RE improvement (hidden primitives whose "
         "changes are ignored); scenario D must be rare and is rendered "
         "safely (signature mismatch or poisoning forces a re-render)");
-    return 0;
+    return ctx.exitCode();
 }

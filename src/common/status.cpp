@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Status implementation.
+ */
+#include "common/status.hpp"
+
+namespace evrsim {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return "OK";
+      case ErrorCode::InvalidArgument:
+        return "INVALID_ARGUMENT";
+      case ErrorCode::NotFound:
+        return "NOT_FOUND";
+      case ErrorCode::DataLoss:
+        return "DATA_LOSS";
+      case ErrorCode::Unavailable:
+        return "UNAVAILABLE";
+      case ErrorCode::DeadlineExceeded:
+        return "DEADLINE_EXCEEDED";
+      case ErrorCode::Internal:
+        return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+} // namespace evrsim

@@ -12,7 +12,10 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
+#include "common/crc32.hpp"
+#include "common/env.hpp"
 #include "common/log.hpp"
 #include "driver/job_pool.hpp"
 
@@ -45,8 +48,8 @@ BenchParams::resolvedJobs() const
     return jobs > 0 ? jobs : JobPool::defaultThreads();
 }
 
-BenchParams
-benchParamsFromEnv()
+Result<BenchParams>
+benchParamsFromEnvChecked()
 {
     BenchParams p;
     if (const char *full = std::getenv("EVRSIM_FULL");
@@ -55,36 +58,61 @@ benchParamsFromEnv()
         p.height = 768;
         p.frames = 60;
     }
-    if (const char *warmup = std::getenv("EVRSIM_WARMUP")) {
-        int n = std::atoi(warmup);
-        if (n < 0)
-            fatal("EVRSIM_WARMUP must be non-negative");
-        p.warmup = n;
-    }
-    if (const char *frames = std::getenv("EVRSIM_FRAMES")) {
-        int n = std::atoi(frames);
-        if (n <= 0)
-            fatal("EVRSIM_FRAMES must be a positive integer");
-        p.frames = n;
-    }
+
+    // Strictly validated numeric knobs: name, range, destination.
+    long long v = 0;
+    bool present = false;
+    if (Status s = readIntKnob("EVRSIM_WARMUP", 0, 1000000, v, present);
+        !s.ok())
+        return s;
+    if (present)
+        p.warmup = static_cast<int>(v);
+    if (Status s = readIntKnob("EVRSIM_FRAMES", 1, 1000000, v, present);
+        !s.ok())
+        return s;
+    if (present)
+        p.frames = static_cast<int>(v);
+    if (Status s = readIntKnob("EVRSIM_JOBS", 1, 4096, v, present);
+        !s.ok())
+        return s;
+    if (present)
+        p.jobs = static_cast<int>(v);
+    if (Status s = readIntKnob("EVRSIM_JOB_TIMEOUT_MS", 0, 86400000, v,
+                               present);
+        !s.ok())
+        return s;
+    if (present)
+        p.job_timeout_ms = static_cast<int>(v);
+
     if (const char *nc = std::getenv("EVRSIM_NO_CACHE"); nc && nc[0] == '1')
         p.use_cache = false;
     if (const char *dir = std::getenv("EVRSIM_CACHE_DIR"))
         p.cache_dir = dir;
     else
         p.cache_dir = ".bench_cache";
-    if (const char *jobs = std::getenv("EVRSIM_JOBS")) {
-        int n = std::atoi(jobs);
-        if (n <= 0)
-            fatal("EVRSIM_JOBS must be a positive integer");
-        p.jobs = n;
-    }
     return p;
+}
+
+BenchParams
+benchParamsFromEnv()
+{
+    Result<BenchParams> p = benchParamsFromEnvChecked();
+    if (!p.ok())
+        fatal("%s", p.status().message().c_str());
+    return p.value();
 }
 
 ExperimentRunner::ExperimentRunner(WorkloadFactory factory,
                                    const BenchParams &params)
-    : factory_(std::move(factory)), params_(params)
+    : ExperimentRunner(std::move(factory), params,
+                       FaultInjector::planFromEnv())
+{
+}
+
+ExperimentRunner::ExperimentRunner(WorkloadFactory factory,
+                                   const BenchParams &params,
+                                   const FaultPlan &faults)
+    : factory_(std::move(factory)), params_(params), fault_(faults)
 {
     EVRSIM_ASSERT(factory_ != nullptr);
 }
@@ -101,97 +129,256 @@ ExperimentRunner::cachePath(const std::string &alias,
     return (std::filesystem::path(params_.cache_dir) / name.str()).string();
 }
 
-RunResult
-ExperimentRunner::simulate(const std::string &alias, const SimConfig &config)
+Result<RunResult>
+ExperimentRunner::trySimulate(const std::string &alias,
+                              const SimConfig &config)
 {
+    // Injected job fault: reported as transient so the retry policy in
+    // computeUncached() engages, exactly like a real I/O hiccup would.
+    if (fault_.shouldFail(FaultSite::JobExecute))
+        return Status::unavailable("injected job-execute fault (" +
+                                   alias + "/" + config.name + ")");
+
     auto start = std::chrono::steady_clock::now();
 
-    std::unique_ptr<Workload> workload =
-        factory_(alias, params_.width, params_.height);
-    if (!workload)
-        fatal("unknown workload alias '%s'", alias.c_str());
+    // Cooperative watchdog: a runaway simulation is caught at the next
+    // frame boundary (frames are the natural unit of progress; nothing
+    // inside a frame blocks, so between-frame checks bound the overrun
+    // to one frame's wall-clock).
+    auto overDeadline = [&]() {
+        return params_.job_timeout_ms > 0 &&
+               elapsedMs(start) >
+                   static_cast<double>(params_.job_timeout_ms);
+    };
+    auto deadlineStatus = [&](int frames_done) {
+        return Status::deadlineExceeded(
+            alias + "/" + config.name + " exceeded EVRSIM_JOB_TIMEOUT_MS=" +
+            std::to_string(params_.job_timeout_ms) + " after " +
+            std::to_string(frames_done) + " frame(s)");
+    };
 
-    GpuSimulator sim(config);
-    workload->setup(sim);
+    try {
+        std::unique_ptr<Workload> workload =
+            factory_(alias, params_.width, params_.height);
+        if (!workload)
+            return Status::notFound("unknown workload alias '" + alias +
+                                    "'");
 
-    // Warm-up: establish FVP and signature state, then measure.
-    for (int f = 0; f < params_.warmup; ++f)
-        sim.renderFrame(workload->frame(f));
-    sim.resetTotals();
+        GpuSimulator sim(config);
+        workload->setup(sim);
 
-    for (int f = 0; f < params_.frames; ++f)
-        sim.renderFrame(workload->frame(params_.warmup + f));
+        // Warm-up: establish FVP and signature state, then measure.
+        for (int f = 0; f < params_.warmup; ++f) {
+            sim.renderFrame(workload->frame(f));
+            if (overDeadline())
+                return deadlineStatus(f + 1);
+        }
+        sim.resetTotals();
 
-    RunResult r;
-    r.workload = alias;
-    r.config = config.name;
-    r.frames = params_.frames;
-    r.width = params_.width;
-    r.height = params_.height;
-    r.totals = sim.totals();
-    r.energy = sim.energyOf(sim.totals());
-    r.image_crc = sim.framebuffer().contentCrc();
-    r.sim_wall_ms = elapsedMs(start);
-    return r;
+        for (int f = 0; f < params_.frames; ++f) {
+            sim.renderFrame(workload->frame(params_.warmup + f));
+            if (overDeadline())
+                return deadlineStatus(params_.warmup + f + 1);
+        }
+
+        RunResult r;
+        r.workload = alias;
+        r.config = config.name;
+        r.frames = params_.frames;
+        r.width = params_.width;
+        r.height = params_.height;
+        r.totals = sim.totals();
+        r.energy = sim.energyOf(sim.totals());
+        r.image_crc = sim.framebuffer().contentCrc();
+        r.sim_wall_ms = elapsedMs(start);
+        return r;
+    } catch (const TransientError &e) {
+        return Status::unavailable("workload '" + alias +
+                                   "' raised a transient error: " +
+                                   e.what());
+    } catch (const std::exception &e) {
+        return Status::internal("workload '" + alias +
+                                "' threw: " + e.what());
+    } catch (...) {
+        return Status::internal("workload '" + alias +
+                                "' threw a non-std exception");
+    }
 }
 
 RunResult
+ExperimentRunner::simulate(const std::string &alias, const SimConfig &config)
+{
+    Result<RunResult> r = trySimulate(alias, config);
+    if (!r.ok())
+        fatal("%s", r.status().toString().c_str());
+    return r.value();
+}
+
+Result<RunResult>
+ExperimentRunner::loadCacheEntry(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status::notFound("no cache entry at " + path);
+
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof())
+        return Status::dataLoss("read error on " + path);
+
+    if (fault_.shouldFail(FaultSite::CacheRead))
+        return Status::dataLoss("injected cache-read fault");
+
+    Result<Json> doc = Json::tryParse(buf.str());
+    if (!doc.ok())
+        return doc.status();
+
+    // v3 envelope: {schema, payload_crc32, payload}. The schema field
+    // guards against a foreign or stale document that happens to land
+    // at a current filename; the CRC detects any corruption of the
+    // payload bytes (truncation is caught earlier by the parse).
+    const Json &envelope = doc.value();
+    const Json *schema = envelope.find("schema");
+    if (!schema)
+        return Status::dataLoss("missing schema field");
+    Result<std::int64_t> schema_v = schema->tryAsI64();
+    if (!schema_v.ok())
+        return schema_v.status().withContext("schema");
+    if (schema_v.value() != kResultCacheVersion)
+        return Status::dataLoss(
+            "schema version " + std::to_string(schema_v.value()) +
+            " does not match expected " +
+            std::to_string(kResultCacheVersion));
+
+    const Json *crc = envelope.find("payload_crc32");
+    const Json *payload = envelope.find("payload");
+    if (!crc || !payload)
+        return Status::dataLoss("missing payload or payload_crc32 field");
+    Result<std::uint64_t> want = crc->tryAsU64();
+    if (!want.ok())
+        return want.status().withContext("payload_crc32");
+
+    // The CRC covers the canonical re-serialization of the payload, so
+    // it survives whitespace-preserving transport but catches any
+    // value-level damage.
+    std::string canonical = payload->dump(1);
+    std::uint32_t got = Crc32::of(canonical.data(), canonical.size());
+    if (got != static_cast<std::uint32_t>(want.value()))
+        return Status::dataLoss("payload CRC mismatch (entry damaged)");
+
+    return RunResult::tryFromJson(*payload);
+}
+
+void
+ExperimentRunner::quarantine(const std::string &path, const Status &why)
+{
+    std::string dest = path + ".corrupt";
+    std::error_code ec;
+    std::filesystem::rename(path, dest, ec);
+    if (ec) {
+        // Could not set it aside (permissions, races): remove instead,
+        // so the bad entry cannot poison the next sweep either way.
+        warn("could not quarantine %s (%s); removing it", path.c_str(),
+             ec.message().c_str());
+        std::filesystem::remove(path, ec);
+    } else {
+        warn("quarantined corrupt cache entry %s -> %s: %s", path.c_str(),
+             dest.c_str(), why.toString().c_str());
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.quarantined;
+}
+
+void
+ExperimentRunner::storeCacheEntry(const std::string &path,
+                                  const RunResult &r)
+{
+    if (fault_.shouldFail(FaultSite::CacheWrite)) {
+        warn("injected cache-write fault, not publishing %s",
+             path.c_str());
+        return;
+    }
+
+    std::error_code ec;
+    std::filesystem::create_directories(params_.cache_dir, ec);
+
+    Json payload = r.toJson();
+    std::string canonical = payload.dump(1);
+    Json envelope = Json::object();
+    envelope.set("schema", kResultCacheVersion);
+    envelope.set("payload_crc32",
+                 static_cast<std::uint64_t>(
+                     Crc32::of(canonical.data(), canonical.size())));
+    envelope.set("payload", std::move(payload));
+
+    // Write-then-rename so a concurrent bench binary (or a kill mid
+    // write) can never observe a truncated entry: rename() within a
+    // directory is atomic on POSIX. The tmp name is pid-qualified;
+    // within one process the memo guarantees a single writer per key.
+    std::filesystem::path tmp = path + ".tmp." + std::to_string(::getpid());
+    std::ofstream out(tmp);
+    if (out) {
+        out << envelope.dump(1);
+        out.close();
+        if (!out) {
+            warn("could not write cache entry %s", tmp.c_str());
+            std::filesystem::remove(tmp, ec);
+        } else {
+            std::filesystem::rename(tmp, path, ec);
+            if (ec) {
+                warn("could not publish cache entry %s: %s", path.c_str(),
+                     ec.message().c_str());
+                std::filesystem::remove(tmp, ec);
+            }
+        }
+    } else {
+        warn("could not write cache entry %s", tmp.c_str());
+    }
+}
+
+ExperimentRunner::RunOutcome
 ExperimentRunner::computeUncached(const std::string &alias,
                                   const SimConfig &config,
                                   const std::string &path, bool &from_disk)
 {
     from_disk = false;
     if (params_.use_cache) {
-        std::ifstream in(path);
-        if (in) {
-            std::ostringstream buf;
-            buf << in.rdbuf();
-            bool ok = false;
-            std::string error;
-            Json j = Json::parse(buf.str(), ok, error);
-            if (ok) {
-                from_disk = true;
-                return RunResult::fromJson(j);
-            }
-            warn("discarding corrupt cache entry %s: %s", path.c_str(),
-                 error.c_str());
+        Result<RunResult> cached = loadCacheEntry(path);
+        if (cached.ok()) {
+            from_disk = true;
+            return {cached.value(), Status(), 0};
         }
+        // A plain miss (NotFound) is the normal cold path; anything
+        // else means the entry exists but cannot be trusted — set it
+        // aside for post-mortem and fall through to re-simulation.
+        if (cached.status().code() != ErrorCode::NotFound)
+            quarantine(path, cached.status());
     }
 
-    RunResult r = simulate(alias, config);
-
-    if (params_.use_cache) {
-        std::error_code ec;
-        std::filesystem::create_directories(params_.cache_dir, ec);
-        // Write-then-rename so a concurrent bench binary (or a kill mid
-        // write) can never observe a truncated entry: rename() within a
-        // directory is atomic on POSIX. The tmp name is pid-qualified;
-        // within one process the memo guarantees a single writer per key.
-        std::filesystem::path tmp =
-            path + ".tmp." + std::to_string(::getpid());
-        std::ofstream out(tmp);
-        if (out) {
-            out << r.toJson().dump(1);
-            out.close();
-            if (!out) {
-                warn("could not write cache entry %s", tmp.c_str());
-                std::filesystem::remove(tmp, ec);
-            } else {
-                std::filesystem::rename(tmp, path, ec);
-                if (ec) {
-                    warn("could not publish cache entry %s: %s",
-                         path.c_str(), ec.message().c_str());
-                    std::filesystem::remove(tmp, ec);
-                }
-            }
-        } else {
-            warn("could not write cache entry %s", tmp.c_str());
+    RunOutcome outcome;
+    for (int attempt = 1; attempt <= kJobMaxAttempts; ++attempt) {
+        outcome.attempts = attempt;
+        Result<RunResult> r = trySimulate(alias, config);
+        if (r.ok()) {
+            outcome.result = r.value();
+            outcome.status = Status();
+            if (params_.use_cache)
+                storeCacheEntry(path, outcome.result);
+            return outcome;
         }
+        outcome.status = r.status();
+        if (!outcome.status.isTransient() || attempt == kJobMaxAttempts)
+            break;
+        int backoff_ms = kRetryBaseMs << (attempt - 1);
+        warn("run %s/%s attempt %d/%d failed (%s); retrying in %d ms",
+             alias.c_str(), config.name.c_str(), attempt, kJobMaxAttempts,
+             outcome.status.toString().c_str(), backoff_ms);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
     }
-    return r;
+    return outcome;
 }
 
-RunResult
+ExperimentRunner::RunOutcome
 ExperimentRunner::runMemoized(const std::string &alias,
                               const SimConfig &config)
 {
@@ -204,11 +391,13 @@ ExperimentRunner::runMemoized(const std::string &alias,
         auto it = memo_.find(key);
         if (it != memo_.end()) {
             // Either already computed or in flight on another worker;
-            // both count as a memo hit for this requester.
+            // both count as a memo hit for this requester. Failures
+            // memoize too: a triple that exhausted its retries is not
+            // retried again by every later requester.
             entry = it->second;
             memo_done_.wait(lock, [&] { return entry->done; });
             ++stats_.memo_hits;
-            return entry->result;
+            return entry->outcome;
         }
         entry = std::make_shared<MemoEntry>();
         memo_.emplace(key, entry);
@@ -217,14 +406,19 @@ ExperimentRunner::runMemoized(const std::string &alias,
     // We own the computation for this key; everyone else waits on entry.
     bool from_disk = false;
     auto start = std::chrono::steady_clock::now();
-    RunResult r = computeUncached(alias, config, key, from_disk);
+    RunOutcome outcome = computeUncached(alias, config, key, from_disk);
     double wall_ms = elapsedMs(start);
 
     {
         std::lock_guard<std::mutex> lock(mu_);
-        entry->result = r;
+        entry->outcome = outcome;
         entry->done = true;
-        if (from_disk) {
+        if (outcome.attempts > 1)
+            stats_.retries +=
+                static_cast<std::uint64_t>(outcome.attempts - 1);
+        if (!outcome.status.ok()) {
+            ++stats_.failed;
+        } else if (from_disk) {
             ++stats_.disk_hits;
         } else {
             ++stats_.simulated;
@@ -234,38 +428,85 @@ ExperimentRunner::runMemoized(const std::string &alias,
         }
     }
     memo_done_.notify_all();
-    return r;
+    return outcome;
+}
+
+Result<RunResult>
+ExperimentRunner::tryRun(const std::string &alias, const SimConfig &config)
+{
+    RunOutcome outcome = runMemoized(alias, config);
+    if (!outcome.status.ok())
+        return outcome.status;
+    return outcome.result;
 }
 
 RunResult
 ExperimentRunner::run(const std::string &alias, const SimConfig &config)
 {
-    return runMemoized(alias, config);
+    RunOutcome outcome = runMemoized(alias, config);
+    if (!outcome.status.ok())
+        fatal("run %s/%s failed after %d attempt(s): %s", alias.c_str(),
+              config.name.c_str(), outcome.attempts,
+              outcome.status.toString().c_str());
+    return outcome.result;
 }
 
-std::vector<RunResult>
-ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
+BatchOutcome
+ExperimentRunner::runAllChecked(const std::vector<RunRequest> &requests)
 {
     auto start = std::chrono::steady_clock::now();
-    std::vector<RunResult> results(requests.size());
+    BatchOutcome batch;
+    batch.results.resize(requests.size());
     {
+        std::mutex failures_mu;
         int jobs = params_.resolvedJobs();
         if (jobs > static_cast<int>(requests.size()) && !requests.empty())
             jobs = static_cast<int>(requests.size());
         JobPool pool(std::max(jobs, 1));
         for (std::size_t i = 0; i < requests.size(); ++i) {
-            pool.submit([this, &requests, &results, i] {
-                results[i] =
+            pool.submit([this, &requests, &batch, &failures_mu, i] {
+                RunOutcome outcome =
                     runMemoized(requests[i].alias, requests[i].config);
+                if (outcome.status.ok()) {
+                    batch.results[i] = outcome.result;
+                    return;
+                }
+                std::lock_guard<std::mutex> lock(failures_mu);
+                batch.failures.push_back({i, requests[i].alias,
+                                          requests[i].config.name,
+                                          outcome.status,
+                                          outcome.attempts});
             });
         }
         pool.wait();
+        // runMemoized() catches everything a job can raise, so escaped
+        // exceptions here are scheduler bugs, not workload faults.
+        EVRSIM_ASSERT(pool.failureCount() == 0);
     }
+    std::sort(batch.failures.begin(), batch.failures.end(),
+              [](const RunFailure &a, const RunFailure &b) {
+                  return a.index < b.index;
+              });
     {
         std::lock_guard<std::mutex> lock(mu_);
         stats_.batch_wall_ms += elapsedMs(start);
     }
-    return results;
+    return batch;
+}
+
+std::vector<RunResult>
+ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
+{
+    BatchOutcome batch = runAllChecked(requests);
+    if (!batch.ok()) {
+        const RunFailure &first = batch.failures.front();
+        fatal("%zu of %zu runs failed; first: %s/%s after %d attempt(s): "
+              "%s",
+              batch.failures.size(), requests.size(), first.alias.c_str(),
+              first.config.c_str(), first.attempts,
+              first.status.toString().c_str());
+    }
+    return std::move(batch.results);
 }
 
 SweepStats

@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.hpp"
+#include "common/status.hpp"
 #include "driver/run_result.hpp"
 #include "driver/sim_config.hpp"
 #include "driver/workload.hpp"
@@ -52,6 +54,10 @@ struct BenchParams {
     /** Scheduler width for runAll(); 0 = hardware_concurrency,
      *  1 = serial (EVRSIM_JOBS). */
     int jobs = 0;
+    /** Per-job wall-clock budget in milliseconds, enforced between
+     *  frames (cooperative watchdog); 0 disables
+     *  (EVRSIM_JOB_TIMEOUT_MS). */
+    int job_timeout_ms = 0;
 
     /** GpuConfig for these parameters (Table II otherwise). */
     GpuConfig gpuConfig() const;
@@ -62,19 +68,47 @@ struct BenchParams {
 
 /**
  * Resolve bench parameters from the environment:
- *   EVRSIM_FULL=1      paper-scale run (1196x768, 60 frames)
- *   EVRSIM_FRAMES=n    override the frame count
- *   EVRSIM_NO_CACHE=1  ignore and do not write the result cache
- *   EVRSIM_CACHE_DIR   cache location (default: <repo>/.bench_cache)
- *   EVRSIM_JOBS=n      scheduler workers (default: hardware_concurrency;
- *                      1 restores the serial path)
+ *   EVRSIM_FULL=1           paper-scale run (1196x768, 60 frames)
+ *   EVRSIM_FRAMES=n         override the frame count
+ *   EVRSIM_NO_CACHE=1       ignore and do not write the result cache
+ *   EVRSIM_CACHE_DIR        cache location (default: <repo>/.bench_cache)
+ *   EVRSIM_JOBS=n           scheduler workers (default:
+ *                           hardware_concurrency; 1 = serial path)
+ *   EVRSIM_JOB_TIMEOUT_MS=n per-job wall-clock watchdog (0 = off)
+ *
+ * Numeric knobs are validated strictly: a value that is not entirely a
+ * number in the accepted range is InvalidArgument naming the variable,
+ * never silently parsed as 0.
  */
+Result<BenchParams> benchParamsFromEnvChecked();
+
+/** benchParamsFromEnvChecked() that exits(1) on invalid knobs. */
 BenchParams benchParamsFromEnv();
 
 /** One declared simulation of a batch: (workload alias, configuration). */
 struct RunRequest {
     std::string alias;
     SimConfig config;
+};
+
+/** One permanently failed run of a batch (after bounded retries). */
+struct RunFailure {
+    std::size_t index = 0; ///< position in the request vector
+    std::string alias;
+    std::string config;
+    Status status;    ///< why the last attempt failed
+    int attempts = 1; ///< simulation attempts made (1 + retries)
+};
+
+/**
+ * Outcome of runAllChecked(): per-request results plus the runs that
+ * failed permanently. Failed slots in results are default-constructed;
+ * consumers must treat a request listed in failures as absent.
+ */
+struct BatchOutcome {
+    std::vector<RunResult> results;   ///< request order
+    std::vector<RunFailure> failures; ///< ascending by index
+    bool ok() const { return failures.empty(); }
 };
 
 /**
@@ -89,6 +123,10 @@ struct SweepStats {
     std::uint64_t frames_simulated = 0; ///< measured frames, cold runs only
     double sim_wall_ms = 0.0;   ///< summed per-simulation wall-clock
     double batch_wall_ms = 0.0; ///< summed runAll() wall-clock
+    // Fault accounting:
+    std::uint64_t quarantined = 0; ///< corrupt cache entries set aside
+    std::uint64_t retries = 0;     ///< extra attempts after transient failures
+    std::uint64_t failed = 0;      ///< runs that failed permanently
 };
 
 /** Simulates and caches runs. */
@@ -98,53 +136,104 @@ class ExperimentRunner
     /**
      * @param factory creates workloads by alias
      * @param params  bench parameters (cache policy, dimensions, jobs)
+     *
+     * Fault injection (EVRSIM_FAULT) is resolved from the environment;
+     * the three-argument overload takes an explicit plan for tests.
      */
     ExperimentRunner(WorkloadFactory factory, const BenchParams &params);
+    ExperimentRunner(WorkloadFactory factory, const BenchParams &params,
+                     const FaultPlan &faults);
 
     /**
      * Return the result of simulating @p alias under @p config for the
      * bench frame count, using the memo and the on-disk cache when
      * permitted. Thread-safe; concurrent calls for the same triple
-     * deduplicate onto a single simulation.
+     * deduplicate onto a single simulation. Exits(1) on permanent
+     * failure — use tryRun() where a failure must be survivable.
      */
     RunResult run(const std::string &alias, const SimConfig &config);
+
+    /** run() that propagates permanent failures instead of exiting. */
+    Result<RunResult> tryRun(const std::string &alias,
+                             const SimConfig &config);
 
     /**
      * Execute a batch of runs on a JobPool of resolvedJobs() workers
      * (inline when 1) and return the results in request order.
      * Duplicate requests are simulated once. Results are bit-identical
      * to issuing the same run() calls serially.
+     *
+     * Fault tolerance: a corrupt cache entry is quarantined to
+     * `<entry>.corrupt` and re-simulated; a transiently failing run
+     * (ErrorCode::Unavailable) is retried up to kJobMaxAttempts with
+     * exponential backoff; a permanently failing run costs only its own
+     * slot. Exits(1) if any run failed — use runAllChecked() to get
+     * partial results plus the failure list instead.
      */
     std::vector<RunResult> runAll(const std::vector<RunRequest> &requests);
 
-    /** Force a fresh simulation (never touches the cache or memo). */
+    /** runAll() that reports failures instead of exiting. */
+    BatchOutcome runAllChecked(const std::vector<RunRequest> &requests);
+
+    /**
+     * Force a fresh simulation (never touches the cache or memo, never
+     * retries). Exits(1) on failure.
+     */
     RunResult simulate(const std::string &alias, const SimConfig &config);
+
+    /** One simulation attempt, failures propagated (no retry). */
+    Result<RunResult> trySimulate(const std::string &alias,
+                                  const SimConfig &config);
 
     const BenchParams &params() const { return params_; }
 
     /** Snapshot of the sweep accounting so far. */
     SweepStats sweepStats() const;
 
+    /** Injection state (tests assert on draw/failure counts). */
+    const FaultInjector &faultInjector() const { return fault_; }
+
   private:
+    /** Terminal state of one requested run. */
+    struct RunOutcome {
+        RunResult result;
+        Status status;    ///< Ok, or why the run permanently failed
+        int attempts = 0; ///< simulation attempts (0 = served from cache)
+    };
+
     /** A memoized run: filled once, then shared by every requester. */
     struct MemoEntry {
         bool done = false;
-        RunResult result;
+        RunOutcome outcome;
     };
 
     std::string cachePath(const std::string &alias,
                           const SimConfig &config) const;
 
     /** run() body: memo lookup / in-flight wait / compute-and-publish. */
-    RunResult runMemoized(const std::string &alias, const SimConfig &config);
+    RunOutcome runMemoized(const std::string &alias,
+                           const SimConfig &config);
 
-    /** Disk-cache lookup, else simulate and write-back atomically. */
-    RunResult computeUncached(const std::string &alias,
-                              const SimConfig &config,
-                              const std::string &path, bool &from_disk);
+    /** Disk-cache lookup, else simulate with bounded retry. */
+    RunOutcome computeUncached(const std::string &alias,
+                               const SimConfig &config,
+                               const std::string &path, bool &from_disk);
+
+    /**
+     * Load + validate one cache entry: NotFound on a plain miss,
+     * DataLoss on parse/schema/CRC/shape damage (caller quarantines).
+     */
+    Result<RunResult> loadCacheEntry(const std::string &path);
+
+    /** Move a damaged entry to `<path>.corrupt` so it is never reused. */
+    void quarantine(const std::string &path, const Status &why);
+
+    /** Atomically publish @p r at @p path (failure is only a warn). */
+    void storeCacheEntry(const std::string &path, const RunResult &r);
 
     WorkloadFactory factory_;
     BenchParams params_;
+    FaultInjector fault_;
 
     mutable std::mutex mu_;
     std::condition_variable memo_done_;
@@ -153,11 +242,19 @@ class ExperimentRunner
 };
 
 /**
- * Version tag mixed into cache filenames; bump when simulation semantics
- * or the persisted RunResult schema change so stale results are never
- * reused. v2: added per-run sim_wall_ms.
+ * Version tag mixed into cache filenames and embedded in each entry's
+ * envelope; bump when simulation semantics or the persisted RunResult
+ * schema change so stale results are never reused. v2: added per-run
+ * sim_wall_ms. v3: entries wrapped in a {schema, payload_crc32,
+ * payload} envelope so damage is detected by checksum, not by luck.
  */
-constexpr int kResultCacheVersion = 2;
+constexpr int kResultCacheVersion = 3;
+
+/** Max simulation attempts per run when failures are transient. */
+constexpr int kJobMaxAttempts = 3;
+
+/** Backoff before the first retry, doubling per retry (milliseconds). */
+constexpr int kRetryBaseMs = 2;
 
 } // namespace evrsim
 

@@ -31,11 +31,29 @@ JobPool::~JobPool()
 }
 
 void
+JobPool::runGuarded(std::function<void()> &job)
+{
+    // Fault isolation: one job's escaped exception must cost one
+    // result, not the pool (std::thread would std::terminate on an
+    // unwound worker stack, killing every in-flight simulation).
+    try {
+        job();
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> lock(mu_);
+        failures_.emplace_back(e.what());
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        failures_.emplace_back("non-std exception escaped a job");
+    }
+}
+
+void
 JobPool::submit(std::function<void()> job)
 {
     EVRSIM_ASSERT(job != nullptr);
     if (threads_ == 1) {
-        job(); // serial path: execute in submission order, same thread
+        // Serial path: execute in submission order, same thread.
+        runGuarded(job);
         return;
     }
     {
@@ -70,13 +88,29 @@ JobPool::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
-        job();
+        runGuarded(job);
         {
             std::lock_guard<std::mutex> lock(mu_);
             if (--pending_ == 0)
                 all_done_.notify_all();
         }
     }
+}
+
+std::vector<std::string>
+JobPool::drainFailures()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.swap(failures_);
+    return out;
+}
+
+std::size_t
+JobPool::failureCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return failures_.size();
 }
 
 int

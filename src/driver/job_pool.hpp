@@ -17,6 +17,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -38,11 +39,26 @@ class JobPool
     JobPool(const JobPool &) = delete;
     JobPool &operator=(const JobPool &) = delete;
 
-    /** Enqueue one job. Jobs must not throw. */
+    /**
+     * Enqueue one job. A job that throws does NOT take down the pool
+     * (or the process): the exception is caught at the worker boundary,
+     * its message recorded, and the worker moves on to the next job.
+     * Escaped exceptions are job-level faults — retrieve them with
+     * drainFailures() after wait().
+     */
     void submit(std::function<void()> job);
 
     /** Block until every submitted job has finished executing. */
     void wait();
+
+    /**
+     * Messages of exceptions that escaped jobs since the last drain,
+     * in completion order. Call after wait() for a stable view.
+     */
+    std::vector<std::string> drainFailures();
+
+    /** Number of escaped-exception failures recorded so far. */
+    std::size_t failureCount() const;
 
     int threadCount() const { return threads_; }
 
@@ -52,13 +68,17 @@ class JobPool
   private:
     void workerLoop();
 
+    /** Run @p job, capturing any escaping exception as a failure. */
+    void runGuarded(std::function<void()> &job);
+
     int threads_;
     std::vector<std::thread> workers_;
 
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable work_ready_;  ///< queue non-empty or stopping
     std::condition_variable all_done_;    ///< pending_ reached zero
     std::deque<std::function<void()>> queue_;
+    std::vector<std::string> failures_; ///< escaped-exception messages
     std::size_t pending_ = 0; ///< queued + currently-running jobs
     bool stop_ = false;
 };

@@ -50,6 +50,79 @@ Json::asString() const
     return str_;
 }
 
+namespace {
+
+const char *
+typeName(Json::Type t)
+{
+    switch (t) {
+      case Json::Type::Null:
+        return "null";
+      case Json::Type::Bool:
+        return "bool";
+      case Json::Type::Number:
+        return "number";
+      case Json::Type::String:
+        return "string";
+      case Json::Type::Array:
+        return "array";
+      case Json::Type::Object:
+        return "object";
+    }
+    return "unknown";
+}
+
+Status
+typeMismatch(const char *wanted, Json::Type got)
+{
+    return Status::dataLoss(std::string("expected ") + wanted + ", got " +
+                            typeName(got));
+}
+
+} // namespace
+
+Result<bool>
+Json::tryAsBool() const
+{
+    if (type_ != Type::Bool)
+        return typeMismatch("bool", type_);
+    return bool_;
+}
+
+Result<double>
+Json::tryAsDouble() const
+{
+    if (type_ != Type::Number)
+        return typeMismatch("number", type_);
+    return num_;
+}
+
+Result<std::uint64_t>
+Json::tryAsU64() const
+{
+    if (type_ != Type::Number)
+        return typeMismatch("number", type_);
+    if (num_ < 0)
+        return Status::dataLoss("negative value read as u64");
+    return static_cast<std::uint64_t>(std::llround(num_));
+}
+
+Result<std::int64_t>
+Json::tryAsI64() const
+{
+    if (type_ != Type::Number)
+        return typeMismatch("number", type_);
+    return static_cast<std::int64_t>(std::llround(num_));
+}
+
+Result<std::string>
+Json::tryAsString() const
+{
+    if (type_ != Type::String)
+        return typeMismatch("string", type_);
+    return str_;
+}
+
 void
 Json::push(Json v)
 {
@@ -107,6 +180,15 @@ Json::get(const std::string &key, Json fallback) const
     if (has(key))
         return obj_.at(key);
     return fallback;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
 }
 
 const std::map<std::string, Json> &
@@ -519,6 +601,17 @@ Json::parseOrDie(const std::string &text)
     Json j = parse(text, ok, error);
     if (!ok)
         panic("json parse failed: %s", error.c_str());
+    return j;
+}
+
+Result<Json>
+Json::tryParse(const std::string &text)
+{
+    bool ok = false;
+    std::string error;
+    Json j = parse(text, ok, error);
+    if (!ok)
+        return Status::dataLoss("json parse failed: " + error);
     return j;
 }
 

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
+
 namespace evrsim {
 
 /** A JSON value. */
@@ -61,6 +63,16 @@ class Json
     std::int64_t asI64() const;
     const std::string &asString() const;
 
+    // --- try-accessors (propagate type mismatch as Status) ---
+    // For documents of *external* origin (the on-disk result cache),
+    // where a mismatch is data loss to recover from, not a simulator
+    // bug to abort on.
+    Result<bool> tryAsBool() const;
+    Result<double> tryAsDouble() const;
+    Result<std::uint64_t> tryAsU64() const;
+    Result<std::int64_t> tryAsI64() const;
+    Result<std::string> tryAsString() const;
+
     // --- array ---
     void push(Json v);
     std::size_t size() const;
@@ -73,6 +85,8 @@ class Json
     const Json &at(const std::string &key) const;
     /** Member lookup with a fallback value. */
     Json get(const std::string &key, Json fallback) const;
+    /** Member lookup; null when absent or this is not an object. */
+    const Json *find(const std::string &key) const;
     const std::map<std::string, Json> &members() const;
 
     // --- serialization ---
@@ -88,6 +102,9 @@ class Json
 
     /** Parse variant that panics on malformed input. */
     static Json parseOrDie(const std::string &text);
+
+    /** Parse variant that propagates malformed input as DataLoss. */
+    static Result<Json> tryParse(const std::string &text);
 
   private:
     void dumpTo(std::string &out, int indent, int depth) const;

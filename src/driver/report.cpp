@@ -146,7 +146,30 @@ printSweepSummary(const ExperimentRunner &runner)
                     "%.2fs wall\n",
                     s.batch_wall_ms / 1000.0);
     }
+    if (s.quarantined > 0 || s.retries > 0 || s.failed > 0)
+        std::printf("sweep faults: %llu cache entr%s quarantined, "
+                    "%llu retr%s, %llu run(s) failed\n",
+                    static_cast<unsigned long long>(s.quarantined),
+                    s.quarantined == 1 ? "y" : "ies",
+                    static_cast<unsigned long long>(s.retries),
+                    s.retries == 1 ? "y" : "ies",
+                    static_cast<unsigned long long>(s.failed));
     std::printf("\n");
+}
+
+void
+printFailureReport(const BatchOutcome &outcome)
+{
+    if (outcome.ok())
+        return;
+    std::fprintf(stderr, "FAILED RUNS (%zu):\n", outcome.failures.size());
+    for (const RunFailure &f : outcome.failures)
+        std::fprintf(stderr, "  %s/%s after %d attempt(s): %s\n",
+                     f.alias.c_str(), f.config.c_str(), f.attempts,
+                     f.status.toString().c_str());
+    std::fprintf(stderr,
+                 "results for failed runs are omitted below; exit will "
+                 "be non-zero\n");
 }
 
 } // namespace evrsim

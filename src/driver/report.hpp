@@ -63,6 +63,13 @@ void printPaperShape(const std::string &expectation);
  */
 void printSweepSummary(const ExperimentRunner &runner);
 
+/**
+ * Print the sweep-end failure report: one line per permanently failed
+ * run (alias/config, attempts, status). Prints nothing when the batch
+ * is clean, so fault-free sweeps look exactly as before.
+ */
+void printFailureReport(const BatchOutcome &outcome);
+
 } // namespace evrsim
 
 #endif // EVRSIM_DRIVER_REPORT_HPP

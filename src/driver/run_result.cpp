@@ -93,13 +93,99 @@ cacheStatsToJson(const CacheStats &c)
     return j;
 }
 
-CacheStats
-cacheStatsFromJson(const Json &j)
+// --- checked loaders -----------------------------------------------------
+// Every reader below propagates missing members and type mismatches as
+// Status (DataLoss) so a damaged cache document is survivable; the
+// legacy panicking entry points wrap them.
+
+Status
+getMember(const Json &j, const char *key, const Json *&out)
 {
-    CacheStats c;
+    out = j.find(key);
+    if (!out)
+        return Status::dataLoss(std::string("missing member '") + key +
+                                "'");
+    return {};
+}
+
+Status
+getU64(const Json &j, const char *key, std::uint64_t &out)
+{
+    const Json *m = nullptr;
+    if (Status s = getMember(j, key, m); !s.ok())
+        return s;
+    Result<std::uint64_t> v = m->tryAsU64();
+    if (!v.ok())
+        return v.status().withContext(key);
+    out = v.value();
+    return {};
+}
+
+Status
+getDouble(const Json &j, const char *key, double &out)
+{
+    const Json *m = nullptr;
+    if (Status s = getMember(j, key, m); !s.ok())
+        return s;
+    Result<double> v = m->tryAsDouble();
+    if (!v.ok())
+        return v.status().withContext(key);
+    out = v.value();
+    return {};
+}
+
+Status
+getInt(const Json &j, const char *key, int &out)
+{
+    const Json *m = nullptr;
+    if (Status s = getMember(j, key, m); !s.ok())
+        return s;
+    Result<std::int64_t> v = m->tryAsI64();
+    if (!v.ok())
+        return v.status().withContext(key);
+    out = static_cast<int>(v.value());
+    return {};
+}
+
+Status
+getString(const Json &j, const char *key, std::string &out)
+{
+    const Json *m = nullptr;
+    if (Status s = getMember(j, key, m); !s.ok())
+        return s;
+    Result<std::string> v = m->tryAsString();
+    if (!v.ok())
+        return v.status().withContext(key);
+    out = v.value();
+    return {};
+}
+
+/** u64 element @p i of array member @p key. */
+Status
+getU64Elem(const Json &j, const char *key, std::size_t i,
+           std::uint64_t &out)
+{
+    const Json *arr = nullptr;
+    if (Status s = getMember(j, key, arr); !s.ok())
+        return s;
+    if (arr->type() != Json::Type::Array || i >= arr->size())
+        return Status::dataLoss(std::string("member '") + key +
+                                "' is not an array with at least " +
+                                std::to_string(i + 1) + " elements");
+    Result<std::uint64_t> v = arr->at(i).tryAsU64();
+    if (!v.ok())
+        return v.status().withContext(key);
+    out = v.value();
+    return {};
+}
+
+Status
+cacheStatsFromJsonChecked(const Json &j, CacheStats &out)
+{
     for (const auto &f : kCacheFields)
-        c.*(f.member) = j.at(f.name).asU64();
-    return c;
+        if (Status s = getU64(j, f.name, out.*(f.member)); !s.ok())
+            return s;
+    return {};
 }
 
 Json
@@ -121,19 +207,37 @@ dramStatsToJson(const DramStats &d)
     return j;
 }
 
-DramStats
-dramStatsFromJson(const Json &j)
+Status
+dramStatsFromJsonChecked(const Json &j, DramStats &out)
 {
-    DramStats d;
     for (int i = 0; i < kNumTrafficClasses; ++i) {
-        d.read_bytes[i] = j.at("read_bytes").at(i).asU64();
-        d.write_bytes[i] = j.at("write_bytes").at(i).asU64();
+        std::size_t idx = static_cast<std::size_t>(i);
+        if (Status s = getU64Elem(j, "read_bytes", idx,
+                                  out.read_bytes[i]);
+            !s.ok())
+            return s;
+        if (Status s = getU64Elem(j, "write_bytes", idx,
+                                  out.write_bytes[i]);
+            !s.ok())
+            return s;
     }
-    d.accesses = j.at("accesses").asU64();
-    d.row_hits = j.at("row_hits").asU64();
-    d.row_misses = j.at("row_misses").asU64();
-    d.bus_busy_cycles = j.at("bus_busy_cycles").asU64();
-    return d;
+    if (Status s = getU64(j, "accesses", out.accesses); !s.ok())
+        return s;
+    if (Status s = getU64(j, "row_hits", out.row_hits); !s.ok())
+        return s;
+    if (Status s = getU64(j, "row_misses", out.row_misses); !s.ok())
+        return s;
+    return getU64(j, "bus_busy_cycles", out.bus_busy_cycles);
+}
+
+/** Object member @p key loaded as CacheStats. */
+Status
+memberCacheStats(const Json &j, const char *key, CacheStats &out)
+{
+    const Json *m = nullptr;
+    if (Status s = getMember(j, key, m); !s.ok())
+        return s;
+    return cacheStatsFromJsonChecked(*m, out).withContext(key);
 }
 
 } // namespace
@@ -160,22 +264,49 @@ frameStatsToJson(const FrameStats &stats)
     return j;
 }
 
+Status
+frameStatsFromJsonChecked(const Json &j, FrameStats &out)
+{
+    for (const auto &f : kStatFields)
+        if (Status s = getU64(j, f.name, out.*(f.member)); !s.ok())
+            return s;
+
+    for (std::size_t i = 0; i < 4; ++i)
+        if (Status s = getU64Elem(j, "casuistry", i, out.casuistry[i]);
+            !s.ok())
+            return s;
+
+    const Json *mem = nullptr;
+    if (Status s = getMember(j, "mem", mem); !s.ok())
+        return s;
+    if (Status s = memberCacheStats(*mem, "vertex_cache",
+                                    out.mem.vertex_cache);
+        !s.ok())
+        return s;
+    if (Status s = memberCacheStats(*mem, "texture_caches",
+                                    out.mem.texture_caches);
+        !s.ok())
+        return s;
+    if (Status s = memberCacheStats(*mem, "tile_cache",
+                                    out.mem.tile_cache);
+        !s.ok())
+        return s;
+    if (Status s = memberCacheStats(*mem, "l2_cache", out.mem.l2_cache);
+        !s.ok())
+        return s;
+    const Json *dram = nullptr;
+    if (Status s = getMember(*mem, "dram", dram); !s.ok())
+        return s;
+    return dramStatsFromJsonChecked(*dram, out.mem.dram)
+        .withContext("dram");
+}
+
 FrameStats
 frameStatsFromJson(const Json &j)
 {
     FrameStats stats;
-    for (const auto &f : kStatFields)
-        stats.*(f.member) = j.at(f.name).asU64();
-
-    for (int i = 0; i < 4; ++i)
-        stats.casuistry[i] = j.at("casuistry").at(i).asU64();
-
-    const Json &mem = j.at("mem");
-    stats.mem.vertex_cache = cacheStatsFromJson(mem.at("vertex_cache"));
-    stats.mem.texture_caches = cacheStatsFromJson(mem.at("texture_caches"));
-    stats.mem.tile_cache = cacheStatsFromJson(mem.at("tile_cache"));
-    stats.mem.l2_cache = cacheStatsFromJson(mem.at("l2_cache"));
-    stats.mem.dram = dramStatsFromJson(mem.at("dram"));
+    if (Status s = frameStatsFromJsonChecked(j, stats); !s.ok())
+        panic("frame stats document: %s", s.toString().c_str());
     return stats;
 }
 
@@ -207,30 +338,70 @@ RunResult::toJson(bool include_host_timing) const
     return j;
 }
 
+Result<RunResult>
+RunResult::tryFromJson(const Json &j)
+{
+    RunResult r;
+    if (Status s = getString(j, "workload", r.workload); !s.ok())
+        return s;
+    if (Status s = getString(j, "config", r.config); !s.ok())
+        return s;
+    if (Status s = getInt(j, "frames", r.frames); !s.ok())
+        return s;
+    if (Status s = getInt(j, "width", r.width); !s.ok())
+        return s;
+    if (Status s = getInt(j, "height", r.height); !s.ok())
+        return s;
+
+    const Json *totals = nullptr;
+    if (Status s = getMember(j, "totals", totals); !s.ok())
+        return s;
+    if (Status s = frameStatsFromJsonChecked(*totals, r.totals); !s.ok())
+        return s.withContext("totals");
+
+    const Json *e = nullptr;
+    if (Status s = getMember(j, "energy", e); !s.ok())
+        return s;
+    struct EnergyField {
+        const char *name;
+        double EnergyBreakdown::*member;
+    };
+    const EnergyField kEnergyFields[] = {
+        {"dram_nj", &EnergyBreakdown::dram_nj},
+        {"caches_nj", &EnergyBreakdown::caches_nj},
+        {"datapath_nj", &EnergyBreakdown::datapath_nj},
+        {"onchip_buffers_nj", &EnergyBreakdown::onchip_buffers_nj},
+        {"static_nj", &EnergyBreakdown::static_nj},
+        {"re_hardware_nj", &EnergyBreakdown::re_hardware_nj},
+        {"evr_hardware_nj", &EnergyBreakdown::evr_hardware_nj},
+        {"layer_writes_nj", &EnergyBreakdown::layer_writes_nj},
+    };
+    for (const EnergyField &f : kEnergyFields)
+        if (Status s = getDouble(*e, f.name, r.energy.*(f.member));
+            !s.ok())
+            return s.withContext("energy");
+
+    std::uint64_t crc = 0;
+    if (Status s = getU64(j, "image_crc", crc); !s.ok())
+        return s;
+    r.image_crc = static_cast<std::uint32_t>(crc);
+
+    if (const Json *wall = j.find("sim_wall_ms")) {
+        Result<double> v = wall->tryAsDouble();
+        if (!v.ok())
+            return v.status().withContext("sim_wall_ms");
+        r.sim_wall_ms = v.value();
+    }
+    return r;
+}
+
 RunResult
 RunResult::fromJson(const Json &j)
 {
-    RunResult r;
-    r.workload = j.at("workload").asString();
-    r.config = j.at("config").asString();
-    r.frames = static_cast<int>(j.at("frames").asI64());
-    r.width = static_cast<int>(j.at("width").asI64());
-    r.height = static_cast<int>(j.at("height").asI64());
-    r.totals = frameStatsFromJson(j.at("totals"));
-
-    const Json &e = j.at("energy");
-    r.energy.dram_nj = e.at("dram_nj").asDouble();
-    r.energy.caches_nj = e.at("caches_nj").asDouble();
-    r.energy.datapath_nj = e.at("datapath_nj").asDouble();
-    r.energy.onchip_buffers_nj = e.at("onchip_buffers_nj").asDouble();
-    r.energy.static_nj = e.at("static_nj").asDouble();
-    r.energy.re_hardware_nj = e.at("re_hardware_nj").asDouble();
-    r.energy.evr_hardware_nj = e.at("evr_hardware_nj").asDouble();
-    r.energy.layer_writes_nj = e.at("layer_writes_nj").asDouble();
-
-    r.image_crc = static_cast<std::uint32_t>(j.at("image_crc").asU64());
-    r.sim_wall_ms = j.get("sim_wall_ms", Json(0.0)).asDouble();
-    return r;
+    Result<RunResult> r = tryFromJson(j);
+    if (!r.ok())
+        panic("run result document: %s", r.status().toString().c_str());
+    return r.value();
 }
 
 } // namespace evrsim

@@ -78,12 +78,23 @@ struct RunResult {
      * (identical bytes regardless of host speed or EVRSIM_JOBS).
      */
     Json toJson(bool include_host_timing = true) const;
+
+    /** Deserialize; panics on malformed documents (internal use only). */
     static RunResult fromJson(const Json &j);
+
+    /**
+     * Deserialize a document of external origin (the on-disk cache):
+     * every missing member or type mismatch propagates as DataLoss
+     * instead of killing the process, so one stale or corrupt cache
+     * entry degrades into a re-simulation rather than a dead sweep.
+     */
+    static Result<RunResult> tryFromJson(const Json &j);
 };
 
 /** Serialize counters (field-table driven; see run_result.cpp). */
 Json frameStatsToJson(const FrameStats &stats);
 FrameStats frameStatsFromJson(const Json &j);
+Status frameStatsFromJsonChecked(const Json &j, FrameStats &out);
 
 } // namespace evrsim
 
