@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/crash_handler.hpp"
 #include "driver/experiment.hpp"
 #include "driver/report.hpp"
 #include "workloads/registry.hpp"
@@ -39,6 +40,9 @@ struct BenchContext {
         : params(benchParamsFromEnv()),
           runner(workloads::factory(), params)
     {
+        // A sweep that crashes hours in should at least say which
+        // (workload, config, frame, tile) it was simulating.
+        installCrashHandler();
     }
 
     GpuConfig gpu() const { return params.gpuConfig(); }

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Signal-safe crash reporting for the bench and test binaries.
+ *
+ * A sweep that dies of SIGSEGV/SIGABRT deep inside a multi-hour run is
+ * useless to debug unless the report says *which* (workload, config,
+ * frame, tile) was active. installCrashHandler() arms handlers that
+ * write exactly that context — maintained as thread-local plain data by
+ * the simulation loop — to stderr using only async-signal-safe calls
+ * (write(2), no malloc, no stdio), then re-raise with the default
+ * disposition so the exit status and core dump are unchanged.
+ *
+ * Context setters are cheap enough for hot loops (a few thread-local
+ * stores); they are called by the experiment runner (run identity,
+ * frame) and the raster pipeline (tile).
+ */
+#ifndef EVRSIM_COMMON_CRASH_HANDLER_HPP
+#define EVRSIM_COMMON_CRASH_HANDLER_HPP
+
+namespace evrsim {
+
+/**
+ * Install handlers for SIGSEGV, SIGABRT, SIGBUS, SIGFPE and SIGILL.
+ * Idempotent; never overrides a sanitizer's handler twice.
+ */
+void installCrashHandler();
+
+/** Name the (workload, config) the calling thread is simulating. */
+void crashContextSetRun(const char *workload, const char *config);
+
+/** Frame index the calling thread is rendering (-1 = none). */
+void crashContextSetFrame(int frame);
+
+/** Tile index the calling thread is rasterizing (-1 = none). */
+void crashContextSetTile(int tile);
+
+/** Clear the calling thread's context (end of a run). */
+void crashContextClear();
+
+} // namespace evrsim
+
+#endif // EVRSIM_COMMON_CRASH_HANDLER_HPP

@@ -11,9 +11,6 @@
 
 namespace evrsim {
 
-namespace {
-
-/** SplitMix64 finalizer: uncorrelated u64 from (seed, counter). */
 std::uint64_t
 mix64(std::uint64_t x)
 {
@@ -22,6 +19,8 @@ mix64(std::uint64_t x)
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
     return x ^ (x >> 31);
 }
+
+namespace {
 
 Result<FaultSite>
 siteFromName(const std::string &name)
@@ -33,7 +32,15 @@ siteFromName(const std::string &name)
     }
     return Status::invalidArgument(
         "unknown fault site '" + name +
-        "' (expected cache-read, cache-write or job-execute)");
+        "' (expected cache-read, cache-write, job-execute or "
+        "scene-mutate)");
+}
+
+/** 53-bit mantissa draw in [0, 1) from one mixed word. */
+double
+unitDraw(std::uint64_t mixed)
+{
+    return static_cast<double>(mixed >> 11) * 0x1.0p-53;
 }
 
 } // namespace
@@ -48,6 +55,8 @@ faultSiteName(FaultSite site)
         return "cache-write";
       case FaultSite::JobExecute:
         return "job-execute";
+      case FaultSite::SceneMutate:
+        return "scene-mutate";
     }
     return "unknown";
 }
@@ -120,10 +129,24 @@ FaultInjector::shouldFail(FaultSite site)
     if (!spec.enabled)
         return false;
     std::uint64_t n = draws_[i].fetch_add(1, std::memory_order_relaxed);
-    // 53-bit mantissa draw in [0, 1); < rate so rate 0 never fires and
+    // [0, 1) draw compared with < rate, so rate 0 never fires and
     // rate 1 always does.
-    double u = static_cast<double>(mix64(spec.seed ^ mix64(n)) >> 11) *
-               0x1.0p-53;
+    double u = unitDraw(mix64(spec.seed ^ mix64(n)));
+    if (u >= spec.rate)
+        return false;
+    injected_[i].fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+FaultInjector::shouldFailAt(FaultSite site, std::uint64_t key)
+{
+    const int i = static_cast<int>(site);
+    const FaultSpec &spec = plan_[i];
+    if (!spec.enabled)
+        return false;
+    draws_[i].fetch_add(1, std::memory_order_relaxed);
+    double u = unitDraw(mix64(spec.seed ^ mix64(key)));
     if (u >= spec.rate)
         return false;
     injected_[i].fetch_add(1, std::memory_order_relaxed);

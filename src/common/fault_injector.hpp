@@ -18,12 +18,20 @@
  *   cache-write   publishing a result entry fails (warn, no cache file)
  *   job-execute   a simulation attempt reports Unavailable (transient,
  *                 so the scheduler's bounded retry engages)
+ *   scene-mutate  the frame's scene is corrupted by the deterministic
+ *                 fuzz mutator before ingestion (exercises the
+ *                 EVRSIM_VALIDATE sanitize/degrade paths from benches)
  *
  * Decisions are a pure function of (site seed, per-site draw counter)
  * via SplitMix64, so a single-threaded sweep injects the *same* faults
- * on every run — the recovery tests are reproducible, not flaky. When
- * EVRSIM_FAULT is unset the injector is a single predictable branch per
- * site (enabled flag false), i.e. zero overhead on the production path.
+ * on every run — the recovery tests are reproducible, not flaky. Sites
+ * whose decisions must agree across configurations regardless of
+ * scheduling order (scene-mutate: the baseline and EVR runs of a
+ * workload must see identical corruption for image comparisons to be
+ * meaningful) use shouldFailAt() with a caller-derived key instead of
+ * the draw counter. When EVRSIM_FAULT is unset the injector is a single
+ * predictable branch per site (enabled flag false), i.e. zero overhead
+ * on the production path.
  */
 #ifndef EVRSIM_COMMON_FAULT_INJECTOR_HPP
 #define EVRSIM_COMMON_FAULT_INJECTOR_HPP
@@ -42,8 +50,16 @@ enum class FaultSite {
     CacheRead = 0,
     CacheWrite = 1,
     JobExecute = 2,
+    SceneMutate = 3,
 };
-constexpr int kNumFaultSites = 3;
+constexpr int kNumFaultSites = 4;
+
+/**
+ * SplitMix64 finalizer: an uncorrelated u64 from any input. Shared by
+ * the fault injector, the validation tile sampler and the scene fuzzer
+ * so every "random but reproducible" decision uses one primitive.
+ */
+std::uint64_t mix64(std::uint64_t x);
 
 /** Human name used in EVRSIM_FAULT specs ("cache-read"). */
 const char *faultSiteName(FaultSite site);
@@ -90,6 +106,21 @@ class FaultInjector
      * Deterministic in the number of prior draws for the site.
      */
     bool shouldFail(FaultSite site);
+
+    /**
+     * Keyed decision for @p site: a pure function of (site seed, @p key)
+     * — independent of how many draws other threads or configurations
+     * made before this one. Counted in draws()/injected() like
+     * shouldFail().
+     */
+    bool shouldFailAt(FaultSite site, std::uint64_t key);
+
+    /** Per-site configuration (tests and fuzzer seeding). */
+    const FaultSpec &
+    spec(FaultSite site) const
+    {
+        return plan_[static_cast<int>(site)];
+    }
 
     /** Failures injected at @p site so far. */
     std::uint64_t injected(FaultSite site) const;

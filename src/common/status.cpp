@@ -24,6 +24,8 @@ errorCodeName(ErrorCode code)
         return "DEADLINE_EXCEEDED";
       case ErrorCode::Internal:
         return "INTERNAL";
+      case ErrorCode::InvariantViolation:
+        return "INVARIANT_VIOLATION";
     }
     return "UNKNOWN";
 }

@@ -38,6 +38,9 @@ enum class ErrorCode {
     Unavailable,      ///< transient I/O-style failure — worth retrying
     DeadlineExceeded, ///< job exceeded its wall-clock budget
     Internal,         ///< unexpected exception escaping a component
+    /** A pipeline invariant failed under EVRSIM_VALIDATE=strict; not
+     *  transient — the same inputs will violate it again. */
+    InvariantViolation,
 };
 
 /** Stable name for an ErrorCode ("DATA_LOSS"). */
@@ -82,6 +85,11 @@ class Status
     internal(std::string msg)
     {
         return {ErrorCode::Internal, std::move(msg)};
+    }
+    static Status
+    invariantViolation(std::string msg)
+    {
+        return {ErrorCode::InvariantViolation, std::move(msg)};
     }
 
     bool ok() const { return code_ == ErrorCode::Ok; }

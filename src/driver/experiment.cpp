@@ -14,10 +14,12 @@
 #include <sstream>
 #include <thread>
 
+#include "common/crash_handler.hpp"
 #include "common/crc32.hpp"
 #include "common/env.hpp"
 #include "common/log.hpp"
 #include "driver/job_pool.hpp"
+#include "scene/scene_fuzzer.hpp"
 
 namespace evrsim {
 
@@ -30,6 +32,29 @@ elapsedMs(std::chrono::steady_clock::time_point since)
                std::chrono::steady_clock::now() - since)
         .count();
 }
+
+/**
+ * FNV-1a, used to key scene-mutate fault decisions by workload alias.
+ * std::hash<std::string> is implementation-defined, which would make the
+ * injected corruption differ across standard libraries; FNV-1a keeps the
+ * (alias, frame) -> corruption mapping stable everywhere, so a baseline
+ * and an EVR run of the same workload see the same corrupted frames.
+ */
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Clears the calling thread's crash context when a run ends. */
+struct CrashContextGuard {
+    ~CrashContextGuard() { crashContextClear(); }
+};
 
 } // namespace
 
@@ -84,6 +109,11 @@ benchParamsFromEnvChecked()
     if (present)
         p.job_timeout_ms = static_cast<int>(v);
 
+    Result<ValidationConfig> val = validationFromEnvChecked();
+    if (!val.ok())
+        return val.status();
+    p.validation = val.value();
+
     if (const char *nc = std::getenv("EVRSIM_NO_CACHE"); nc && nc[0] == '1')
         p.use_cache = false;
     if (const char *dir = std::getenv("EVRSIM_CACHE_DIR"))
@@ -124,9 +154,17 @@ ExperimentRunner::cachePath(const std::string &alias,
     std::ostringstream name;
     name << alias << '-' << config.name << '-' << params_.width << 'x'
          << params_.height << "-t" << config.gpu.tile_size << "-f"
-         << params_.frames << "-w" << params_.warmup << "-v"
+         << params_.frames << "-w" << params_.warmup
+         << effectiveValidation(config).cacheTag() << "-v"
          << kResultCacheVersion << ".json";
     return (std::filesystem::path(params_.cache_dir) / name.str()).string();
+}
+
+ValidationConfig
+ExperimentRunner::effectiveValidation(const SimConfig &config) const
+{
+    return config.validation.enabled() ? config.validation
+                                       : params_.validation;
 }
 
 Result<RunResult>
@@ -157,6 +195,11 @@ ExperimentRunner::trySimulate(const std::string &alias,
             std::to_string(frames_done) + " frame(s)");
     };
 
+    SimConfig cfg = config;
+    cfg.validation = effectiveValidation(config);
+    if (Status s = cfg.checkValid(); !s.ok())
+        return s;
+
     try {
         std::unique_ptr<Workload> workload =
             factory_(alias, params_.width, params_.height);
@@ -164,26 +207,59 @@ ExperimentRunner::trySimulate(const std::string &alias,
             return Status::notFound("unknown workload alias '" + alias +
                                     "'");
 
-        GpuSimulator sim(config);
+        CrashContextGuard crash_guard;
+        crashContextSetRun(alias.c_str(), cfg.name.c_str());
+
+        // Scene-mutate fault site: corrupt the workload's frame copy
+        // before it reaches the simulator. The decision is keyed by
+        // (alias, absolute frame) only, so every configuration of a
+        // workload sees the identical corruption — which is what lets
+        // tests compare a corrupted EVR run against a corrupted
+        // baseline bit for bit.
+        const FaultSpec &mutate = fault_.spec(FaultSite::SceneMutate);
+        SceneFuzzer fuzzer(mutate.seed);
+        auto frameOf = [&](int absolute) {
+            Scene scene = workload->frame(absolute);
+            std::uint64_t key =
+                mix64(fnv1a64(alias) ^
+                      static_cast<std::uint64_t>(absolute));
+            if (fault_.shouldFailAt(FaultSite::SceneMutate, key))
+                fuzzer.corruptScene(scene, key);
+            return scene;
+        };
+        auto renderChecked = [&](GpuSimulator &sim, int absolute) {
+            crashContextSetFrame(absolute);
+            Result<FrameStats> fs = sim.tryRenderFrame(frameOf(absolute));
+            if (!fs.ok())
+                return fs.status().withContext(alias + "/" + cfg.name +
+                                               " frame " +
+                                               std::to_string(absolute));
+            return Status();
+        };
+
+        GpuSimulator sim(cfg);
         workload->setup(sim);
 
         // Warm-up: establish FVP and signature state, then measure.
         for (int f = 0; f < params_.warmup; ++f) {
-            sim.renderFrame(workload->frame(f));
+            if (Status s = renderChecked(sim, f); !s.ok())
+                return s;
             if (overDeadline())
                 return deadlineStatus(f + 1);
         }
         sim.resetTotals();
 
         for (int f = 0; f < params_.frames; ++f) {
-            sim.renderFrame(workload->frame(params_.warmup + f));
+            if (Status s = renderChecked(sim, params_.warmup + f);
+                !s.ok())
+                return s;
             if (overDeadline())
                 return deadlineStatus(params_.warmup + f + 1);
         }
 
         RunResult r;
         r.workload = alias;
-        r.config = config.name;
+        r.config = cfg.name;
         r.frames = params_.frames;
         r.width = params_.width;
         r.height = params_.height;
@@ -425,6 +501,9 @@ ExperimentRunner::runMemoized(const std::string &alias,
             stats_.frames_simulated +=
                 static_cast<std::uint64_t>(params_.frames);
             stats_.sim_wall_ms += wall_ms;
+            stats_.degraded_tiles += outcome.result.totals.degraded_tiles;
+            stats_.validate_violations +=
+                outcome.result.totals.validate_violations;
         }
     }
     memo_done_.notify_all();

@@ -33,6 +33,7 @@
 
 #include "common/fault_injector.hpp"
 #include "common/status.hpp"
+#include "common/validate.hpp"
 #include "driver/run_result.hpp"
 #include "driver/sim_config.hpp"
 #include "driver/workload.hpp"
@@ -58,6 +59,10 @@ struct BenchParams {
      *  frames (cooperative watchdog); 0 disables
      *  (EVRSIM_JOB_TIMEOUT_MS). */
     int job_timeout_ms = 0;
+    /** Ingestion validation + invariant auditing applied to every run
+     *  whose SimConfig does not carry its own (EVRSIM_VALIDATE /
+     *  EVRSIM_VALIDATE_SAMPLE). */
+    ValidationConfig validation;
 
     /** GpuConfig for these parameters (Table II otherwise). */
     GpuConfig gpuConfig() const;
@@ -75,6 +80,8 @@ struct BenchParams {
  *   EVRSIM_JOBS=n           scheduler workers (default:
  *                           hardware_concurrency; 1 = serial path)
  *   EVRSIM_JOB_TIMEOUT_MS=n per-job wall-clock watchdog (0 = off)
+ *   EVRSIM_VALIDATE=mode    off | permissive | strict (see validate.hpp)
+ *   EVRSIM_VALIDATE_SAMPLE=r image-identity audit tile sample rate
  *
  * Numeric knobs are validated strictly: a value that is not entirely a
  * number in the accepted range is InvalidArgument naming the variable,
@@ -127,6 +134,9 @@ struct SweepStats {
     std::uint64_t quarantined = 0; ///< corrupt cache entries set aside
     std::uint64_t retries = 0;     ///< extra attempts after transient failures
     std::uint64_t failed = 0;      ///< runs that failed permanently
+    // Validation / degradation accounting (freshly simulated runs only):
+    std::uint64_t degraded_tiles = 0;     ///< tiles repaired or disabled
+    std::uint64_t validate_violations = 0; ///< invariant audit failures
 };
 
 /** Simulates and caches runs. */
@@ -210,6 +220,10 @@ class ExperimentRunner
     std::string cachePath(const std::string &alias,
                           const SimConfig &config) const;
 
+    /** Validation actually applied to a run: the SimConfig's own when it
+     *  carries one, else the bench-wide EVRSIM_VALIDATE setting. */
+    ValidationConfig effectiveValidation(const SimConfig &config) const;
+
     /** run() body: memo lookup / in-flight wait / compute-and-publish. */
     RunOutcome runMemoized(const std::string &alias,
                            const SimConfig &config);
@@ -247,8 +261,9 @@ class ExperimentRunner
  * schema change so stale results are never reused. v2: added per-run
  * sim_wall_ms. v3: entries wrapped in a {schema, payload_crc32,
  * payload} envelope so damage is detected by checksum, not by luck.
+ * v4: validation/degradation counters joined the persisted stats.
  */
-constexpr int kResultCacheVersion = 3;
+constexpr int kResultCacheVersion = 4;
 
 /** Max simulation attempts per run when failures are transient. */
 constexpr int kJobMaxAttempts = 3;

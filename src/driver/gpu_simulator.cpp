@@ -5,6 +5,7 @@
 #include "driver/gpu_simulator.hpp"
 
 #include "common/log.hpp"
+#include "scene/scene_validate.hpp"
 
 namespace evrsim {
 
@@ -29,6 +30,16 @@ GpuSimulator::GpuSimulator(const SimConfig &config,
         evr_cfg.reorder = config_.evr_reorder;
         evr_ = std::make_unique<EarlyVisibilityResolution>(
             config_.gpu.tileCount(), config_.gpu.tile_size, evr_cfg);
+    }
+    if (config_.validation.enabled()) {
+        auditor_ = std::make_unique<InvariantAuditor>(config_.validation,
+                                                      config_.gpu);
+        auditor_->attach(re_.get(), evr_.get());
+        // Depth-preloading configurations resolve equal-depth fragments
+        // differently from a submission-order render, so pixel identity
+        // against the reference is not an invariant for them.
+        auditor_->setIdentityEnabled(!config_.oracle_z &&
+                                     !config_.z_prepass);
     }
 }
 
@@ -55,12 +66,14 @@ GpuSimulator::registerTexture(Texture &texture)
 }
 
 FrameStats
-GpuSimulator::renderFrame(const Scene &scene)
+GpuSimulator::renderFrameImpl(const Scene &scene, FrameStats stats)
 {
     mem_.clearStats();
 
-    FrameStats stats;
     pb_.beginFrame(config_.gpu.tileCount(), mem_.addressSpace());
+    if (auditor_)
+        auditor_->frameStart(
+            static_cast<std::uint64_t>(frames_rendered_));
 
     GeometryHooks gh;
     gh.scheduler = evr_.get();
@@ -70,6 +83,9 @@ GpuSimulator::renderFrame(const Scene &scene)
     geometry_.run(scene, pb_, gh, stats);
     stats.geometry_cycles = timing_.geometryCycles(stats);
 
+    if (auditor_)
+        auditor_->checkBinning(pb_, stats);
+
     // Snapshot the display before this frame touches it: the raster
     // pipeline compares freshly-rendered tiles against it to produce the
     // ground-truth "equal tiles" statistic (Figure 9's oracle).
@@ -78,6 +94,7 @@ GpuSimulator::renderFrame(const Scene &scene)
     RasterHooks rh;
     rh.signature = re_.get();
     rh.tracker = evr_.get();
+    rh.auditor = auditor_.get();
     rh.oracle_z = config_.oracle_z;
     rh.z_prepass = config_.z_prepass;
     raster_.run(scene, pb_, fb_, frames_rendered_ > 0 ? &prev_fb_ : nullptr,
@@ -90,6 +107,44 @@ GpuSimulator::renderFrame(const Scene &scene)
     totals_.accumulate(stats);
     ++frames_rendered_;
     return stats;
+}
+
+Result<FrameStats>
+GpuSimulator::tryRenderFrame(const Scene &scene)
+{
+    if (!config_.validation.enabled())
+        return renderFrameImpl(scene, FrameStats{});
+
+    FrameStats seed;
+    const Scene *to_render = &scene;
+    Scene sanitized;
+
+    SceneAuditReport report = auditScene(scene);
+    if (!report.ok()) {
+        if (config_.validation.strict())
+            return report.toStatus();
+        seed.validate_scene_issues += report.issues.size();
+        // Permissive: render the deterministically-sanitized stream
+        // (commands keep their submission ids — see sanitizeScene).
+        sanitized = scene;
+        seed.validate_commands_dropped +=
+            sanitizeScene(sanitized, report);
+        to_render = &sanitized;
+    }
+
+    FrameStats stats = renderFrameImpl(*to_render, seed);
+    if (config_.validation.strict() && auditor_ && !auditor_->frameClean())
+        return auditor_->frameStatus();
+    return stats;
+}
+
+FrameStats
+GpuSimulator::renderFrame(const Scene &scene)
+{
+    Result<FrameStats> r = tryRenderFrame(scene);
+    if (!r.ok())
+        fatal("renderFrame: %s", r.status().message().c_str());
+    return r.value();
 }
 
 EnergyBreakdown

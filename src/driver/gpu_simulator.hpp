@@ -20,11 +20,13 @@
 
 #include <memory>
 
+#include "common/status.hpp"
 #include "driver/sim_config.hpp"
 #include "energy/energy_model.hpp"
 #include "evr/evr.hpp"
 #include "gpu/framebuffer.hpp"
 #include "gpu/geometry_pipeline.hpp"
+#include "gpu/invariant_auditor.hpp"
 #include "gpu/raster_pipeline.hpp"
 #include "re/rendering_elimination.hpp"
 #include "scene/scene.hpp"
@@ -52,6 +54,17 @@ class GpuSimulator
      * Render one frame: full geometry + raster pass under the configured
      * techniques. Returns the frame's statistics (timing filled in,
      * memory snapshot attached).
+     *
+     * With validation off this never fails. In permissive mode a
+     * malformed scene is sanitized and invariant violations degrade the
+     * offending tiles, so it still never fails; in strict mode both
+     * conditions become an error Status instead.
+     */
+    Result<FrameStats> tryRenderFrame(const Scene &scene);
+
+    /**
+     * Legacy never-fails wrapper around tryRenderFrame(); a strict-mode
+     * failure exits the process via fatal().
      */
     FrameStats renderFrame(const Scene &scene);
 
@@ -74,12 +87,23 @@ class GpuSimulator
     const RenderingElimination *re() const { return re_.get(); }
     const EarlyVisibilityResolution *evr() const { return evr_.get(); }
 
+    /** Mutable mechanism access for tests/fuzzers that corrupt state. */
+    RenderingElimination *mutableRe() { return re_.get(); }
+    EarlyVisibilityResolution *mutableEvr() { return evr_.get(); }
+
+    /** The invariant auditor; null unless validation is enabled. */
+    const InvariantAuditor *auditor() const { return auditor_.get(); }
+
     /** The last rendered frame's Parameter Buffer (diagnostics). */
     const ParameterBuffer &parameterBuffer() const { return pb_; }
 
     int framesRendered() const { return frames_rendered_; }
 
   private:
+    /** The frame render proper; @p stats arrives pre-seeded with any
+     *  ingestion-validation counters. */
+    FrameStats renderFrameImpl(const Scene &scene, FrameStats stats);
+
     SimConfig config_;
     MemorySystem mem_;
     ShaderCore shader_;
@@ -90,6 +114,7 @@ class GpuSimulator
     ParameterBuffer pb_;
     std::unique_ptr<RenderingElimination> re_;
     std::unique_ptr<EarlyVisibilityResolution> evr_;
+    std::unique_ptr<InvariantAuditor> auditor_;
     Framebuffer fb_;
     Framebuffer prev_fb_;
     FrameStats totals_;

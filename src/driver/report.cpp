@@ -154,6 +154,11 @@ printSweepSummary(const ExperimentRunner &runner)
                     static_cast<unsigned long long>(s.retries),
                     s.retries == 1 ? "y" : "ies",
                     static_cast<unsigned long long>(s.failed));
+    if (s.validate_violations > 0 || s.degraded_tiles > 0)
+        std::printf("sweep degradations: %llu invariant violation(s), "
+                    "%llu tile(s) degraded\n",
+                    static_cast<unsigned long long>(s.validate_violations),
+                    static_cast<unsigned long long>(s.degraded_tiles));
     std::printf("\n");
 }
 

@@ -69,6 +69,13 @@ const StatField kStatFields[] = {
     {"raster_mem_latency", &FrameStats::raster_mem_latency},
     {"geometry_cycles", &FrameStats::geometry_cycles},
     {"raster_cycles", &FrameStats::raster_cycles},
+    {"validate_tile_checks", &FrameStats::validate_tile_checks},
+    {"validate_scene_issues", &FrameStats::validate_scene_issues},
+    {"validate_commands_dropped", &FrameStats::validate_commands_dropped},
+    {"validate_violations", &FrameStats::validate_violations},
+    {"degraded_tiles", &FrameStats::degraded_tiles},
+    {"commands_rejected", &FrameStats::commands_rejected},
+    {"prims_rejected", &FrameStats::prims_rejected},
 };
 
 struct CacheField {

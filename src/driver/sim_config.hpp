@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "common/validate.hpp"
 #include "gpu/gpu_config.hpp"
 
 namespace evrsim {
@@ -15,6 +16,12 @@ namespace evrsim {
 /** One simulated GPU variant. */
 struct SimConfig {
     GpuConfig gpu;
+
+    /**
+     * Ingestion validation + invariant auditing (EVRSIM_VALIDATE). Off
+     * by default; the defensive machinery costs nothing when disabled.
+     */
+    ValidationConfig validation;
 
     /** Rendering Elimination (Signature Buffer + tile skipping). */
     bool re = false;
@@ -112,19 +119,34 @@ struct SimConfig {
         return c;
     }
 
-    /** Sanity-check flag combinations. */
+    /** Recoverable flag-combination check: first problem as a Status. */
+    Status
+    checkValid() const
+    {
+        Status s = gpu.checkValid();
+        if (!s.ok())
+            return s;
+        if ((evr_reorder || evr_filter_signature) && !evr_predict)
+            return Status::invalidArgument(
+                "EVR reorder/filter require evr_predict");
+        if (evr_filter_signature && !re)
+            return Status::invalidArgument(
+                "signature filtering requires Rendering Elimination");
+        if (oracle_z && z_prepass)
+            return Status::invalidArgument(
+                "oracle_z and z_prepass are mutually exclusive");
+        if (name.empty())
+            return Status::invalidArgument("SimConfig must be named");
+        return {};
+    }
+
+    /** Process-boundary wrapper: exits on an invalid configuration. */
     void
     validate() const
     {
-        gpu.validate();
-        if ((evr_reorder || evr_filter_signature) && !evr_predict)
-            fatal("EVR reorder/filter require evr_predict");
-        if (evr_filter_signature && !re)
-            fatal("signature filtering requires Rendering Elimination");
-        if (oracle_z && z_prepass)
-            fatal("oracle_z and z_prepass are mutually exclusive");
-        if (name.empty())
-            fatal("SimConfig must be named");
+        Status s = checkValid();
+        if (!s.ok())
+            fatal("SimConfig: %s", s.message().c_str());
     }
 };
 

@@ -113,6 +113,19 @@ EarlyVisibilityResolution::tileEnd(int tile, const float *tile_depth,
     ++stats.fvp_table_accesses;
 }
 
+bool
+EarlyVisibilityResolution::fvpConservative(int tile, float max_depth) const
+{
+    // Only a WOZ-type entry encodes a depth to be conservative about; an
+    // invalid or NWOZ entry cannot mislabel by depth comparison.
+    if (!fvp_.valid(tile) || !fvp_.isWozType(tile))
+        return true;
+    // Z_far is the max over the tile's final Z Buffer, so it must be at
+    // least the farthest depth just observed (small epsilon for float
+    // noise between the two scans).
+    return fvp_.zFar(tile) >= max_depth - 1e-6f;
+}
+
 void
 EarlyVisibilityResolution::tileSkipped(int tile)
 {

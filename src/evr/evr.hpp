@@ -57,6 +57,8 @@ class EarlyVisibilityResolution : public PrimitiveScheduler,
     void tileEnd(int tile, const float *tile_depth, int pixel_count,
                  FrameStats &stats) override;
     void tileSkipped(int tile) override;
+    bool fvpConservative(int tile, float max_depth) const override;
+    void invalidatePrediction(int tile) override { fvp_.invalidate(tile); }
 
     // --- Inspection (tests, diagnostics) ---
     const LayerGeneratorTable &lgt() const { return lgt_; }

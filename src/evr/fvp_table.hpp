@@ -34,6 +34,12 @@ class FvpTable
     void storeNwoz(int tile, std::uint16_t l_far);
 
     /**
+     * Drop @p tile's entry (safe degradation: with no prediction, every
+     * primitive there is treated as visible next frame).
+     */
+    void invalidate(int tile) { entries_[tile] = Entry{}; }
+
+    /**
      * Predict whether a primitive is occluded in @p tile using the
      * previous frame's FVP.
      *

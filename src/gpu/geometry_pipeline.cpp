@@ -160,6 +160,25 @@ GeometryPipeline::emitTriangle(const ClipVertex tri[3], const DrawCommand &cmd,
         return;
     }
 
+    // A texture slot that does not resolve to a bound texture would be
+    // dereferenced here and again at shading: reject the primitive (the
+    // raster pipeline must never see unusable render state).
+    const bool samples =
+        ShaderCore::fragmentTexFetches(prim.state.program) > 0;
+    if ((samples && prim.state.texture < 0) ||
+        (prim.state.texture >= 0 &&
+         (prim.state.texture >= static_cast<int>(scene.textures.size()) ||
+          scene.textures[prim.state.texture] == nullptr))) {
+        ++stats.prims_rejected;
+        if (!warned_bad_texture_) {
+            warned_bad_texture_ = true;
+            warn("command %u references texture slot %d with no bound "
+                 "texture; dropping its primitives",
+                 cmd.id, prim.state.texture);
+        }
+        return;
+    }
+
     // Rendering Elimination signature: CRC32 of the primitive's
     // post-transform vertex attributes plus the state that affects its
     // colors. Computed once per primitive, combined per overlapped tile.
@@ -170,11 +189,8 @@ GeometryPipeline::emitTriangle(const ClipVertex tri[3], const DrawCommand &cmd,
     crc.updateValue(prim.state.depth_test);
     crc.updateValue(prim.state.blend);
     crc.updateValue(prim.state.program);
-    if (prim.state.texture >= 0) {
-        EVRSIM_ASSERT(prim.state.texture <
-                      static_cast<int>(scene.textures.size()));
+    if (prim.state.texture >= 0)
         crc.updateValue(scene.textures[prim.state.texture]->contentKey());
-    }
     prim.attr_crc = crc.value();
     prim.attr_bytes = static_cast<std::uint32_t>(crc.length());
 
@@ -280,9 +296,20 @@ GeometryPipeline::run(const Scene &scene, ParameterBuffer &pb,
 
     for (const DrawCommand &cmd : scene.commands) {
         ++stats.draw_commands;
-        EVRSIM_ASSERT(cmd.mesh != nullptr);
-        if (cmd.mesh->buffer_base == 0)
-            fatal("mesh used by command %u was never uploaded", cmd.id);
+        // A null or never-uploaded mesh is an application error, not a
+        // simulator bug: skip the command (counted, warned once) rather
+        // than killing the whole sweep process.
+        if (cmd.mesh == nullptr || cmd.mesh->buffer_base == 0) {
+            ++stats.commands_rejected;
+            if (!warned_bad_command_) {
+                warned_bad_command_ = true;
+                warn("command %u has a %s mesh; skipping it (and any "
+                     "later offender, silently)",
+                     cmd.id,
+                     cmd.mesh == nullptr ? "null" : "never-uploaded");
+            }
+            continue;
+        }
 
         Mat4 mvp = (cmd.screen_space ? pixel_proj : view_proj) * cmd.model;
 

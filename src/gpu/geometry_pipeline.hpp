@@ -80,6 +80,9 @@ class GeometryPipeline
 
     const GpuConfig &config_;
     MemorySystem &mem_;
+    /** One warning per reject class per pipeline, not per occurrence. */
+    bool warned_bad_command_ = false;
+    bool warned_bad_texture_ = false;
 };
 
 } // namespace evrsim

@@ -6,6 +6,7 @@
 #define EVRSIM_GPU_GPU_CONFIG_HPP
 
 #include "common/log.hpp"
+#include "common/status.hpp"
 #include "mem/memory_system.hpp"
 
 namespace evrsim {
@@ -59,15 +60,28 @@ struct GpuConfig {
 
     int tileCount() const { return tilesX() * tilesY(); }
 
+    /** Recoverable form of validate(): first problem as a Status. */
+    Status
+    checkValid() const
+    {
+        if (screen_width <= 0 || screen_height <= 0)
+            return Status::invalidArgument(
+                "screen dimensions must be positive");
+        if (tile_size <= 0 || tile_size > 64)
+            return Status::invalidArgument("tile size must be in (0, 64]");
+        if (fragment_processors <= 0 || vertex_processors <= 0)
+            return Status::invalidArgument(
+                "processor counts must be positive");
+        return {};
+    }
+
+    /** Process-boundary wrapper: exits on an invalid configuration. */
     void
     validate() const
     {
-        if (screen_width <= 0 || screen_height <= 0)
-            fatal("screen dimensions must be positive");
-        if (tile_size <= 0 || tile_size > 64)
-            fatal("tile size must be in (0, 64]");
-        if (fragment_processors <= 0 || vertex_processors <= 0)
-            fatal("processor counts must be positive");
+        Status s = checkValid();
+        if (!s.ok())
+            fatal("GpuConfig: %s", s.message().c_str());
     }
 };
 

@@ -61,6 +61,14 @@ FrameStats::accumulate(const FrameStats &other)
     depth_buffer_accesses += other.depth_buffer_accesses;
     tile_flush_bytes += other.tile_flush_bytes;
 
+    validate_tile_checks += other.validate_tile_checks;
+    validate_scene_issues += other.validate_scene_issues;
+    validate_commands_dropped += other.validate_commands_dropped;
+    validate_violations += other.validate_violations;
+    degraded_tiles += other.degraded_tiles;
+    commands_rejected += other.commands_rejected;
+    prims_rejected += other.prims_rejected;
+
     geom_mem_latency += other.geom_mem_latency;
     raster_mem_latency += other.raster_mem_latency;
 

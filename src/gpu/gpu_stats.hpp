@@ -86,6 +86,18 @@ struct FrameStats {
     std::uint64_t depth_buffer_accesses = 0;
     std::uint64_t tile_flush_bytes = 0;
 
+    // --- Validation / safe degradation (EVRSIM_VALIDATE) ---
+    std::uint64_t validate_tile_checks = 0; ///< identity checks performed
+    std::uint64_t validate_scene_issues = 0; ///< ingestion problems found
+    std::uint64_t validate_commands_dropped = 0; ///< permissive sanitizer
+    std::uint64_t validate_violations = 0; ///< invariant auditor failures
+    /** Tiles whose EVR/RE state was repaired or disabled this frame. */
+    std::uint64_t degraded_tiles = 0;
+    /** Commands skipped by the pipeline itself (null/un-uploaded mesh). */
+    std::uint64_t commands_rejected = 0;
+    /** Primitives dropped for unusable render state (bad texture slot). */
+    std::uint64_t prims_rejected = 0;
+
     // --- Memory latency sums (raw, before overlap factors) ---
     /** Sum of geometry-side memory access latencies. */
     std::uint64_t geom_mem_latency = 0;

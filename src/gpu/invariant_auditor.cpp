@@ -1,0 +1,163 @@
+/**
+ * @file
+ * InvariantAuditor implementation.
+ */
+#include "gpu/invariant_auditor.hpp"
+
+#include "common/fault_injector.hpp"
+#include "common/log.hpp"
+#include "gpu/rasterizer.hpp"
+
+namespace evrsim {
+
+InvariantAuditor::InvariantAuditor(const ValidationConfig &config,
+                                   const GpuConfig &gpu)
+    : config_(config), gpu_(gpu)
+{
+}
+
+void
+InvariantAuditor::frameStart(std::uint64_t frame)
+{
+    frame_ = frame;
+    frame_violations_.clear();
+}
+
+bool
+InvariantAuditor::shouldAuditTile(int tile) const
+{
+    if (config_.tile_sample_rate <= 0.0)
+        return false;
+    if (config_.tile_sample_rate >= 1.0)
+        return true;
+    std::uint64_t h = mix64(config_.seed ^ mix64(frame_) ^
+                            mix64(static_cast<std::uint64_t>(tile) +
+                                  0x7461756469740ull));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < config_.tile_sample_rate;
+}
+
+RectI
+InvariantAuditor::tileRect(int tile) const
+{
+    int ts = gpu_.tile_size;
+    int tx = tile % gpu_.tilesX();
+    int ty = tile / gpu_.tilesX();
+    RectI rect = {tx * ts, ty * ts, (tx + 1) * ts, (ty + 1) * ts};
+    return rect.intersect({0, 0, gpu_.screen_width, gpu_.screen_height});
+}
+
+void
+InvariantAuditor::checkBinning(const ParameterBuffer &pb, FrameStats &stats)
+{
+    const int tiles = pb.tileCount();
+    for (int tile = 0; tile < tiles; ++tile) {
+        const RectI rect = tileRect(tile);
+
+        for (const DisplayListEntry &e : pb.firstList(tile)) {
+            const ShadedPrimitive &prim = pb.prim(e.prim);
+            if (!Rasterizer::triangleOverlapsRect(prim, rect))
+                record("binning: prim " + std::to_string(e.prim) +
+                           " listed in tile " + std::to_string(tile) +
+                           " it does not overlap",
+                       stats);
+        }
+        for (const DisplayListEntry &e : pb.secondList(tile)) {
+            const ShadedPrimitive &prim = pb.prim(e.prim);
+            if (!Rasterizer::triangleOverlapsRect(prim, rect))
+                record("binning: prim " + std::to_string(e.prim) +
+                           " listed in tile " + std::to_string(tile) +
+                           " it does not overlap",
+                       stats);
+            // Algorithm 1 defers only predicted-occluded opaque WOZ
+            // primitives; anything else in the Second List would change
+            // rendering semantics, not just order.
+            if (!e.predicted_occluded || !prim.state.depth_write ||
+                prim.state.blend != BlendMode::Opaque)
+                record("ordering: tile " + std::to_string(tile) +
+                           " Second List holds prim " +
+                           std::to_string(e.prim) +
+                           " that is not predicted-occluded opaque WOZ",
+                       stats);
+        }
+    }
+}
+
+void
+InvariantAuditor::checkFvpConservative(int tile, const float *tile_depth,
+                                       int pixel_count, FrameStats &stats)
+{
+    if (!tracker_)
+        return;
+    float max_depth = 0.0f;
+    for (int i = 0; i < pixel_count; ++i)
+        if (tile_depth[i] > max_depth)
+            max_depth = tile_depth[i];
+    if (tracker_->fvpConservative(tile, max_depth))
+        return;
+    record("fvp: tile " + std::to_string(tile) +
+               " stored a farthest-visible point nearer than its actual "
+               "farthest depth",
+           stats);
+    // The prediction is unsound; forget it rather than let the next
+    // frame exclude visible primitives with it.
+    degradeTile(tile, stats);
+}
+
+void
+InvariantAuditor::checkMispredictionPoisoned(int tile, FrameStats &stats)
+{
+    // A misprediction takes the tile's signature out of service for two
+    // frames — that is the degradation the counters must surface.
+    ++stats.degraded_tiles;
+    if (!signature_ || signature_->mispredictionPoisoned(tile))
+        return;
+    record("re: tile " + std::to_string(tile) +
+               " misprediction did not poison its signature",
+           stats);
+}
+
+void
+InvariantAuditor::reportTileMismatch(int tile, FrameStats &stats)
+{
+    record("identity: tile " + std::to_string(tile) +
+               " pixels differ from the submission-order reference",
+           stats);
+}
+
+void
+InvariantAuditor::degradeTile(int tile, FrameStats &stats)
+{
+    ++stats.degraded_tiles;
+    if (signature_)
+        signature_->tileMispredicted(tile);
+    if (tracker_)
+        tracker_->invalidatePrediction(tile);
+}
+
+void
+InvariantAuditor::record(std::string message, FrameStats &stats)
+{
+    ++total_violations_;
+    ++stats.validate_violations;
+    if (config_.strict())
+        warn("invariant violation (frame %llu): %s",
+             static_cast<unsigned long long>(frame_), message.c_str());
+    if (frame_violations_.size() < kMaxStoredViolations)
+        frame_violations_.push_back(std::move(message));
+}
+
+Status
+InvariantAuditor::frameStatus() const
+{
+    if (frameClean())
+        return {};
+    std::string msg = frame_violations_.front();
+    if (total_violations_ > 1 || frame_violations_.size() > 1)
+        msg += " (+" +
+               std::to_string(frame_violations_.size() - 1) +
+               " more this frame)";
+    return Status::invariantViolation(std::move(msg));
+}
+
+} // namespace evrsim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Pipeline invariant auditor (EVRSIM_VALIDATE).
+ *
+ * Cross-checks the claims the EVR/RE machinery is built on, while a
+ * frame renders:
+ *
+ *  - binning containment: every display-list entry references a
+ *    primitive that actually overlaps its tile, and the Second List
+ *    holds only what Algorithm 1 may put there (predicted-occluded
+ *    opaque WOZ primitives);
+ *  - FVP conservativeness: the Z_far stored for a tile is at least the
+ *    tile's true farthest depth (a too-near FVP would mispredict
+ *    visible primitives as occluded wholesale);
+ *  - misprediction poisoning: once a predicted-occluded primitive is
+ *    seen contributing, the tile's signature really is poisoned
+ *    (DESIGN.md section 4.1's soundness defense);
+ *  - end-of-frame image identity: on a sampled subset of tiles, the
+ *    produced pixels equal a submission-order reference render.
+ *
+ * The auditor only observes the pipeline through the generic hook
+ * interfaces, so this stays a GPU-layer class with no EVR/RE linkage.
+ * Violations are counted and described; permissive mode additionally
+ * *degrades* the offending tile (poison its signature, invalidate its
+ * FVP entry) so the run continues with EVR/RE disabled exactly where
+ * they were caught lying, while strict mode turns the frame into a
+ * failing Status.
+ */
+#ifndef EVRSIM_GPU_INVARIANT_AUDITOR_HPP
+#define EVRSIM_GPU_INVARIANT_AUDITOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rect.hpp"
+#include "common/status.hpp"
+#include "common/validate.hpp"
+#include "gpu/gpu_config.hpp"
+#include "gpu/parameter_buffer.hpp"
+#include "gpu/pipeline_hooks.hpp"
+
+namespace evrsim {
+
+/** Frame-scoped invariant checker; owned by the simulator. */
+class InvariantAuditor
+{
+  public:
+    InvariantAuditor(const ValidationConfig &config, const GpuConfig &gpu);
+
+    /** Wire the hooks to interrogate and degrade (either may be null). */
+    void
+    attach(SignatureUpdater *signature, TileVisibilityTracker *tracker)
+    {
+        signature_ = signature;
+        tracker_ = tracker;
+    }
+
+    /**
+     * Enable/disable the image-identity check. Configurations that
+     * preload final depths (oracle-Z, Z-Prepass) resolve equal-depth
+     * fragments differently from a submission-order render, so identity
+     * against the reference is not an invariant for them.
+     */
+    void setIdentityEnabled(bool enabled) { identity_enabled_ = enabled; }
+    bool identityEnabled() const { return identity_enabled_; }
+
+    /** Begin a frame: clears the per-frame violation list. */
+    void frameStart(std::uint64_t frame);
+
+    /** Should the identity check run for @p tile this frame (sampled)? */
+    bool shouldAuditTile(int tile) const;
+
+    /**
+     * Post-binning structural audit of every tile's display lists:
+     * containment and Second List composition.
+     */
+    void checkBinning(const ParameterBuffer &pb, FrameStats &stats);
+
+    /**
+     * FVP conservativeness for a tile that just ended: the stored
+     * prediction must be no nearer than the tile's true farthest depth.
+     * Call after TileVisibilityTracker::tileEnd. Violations degrade the
+     * tile's prediction.
+     */
+    void checkFvpConservative(int tile, const float *tile_depth,
+                              int pixel_count, FrameStats &stats);
+
+    /**
+     * A misprediction was reported for @p tile (scenario D). Counts the
+     * tile as degraded — its signature is out of service — and audits
+     * that the poison actually took.
+     */
+    void checkMispredictionPoisoned(int tile, FrameStats &stats);
+
+    /** Record an image-identity mismatch for @p tile. */
+    void reportTileMismatch(int tile, FrameStats &stats);
+
+    /**
+     * Take @p tile out of the EVR/RE fast path: poison its signature
+     * (no skip next frame) and invalidate its FVP prediction.
+     */
+    void degradeTile(int tile, FrameStats &stats);
+
+    /** No violations so far this frame? */
+    bool frameClean() const { return frame_violations_.empty(); }
+
+    /** Ok when clean; otherwise an InvariantViolation describing them. */
+    Status frameStatus() const;
+
+    /** Violations across the auditor's lifetime. */
+    std::uint64_t totalViolations() const { return total_violations_; }
+
+    const std::vector<std::string> &
+    frameViolations() const
+    {
+        return frame_violations_;
+    }
+
+    const ValidationConfig &config() const { return config_; }
+
+  private:
+    void record(std::string message, FrameStats &stats);
+
+    /** Pixel rectangle of @p tile (mirrors the raster pipeline). */
+    RectI tileRect(int tile) const;
+
+    ValidationConfig config_;
+    const GpuConfig &gpu_;
+    SignatureUpdater *signature_ = nullptr;
+    TileVisibilityTracker *tracker_ = nullptr;
+    bool identity_enabled_ = true;
+
+    std::uint64_t frame_ = 0;
+    std::vector<std::string> frame_violations_;
+    std::uint64_t total_violations_ = 0;
+
+    /** Cap on retained violation descriptions per frame. */
+    static constexpr std::size_t kMaxStoredViolations = 8;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_GPU_INVARIANT_AUDITOR_HPP

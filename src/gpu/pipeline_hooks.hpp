@@ -88,6 +88,17 @@ class SignatureUpdater
 
     /** Promote current-frame signatures to previous-frame. */
     virtual void frameEnd() = 0;
+
+    /**
+     * Audit query: after tileMispredicted(@p tile) this frame, is the
+     * tile's in-progress signature actually poisoned? Defaults to true
+     * so implementations without a poison bit are not flagged.
+     */
+    virtual bool mispredictionPoisoned(int tile) const
+    {
+        (void)tile;
+        return true;
+    }
 };
 
 /** Raster-side EVR hook (Layer Buffer, ZR register, FVP Table update). */
@@ -130,6 +141,25 @@ class TileVisibilityTracker
      * unchanged, so its FVP Table entry is left as-is.
      */
     virtual void tileSkipped(int tile) = 0;
+
+    /**
+     * Audit query: is the FVP entry stored for @p tile conservative
+     * against the tile's true farthest depth @p max_depth (FVP >= it)?
+     * Implementations without a prediction (or with an invalid entry)
+     * return true.
+     */
+    virtual bool fvpConservative(int tile, float max_depth) const
+    {
+        (void)tile;
+        (void)max_depth;
+        return true;
+    }
+
+    /**
+     * Safe degradation: forget @p tile's stored prediction so the next
+     * frame treats every primitive there as predicted visible.
+     */
+    virtual void invalidatePrediction(int tile) { (void)tile; }
 };
 
 } // namespace evrsim

@@ -4,8 +4,11 @@
  */
 #include "gpu/raster_pipeline.hpp"
 
+#include "common/crash_handler.hpp"
 #include "common/log.hpp"
+#include "gpu/invariant_auditor.hpp"
 #include "gpu/rasterizer.hpp"
+#include "gpu/reference_raster.hpp"
 
 namespace evrsim {
 
@@ -110,6 +113,36 @@ RasterPipeline::renderTile(int tile, const Scene &scene,
         if (prev_fb) {
             // A skipped tile is unchanged by construction.
             ++ts.tiles_equal_oracle;
+        }
+        // Audit the skip decision itself: the pixels left in place must
+        // equal what rendering this frame's display list would produce.
+        if (hooks.auditor && hooks.auditor->identityEnabled() &&
+            hooks.auditor->shouldAuditTile(tile)) {
+            ++ts.validate_tile_checks;
+            RectI rect = tileRect(tile);
+            std::vector<Rgba8> ref = renderTileReference(
+                scene, pb, rect, pb.renderOrder(tile));
+            bool same = true;
+            for (int y = rect.y0; y < rect.y1 && same; ++y)
+                for (int x = rect.x0; x < rect.x1; ++x)
+                    if (fb.pixel(x, y) !=
+                        ref[static_cast<std::size_t>(y - rect.y0) *
+                                rect.width() +
+                            (x - rect.x0)]) {
+                        same = false;
+                        break;
+                    }
+            if (!same) {
+                hooks.auditor->reportTileMismatch(tile, ts);
+                for (int y = rect.y0; y < rect.y1; ++y)
+                    for (int x = rect.x0; x < rect.x1; ++x)
+                        fb.setPixel(
+                            x, y,
+                            ref[static_cast<std::size_t>(y - rect.y0) *
+                                    rect.width() +
+                                (x - rect.x0)]);
+                hooks.auditor->degradeTile(tile, ts);
+            }
         }
         return;
     }
@@ -256,9 +289,13 @@ RasterPipeline::renderTile(int tile, const Scene &scene,
             contributed[pos] = 1;
     }
 
-    if (hooks.tracker)
+    if (hooks.tracker) {
         hooks.tracker->tileEnd(tile, depth.data(),
                                static_cast<int>(npix), ts);
+        if (hooks.auditor)
+            hooks.auditor->checkFvpConservative(
+                tile, depth.data(), static_cast<int>(npix), ts);
+    }
 
     // Report visible mispredictions: an excluded primitive that reached
     // the final pixels poisons the tile's signature (see DESIGN.md 4.1).
@@ -266,8 +303,26 @@ RasterPipeline::renderTile(int tile, const Scene &scene,
         for (std::size_t pos = 0; pos < order.size(); ++pos) {
             if (order[pos].predicted_occluded && contributed[pos]) {
                 hooks.signature->tileMispredicted(tile);
+                if (hooks.auditor)
+                    hooks.auditor->checkMispredictionPoisoned(tile, ts);
                 break;
             }
+        }
+    }
+
+    // Sampled image-identity audit: the tile's pixels must match a
+    // submission-order reference render. On mismatch the reference
+    // pixels are shipped (and the tile's EVR/RE state degraded) so a
+    // permissive run still produces the correct image.
+    if (hooks.auditor && hooks.auditor->identityEnabled() &&
+        hooks.auditor->shouldAuditTile(tile)) {
+        ++ts.validate_tile_checks;
+        std::vector<Rgba8> ref =
+            renderTileReference(scene, pb, rect, order);
+        if (ref != color) {
+            hooks.auditor->reportTileMismatch(tile, ts);
+            color = std::move(ref);
+            hooks.auditor->degradeTile(tile, ts);
         }
     }
 
@@ -323,11 +378,13 @@ RasterPipeline::run(const Scene &scene, const ParameterBuffer &pb,
     EVRSIM_ASSERT(pb.tileCount() == tiles);
 
     for (int tile = 0; tile < tiles; ++tile) {
+        crashContextSetTile(tile);
         FrameStats ts;
         renderTile(tile, scene, pb, fb, prev_fb, hooks, ts);
         ts.raster_cycles = timing_.tileCycles(ts);
         stats.accumulate(ts);
     }
+    crashContextSetTile(-1);
 }
 
 } // namespace evrsim

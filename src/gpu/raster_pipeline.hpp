@@ -20,10 +20,13 @@
 
 namespace evrsim {
 
+class InvariantAuditor;
+
 /** Optional attachments for one frame's raster pass. */
 struct RasterHooks {
     SignatureUpdater *signature = nullptr;   ///< RE tile-skip decisions
     TileVisibilityTracker *tracker = nullptr; ///< EVR Layer Buffer / FVP
+    InvariantAuditor *auditor = nullptr;      ///< EVRSIM_VALIDATE checks
     /**
      * Oracle mode of Figure 8: before rendering a tile, its final depth
      * values are computed and preloaded into the Z Buffer, so the Early

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reference tile renderer implementation.
+ *
+ * The fragment math here must stay in lockstep with
+ * RasterPipeline::renderTile's non-preloaded path (plain less-than depth
+ * test, same blend equations, same RGBA8 quantization points): the
+ * auditor compares the two images byte for byte.
+ */
+#include "gpu/reference_raster.hpp"
+
+#include <algorithm>
+
+#include "gpu/rasterizer.hpp"
+#include "gpu/shader.hpp"
+
+namespace evrsim {
+
+std::vector<Rgba8>
+renderTileReference(const Scene &scene, const ParameterBuffer &pb,
+                    const RectI &rect,
+                    std::vector<DisplayListEntry> entries)
+{
+    const int w = rect.width();
+    const auto npix = static_cast<std::size_t>(rect.area());
+
+    std::vector<float> depth(npix, scene.clear_depth);
+    std::vector<Rgba8> color(npix, scene.clear_color);
+
+    // Parameter Buffer indices are assigned in submission order, so
+    // sorting by them undoes Algorithm 1's two-list reordering.
+    std::sort(entries.begin(), entries.end(),
+              [](const DisplayListEntry &a, const DisplayListEntry &b) {
+                  return a.prim < b.prim;
+              });
+
+    FrameStats scratch; // rasterizer wants counters; discarded
+    for (const DisplayListEntry &e : entries) {
+        const ShadedPrimitive &prim = pb.prim(e.prim);
+        const RenderState &state = prim.state;
+        const bool early_capable = state.depth_test &&
+                                   !state.shaderDiscards();
+
+        Rasterizer::rasterize(
+            prim, rect, scratch, [&](const Fragment &frag) {
+                std::size_t li =
+                    static_cast<std::size_t>(frag.y - rect.y0) * w +
+                    (frag.x - rect.x0);
+
+                if (early_capable) {
+                    if (!(frag.depth < depth[li]))
+                        return;
+                    if (state.depth_write)
+                        depth[li] = frag.depth;
+                }
+
+                FragmentShadeResult res = ShaderCore::shadeFunctional(
+                    state, frag.color, frag.uv, scene.textures);
+                if (res.discarded)
+                    return;
+
+                if (!early_capable && state.depth_test) {
+                    if (!(frag.depth < depth[li]))
+                        return;
+                    if (state.depth_write)
+                        depth[li] = frag.depth;
+                }
+
+                Vec4 out;
+                if (state.blend == BlendMode::Opaque) {
+                    out = res.color;
+                    out.w = 1.0f;
+                } else {
+                    Vec4 dst = toVec4(color[li]);
+                    float a = clampf(res.color.w, 0.0f, 1.0f);
+                    out = res.color * a + dst * (1.0f - a);
+                    out.w = a + dst.w * (1.0f - a);
+                }
+                color[li] = toRgba8(out);
+            });
+    }
+    return color;
+}
+
+} // namespace evrsim

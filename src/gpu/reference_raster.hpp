@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reference tile renderer for the invariant auditor.
+ *
+ * Renders one tile's display list in pure submission order with the
+ * standard depth/blend rules and no EVR/RE participation — the image any
+ * correct configuration must produce. It is strictly functional: no
+ * simulated memory traffic, no counters, no hook calls, so auditing a
+ * tile cannot perturb the run being audited.
+ */
+#ifndef EVRSIM_GPU_REFERENCE_RASTER_HPP
+#define EVRSIM_GPU_REFERENCE_RASTER_HPP
+
+#include <vector>
+
+#include "common/rect.hpp"
+#include "gpu/parameter_buffer.hpp"
+#include "scene/scene.hpp"
+
+namespace evrsim {
+
+/**
+ * Functionally render the tile covering @p rect from @p pb's primitives.
+ *
+ * @param entries display-list entries of the tile, in any order; they
+ *                are re-sorted into submission (Parameter Buffer) order
+ *                so any EVR reordering is undone
+ * @return rect.area() packed colors, row-major within @p rect
+ */
+std::vector<Rgba8>
+renderTileReference(const Scene &scene, const ParameterBuffer &pb,
+                    const RectI &rect,
+                    std::vector<DisplayListEntry> entries);
+
+} // namespace evrsim
+
+#endif // EVRSIM_GPU_REFERENCE_RASTER_HPP

@@ -55,27 +55,46 @@ ShaderCore::fragmentTexFetches(FragmentProgram program)
     panic("invalid fragment program %d", static_cast<int>(program));
 }
 
-Vec4
-ShaderCore::sampleTexture(int slot, const Vec2 &uv, unsigned unit,
-                          FrameStats &stats)
-{
-    EVRSIM_ASSERT(textures_ != nullptr);
-    EVRSIM_ASSERT(slot >= 0 &&
-                  slot < static_cast<int>(textures_->size()));
-    const Texture *tex = (*textures_)[slot];
-
-    AccessResult r = mem_.textureFetch(unit, tex->texelAddr(uv.x, uv.y), 4);
-    stats.raster_mem_latency += r.latency;
-    ++stats.texture_fetches;
-    return tex->sample(uv.x, uv.y);
-}
-
 FragmentShadeResult
 ShaderCore::shadeFragment(const RenderState &state, const Vec4 &color,
                           const Vec2 &uv, int px, int py, FrameStats &stats)
 {
     stats.fragment_shader_instrs += fragmentInstrs(state.program);
-    unsigned unit = unitFor(px, py);
+
+    // Charge the simulated texture traffic; the color math itself is
+    // shared with the stat-free functional path below.
+    if (fragmentTexFetches(state.program) > 0) {
+        EVRSIM_ASSERT(textures_ != nullptr);
+        EVRSIM_ASSERT(state.texture >= 0 &&
+                      state.texture <
+                          static_cast<int>(textures_->size()));
+        const Texture *tex =
+            (*textures_)[static_cast<std::size_t>(state.texture)];
+        AccessResult r = mem_.textureFetch(
+            unitFor(px, py), tex->texelAddr(uv.x, uv.y), 4);
+        stats.raster_mem_latency += r.latency;
+        ++stats.texture_fetches;
+    }
+
+    static const std::vector<const Texture *> kNoTextures;
+    FragmentShadeResult out = shadeFunctional(
+        state, color, uv, textures_ ? *textures_ : kNoTextures);
+    if (out.discarded)
+        ++stats.fragments_discarded_shader;
+    return out;
+}
+
+FragmentShadeResult
+ShaderCore::shadeFunctional(const RenderState &state, const Vec4 &color,
+                            const Vec2 &uv,
+                            const std::vector<const Texture *> &textures)
+{
+    auto sample = [&](int slot) {
+        EVRSIM_ASSERT(slot >= 0 &&
+                      slot < static_cast<int>(textures.size()));
+        return textures[static_cast<std::size_t>(slot)]->sample(uv.x,
+                                                                uv.y);
+    };
 
     FragmentShadeResult out;
     switch (state.program) {
@@ -84,13 +103,13 @@ ShaderCore::shadeFragment(const RenderState &state, const Vec4 &color,
         break;
 
       case FragmentProgram::Textured:
-        out.color = sampleTexture(state.texture, uv, unit, stats);
+        out.color = sample(state.texture);
         // Carry the vertex alpha so translucent textured sprites work.
         out.color.w *= color.w;
         break;
 
       case FragmentProgram::TexturedTint: {
-        Vec4 t = sampleTexture(state.texture, uv, unit, stats);
+        Vec4 t = sample(state.texture);
         out.color = {t.x * color.x, t.y * color.y, t.z * color.z,
                      t.w * color.w};
         break;
@@ -107,10 +126,9 @@ ShaderCore::shadeFragment(const RenderState &state, const Vec4 &color,
       }
 
       case FragmentProgram::TexturedDiscard: {
-        Vec4 t = sampleTexture(state.texture, uv, unit, stats);
+        Vec4 t = sample(state.texture);
         if (t.w * color.w < 0.5f) {
             out.discarded = true;
-            ++stats.fragments_discarded_shader;
             return out;
         }
         out.color = {t.x * color.x, t.y * color.y, t.z * color.z, 1.0f};

@@ -62,6 +62,17 @@ class ShaderCore
                                       const Vec4 &color, const Vec2 &uv,
                                       int px, int py, FrameStats &stats);
 
+    /**
+     * Pure color math of shadeFragment: no cost charged, no simulated
+     * memory touched. The invariant auditor's reference rasterizer uses
+     * this so an audited run's caches and counters stay bit-identical to
+     * an unaudited one.
+     */
+    static FragmentShadeResult
+    shadeFunctional(const RenderState &state, const Vec4 &color,
+                    const Vec2 &uv,
+                    const std::vector<const Texture *> &textures);
+
   private:
     /** Fragment processor (and texture cache) a pixel's quad maps to. */
     unsigned
@@ -71,9 +82,6 @@ class ShaderCore
                 static_cast<unsigned>(py >> 1)) &
                (num_units_ - 1);
     }
-
-    Vec4 sampleTexture(int slot, const Vec2 &uv, unsigned unit,
-                       FrameStats &stats);
 
     MemorySystem &mem_;
     const std::vector<const Texture *> *textures_ = nullptr;

@@ -35,7 +35,17 @@ class RenderingElimination : public SignatureUpdater
 
     void frameEnd() override;
 
+    /** Audit query: tileMispredicted() really poisons (see hooks). */
+    bool
+    mispredictionPoisoned(int tile) const override
+    {
+        return signatures_.currentPoisoned(tile);
+    }
+
     const SignatureBuffer &signatureBuffer() const { return signatures_; }
+
+    /** Mutable access for tests/fuzzers that corrupt signature state. */
+    SignatureBuffer &mutableSignatureBuffer() { return signatures_; }
 
     /** Primitives excluded from @p tile's signature this frame. */
     std::uint32_t

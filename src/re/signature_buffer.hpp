@@ -61,6 +61,19 @@ class SignatureBuffer
     /** Promote current signatures to previous (end of frame). */
     void rotate();
 
+    /**
+     * Overwrite @p tile's previous-frame signature (clearing its poison
+     * bit). Test/fuzz-harness entry point: plants the stale or corrupt
+     * reference state the invariant auditor must catch.
+     */
+    void
+    setPrevious(int tile, const Signature &sig, bool valid)
+    {
+        previous_[tile] = sig;
+        previous_valid_[tile] = valid ? 1 : 0;
+        previous_poisoned_[tile] = 0;
+    }
+
     const Signature &current(int tile) const { return current_[tile]; }
     const Signature &previous(int tile) const { return previous_[tile]; }
     bool previousValid(int tile) const { return previous_valid_[tile] != 0; }

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Scene ingestion validation implementation.
+ */
+#include "scene/scene_validate.hpp"
+
+#include <cmath>
+
+namespace evrsim {
+
+namespace {
+
+bool
+finite(float v)
+{
+    return std::isfinite(v);
+}
+
+bool
+finiteVec4(const Vec4 &v)
+{
+    return finite(v.x) && finite(v.y) && finite(v.z) && finite(v.w);
+}
+
+bool
+finiteMat4(const Mat4 &m)
+{
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            if (!finite(m.m[r][c]))
+                return false;
+    return true;
+}
+
+/** Does @p program sample a texture (must mirror the shader core). */
+bool
+programSamples(FragmentProgram program)
+{
+    return program == FragmentProgram::Textured ||
+           program == FragmentProgram::TexturedTint ||
+           program == FragmentProgram::TexturedDiscard;
+}
+
+void
+add(SceneAuditReport &report, int command, std::string detail)
+{
+    report.issues.push_back({command, std::move(detail)});
+}
+
+/** Check one command; appends at most one issue (first problem wins). */
+void
+auditCommand(const Scene &scene, int index, SceneAuditReport &report)
+{
+    const DrawCommand &cmd =
+        scene.commands[static_cast<std::size_t>(index)];
+
+    if (!cmd.mesh) {
+        add(report, index, "null mesh pointer");
+        return;
+    }
+    const Mesh &mesh = *cmd.mesh;
+
+    if (!finiteMat4(cmd.model)) {
+        add(report, index, "non-finite model matrix");
+        return;
+    }
+    if (!finiteVec4(cmd.tint)) {
+        add(report, index, "non-finite tint");
+        return;
+    }
+
+    if (mesh.indices.size() % 3 != 0) {
+        add(report, index,
+            "index count " + std::to_string(mesh.indices.size()) +
+                " is not a multiple of 3");
+        return;
+    }
+    for (std::uint32_t idx : mesh.indices) {
+        if (idx >= mesh.vertices.size()) {
+            add(report, index,
+                "index " + std::to_string(idx) + " out of range (" +
+                    std::to_string(mesh.vertices.size()) + " vertices)");
+            return;
+        }
+    }
+    for (const Vertex &v : mesh.vertices) {
+        if (!finite(v.position.x) || !finite(v.position.y) ||
+            !finite(v.position.z) || !finiteVec4(v.color) ||
+            !finite(v.uv.x) || !finite(v.uv.y)) {
+            add(report, index, "non-finite vertex attribute");
+            return;
+        }
+    }
+
+    const int slot = cmd.state.texture;
+    if (slot >= static_cast<int>(scene.textures.size())) {
+        add(report, index,
+            "texture slot " + std::to_string(slot) + " out of range (" +
+                std::to_string(scene.textures.size()) + " bound)");
+        return;
+    }
+    if (slot >= 0 && scene.textures[static_cast<std::size_t>(slot)] ==
+                         nullptr) {
+        add(report, index,
+            "texture slot " + std::to_string(slot) + " is null");
+        return;
+    }
+    if (programSamples(cmd.state.program) && slot < 0) {
+        add(report, index, "sampling fragment program with no texture");
+        return;
+    }
+}
+
+} // namespace
+
+Status
+SceneAuditReport::toStatus() const
+{
+    if (ok())
+        return {};
+    const SceneIssue &first = issues.front();
+    if (first.command < 0)
+        return Status::invalidArgument("scene: " + first.detail);
+    return Status::invalidArgument(
+        "scene command " + std::to_string(first.command) + ": " +
+        first.detail);
+}
+
+SceneAuditReport
+auditScene(const Scene &scene)
+{
+    SceneAuditReport report;
+
+    if (!finiteMat4(scene.view))
+        add(report, -1, "non-finite view matrix");
+    if (!finiteMat4(scene.proj))
+        add(report, -1, "non-finite projection matrix");
+    if (!finite(scene.clear_depth) || scene.clear_depth < 0.0f ||
+        scene.clear_depth > 1.0f)
+        add(report, -1,
+            "clear depth outside [0, 1]");
+
+    for (int i = 0; i < static_cast<int>(scene.commands.size()); ++i)
+        auditCommand(scene, i, report);
+
+    return report;
+}
+
+Status
+validateScene(const Scene &scene)
+{
+    return auditScene(scene).toStatus();
+}
+
+std::size_t
+sanitizeScene(Scene &scene, const SceneAuditReport &report)
+{
+    if (report.ok())
+        return 0;
+
+    // A broken clear depth is repaired in place (the default is the
+    // only value every configuration can agree on).
+    if (!std::isfinite(scene.clear_depth) || scene.clear_depth < 0.0f ||
+        scene.clear_depth > 1.0f)
+        scene.clear_depth = 1.0f;
+
+    // An unusable camera poisons every command's transform: the only
+    // deterministic safe output is the clear color, so the whole
+    // frame's draw stream is dropped.
+    bool broken_camera = false;
+    for (const SceneIssue &i : report.issues)
+        if (i.command < 0 && i.detail.find("matrix") != std::string::npos)
+            broken_camera = true;
+    if (broken_camera) {
+        std::size_t dropped = scene.commands.size();
+        scene.commands.clear();
+        return dropped;
+    }
+
+    std::vector<char> drop(scene.commands.size(), 0);
+    for (const SceneIssue &i : report.issues)
+        if (i.command >= 0 &&
+            i.command < static_cast<int>(scene.commands.size()))
+            drop[static_cast<std::size_t>(i.command)] = 1;
+
+    std::size_t dropped = 0;
+    std::vector<DrawCommand> kept;
+    kept.reserve(scene.commands.size());
+    for (std::size_t i = 0; i < scene.commands.size(); ++i) {
+        if (drop[i]) {
+            ++dropped;
+            continue;
+        }
+        kept.push_back(scene.commands[i]);
+    }
+    // Command ids keep their submission-order values: the Layer
+    // Generator Table only requires ids to be monotonic, and renumbering
+    // would change layer assignment relative to a config that saw the
+    // same sanitized stream.
+    scene.commands = std::move(kept);
+    return dropped;
+}
+
+} // namespace evrsim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Panic-free scene/draw-stream ingestion validation.
+ *
+ * The simulation core historically trusted its Scene input: a NaN
+ * matrix, an out-of-range index or a dangling texture slot was either
+ * undefined behavior or an assert deep inside the pipeline. These
+ * checks make malformed input a structured, survivable condition:
+ *
+ *  - validateScene() returns the first problem as a Status
+ *    (EVRSIM_VALIDATE=strict: the run fails with it);
+ *  - auditScene() returns every problem, attributed to a draw command
+ *    or to the frame-level camera/clear state;
+ *  - sanitizeScene() applies the permissive policy: offending commands
+ *    are dropped, a broken camera drops the whole frame's commands, and
+ *    an out-of-range clear depth is clamped — deterministically, so
+ *    every configuration of a sweep renders the *same* sanitized frame
+ *    and image-identity comparisons remain meaningful.
+ */
+#ifndef EVRSIM_SCENE_SCENE_VALIDATE_HPP
+#define EVRSIM_SCENE_SCENE_VALIDATE_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "scene/scene.hpp"
+
+namespace evrsim {
+
+/** One problem found in a scene. */
+struct SceneIssue {
+    /** Offending command index, or -1 for frame-level state. */
+    int command = -1;
+    std::string detail;
+};
+
+/** Everything wrong with one scene. */
+struct SceneAuditReport {
+    std::vector<SceneIssue> issues;
+
+    bool ok() const { return issues.empty(); }
+
+    /** True if the camera/clear state itself is unusable. */
+    bool
+    frameLevel() const
+    {
+        for (const SceneIssue &i : issues)
+            if (i.command < 0)
+                return true;
+        return false;
+    }
+
+    /** First issue as InvalidArgument ("command 3: ..."); Ok if none. */
+    Status toStatus() const;
+};
+
+/**
+ * Audit every command and the frame-level state. Checks: finite
+ * view/proj/model matrices and tints, clear depth in [0, 1], non-null
+ * uploaded meshes, index buffers that are in-bounds triangle lists,
+ * finite vertex attributes, and texture slots that exist (and are
+ * non-null) whenever the fragment program samples.
+ */
+SceneAuditReport auditScene(const Scene &scene);
+
+/** First problem as a Status (strict-mode ingestion). */
+Status validateScene(const Scene &scene);
+
+/**
+ * Apply the permissive policy for @p report to @p scene (drop offending
+ * commands; frame-level damage drops all commands and resets the clear
+ * depth). @return number of commands dropped.
+ */
+std::size_t sanitizeScene(Scene &scene, const SceneAuditReport &report);
+
+} // namespace evrsim
+
+#endif // EVRSIM_SCENE_SCENE_VALIDATE_HPP

@@ -246,12 +246,17 @@ TEST_F(GeometryTest, StoreLayersAddsParameterBytes)
               s.bin_tile_pairs * DisplayListEntry::kLayerBytes);
 }
 
-TEST_F(GeometryTest, UnuploadedMeshIsFatal)
+TEST_F(GeometryTest, UnuploadedMeshIsRejectedNotFatal)
 {
+    // An unuploaded mesh used to abort the process; it is now a counted
+    // rejection so a single bad command cannot take down a whole sweep.
     Mesh fresh = meshes::quad({1, 1, 1, 1});
     scene.submit(&fresh, Mat4::identity(), RenderState{});
-    EXPECT_EXIT(runGeometry(gpu, mem, scene, pb),
-                ::testing::ExitedWithCode(1), "never uploaded");
+    submitRect(scene, &quad, 0, 0, 64, 48, 0.5f, RenderState{});
+    FrameStats s = runGeometry(gpu, mem, scene, pb);
+    EXPECT_EQ(s.commands_rejected, 1u);
+    EXPECT_EQ(s.draw_commands, 2u);
+    EXPECT_EQ(s.prims_submitted, 2u); // the uploaded quad still renders
 }
 
 // ---------------------------------------------------- ParameterBuffer --
