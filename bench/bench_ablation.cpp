@@ -14,9 +14,9 @@ using namespace evrsim;
 using namespace evrsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx;
+    BenchContext ctx(argc, argv);
     printBenchHeader("Ablation",
                      "cycles normalized to baseline: RE / reorder-only / "
                      "filter-only / full EVR",

@@ -14,16 +14,32 @@
  * any table is printed; the subsequent run() calls inside the table
  * loops are all memo hits. prefetch() also prints the binary's sweep
  * throughput summary (sims/s, frames/s, parallel speedup).
+ *
+ * Process isolation (EVRSIM_ISOLATE=process): the same binary doubles
+ * as its own worker. The supervisor re-execs it with a hidden
+ * `--evrsim-worker=<job key>` flag; the re-execed copy resolves the
+ * identical deterministic plan, finds the request whose cache-entry
+ * key matches, simulates just that job in-process, frames the result
+ * back on the response pipe, and exits — it never touches the cache,
+ * the journal, or the scheduler (the parent owns those).
  */
 #ifndef EVRSIM_BENCH_BENCH_COMMON_HPP
 #define EVRSIM_BENCH_BENCH_COMMON_HPP
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/crash_handler.hpp"
+#include "common/log.hpp"
 #include "driver/experiment.hpp"
 #include "driver/report.hpp"
+#include "driver/supervisor.hpp"
 #include "workloads/registry.hpp"
 
 namespace evrsim {
@@ -31,18 +47,26 @@ namespace bench {
 
 /** Runner + params bundle every bench binary starts from. */
 struct BenchContext {
+    /** Job key from --evrsim-worker=<key>; empty in the parent. Must
+     *  precede params: worker mode overrides the sweep-owning knobs. */
+    std::string worker_job;
     BenchParams params;
     ExperimentRunner runner;
     std::vector<RunRequest> plan;
     BatchOutcome outcome; ///< filled by prefetch()
 
-    BenchContext()
-        : params(benchParamsFromEnv()),
+    BenchContext() : BenchContext(0, nullptr) {}
+
+    BenchContext(int argc, char **argv)
+        : worker_job(workerJobArg(argc, argv)),
+          params(resolveParams(!worker_job.empty())),
           runner(workloads::factory(), params)
     {
         // A sweep that crashes hours in should at least say which
         // (workload, config, frame, tile) it was simulating.
         installCrashHandler();
+        if (worker_job.empty() && params.isolate == IsolateMode::Process)
+            installProcessLauncher();
     }
 
     GpuConfig gpu() const { return params.gpuConfig(); }
@@ -71,10 +95,15 @@ struct BenchContext {
      * Runs that fail permanently (after quarantine/retry) are reported
      * and excluded from aliases(); the binary still prints its tables
      * from the surviving runs and returns exitCode() != 0.
+     *
+     * In worker mode this never returns: the one job named on the
+     * command line is simulated and the process exits.
      */
     void
     prefetch()
     {
+        if (!worker_job.empty())
+            runWorkerAndExit();
         outcome = runner.runAllChecked(plan);
         printSweepSummary(runner);
         printFailureReport(outcome);
@@ -113,6 +142,98 @@ struct BenchContext {
     exitCode() const
     {
         return outcome.ok() ? 0 : 1;
+    }
+
+  private:
+    static std::string
+    workerJobArg(int argc, char **argv)
+    {
+        const std::string prefix = "--evrsim-worker=";
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i] ? argv[i] : "";
+            if (arg.compare(0, prefix.size(), prefix) == 0)
+                return arg.substr(prefix.size());
+        }
+        return {};
+    }
+
+    static BenchParams
+    resolveParams(bool as_worker)
+    {
+        BenchParams p = benchParamsFromEnv();
+        if (as_worker) {
+            // The parent owns the cache, the journal, the scheduler and
+            // the retry policy; the worker is one bare attempt.
+            p.use_cache = false;
+            p.resume = false;
+            p.isolate = IsolateMode::Off; // no nested forking
+            p.jobs = 1;
+        }
+        return p;
+    }
+
+    void
+    installProcessLauncher()
+    {
+        std::string self = selfExecutablePath();
+        if (self.empty()) {
+            warn("EVRSIM_ISOLATE=process: cannot resolve "
+                 "/proc/self/exe; jobs run in-process");
+            return;
+        }
+        WorkerLimits limits;
+        limits.mem_mb = params.job_mem_mb;
+        limits.timeout_ms = params.job_timeout_ms;
+        limits.grace_ms = defaultGraceMs(params.job_timeout_ms);
+        runner.setWorkerLauncher(
+            [self, limits](const std::string &, const SimConfig &,
+                           const std::string &key) {
+                WorkerOutcome o = superviseWorker(
+                    {self, "--evrsim-worker=" + key}, limits);
+                return WorkerAttempt{o.status, o.result, o.worker_died};
+            });
+    }
+
+    /**
+     * Injected worker faults, keyed by the job key so the *same* jobs
+     * die on every attempt (and get crash-quarantined) while every
+     * other job never does — which is what lets tests assert that
+     * survivors of a faulted isolated sweep are byte-identical to a
+     * fault-free run.
+     */
+    static void
+    maybeInjectWorkerFault(const std::string &job)
+    {
+        FaultInjector inj(FaultInjector::planFromEnv());
+        std::uint64_t key = fnv1a64(job);
+        if (inj.shouldFailAt(FaultSite::WorkerCrash, key))
+            std::raise(SIGSEGV);
+        if (inj.shouldFailAt(FaultSite::WorkerHang, key))
+            for (;;)
+                std::this_thread::sleep_for(std::chrono::seconds(3600));
+    }
+
+    [[noreturn]] void
+    runWorkerAndExit()
+    {
+        for (const RunRequest &r : plan) {
+            if (runner.jobKey(r.alias, r.config) != worker_job)
+                continue;
+            maybeInjectWorkerFault(worker_job);
+            Result<RunResult> attempt =
+                runner.trySimulate(r.alias, r.config);
+            // A failed attempt is still a *clean* worker exit: the
+            // status rides the response, ErrorCode intact, so the
+            // parent can distinguish "the job failed" from "the
+            // worker died".
+            bool wrote =
+                writeWorkerResponse(kWorkerResponseFd, attempt);
+            std::exit(wrote ? 0 : 1);
+        }
+        std::fprintf(stderr, "evrsim worker: no declared job matches "
+                             "key '%s'\n",
+                     worker_job.c_str());
+        std::exit(2);
     }
 };
 

@@ -12,9 +12,9 @@ using namespace evrsim;
 using namespace evrsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx;
+    BenchContext ctx(argc, argv);
     printBenchHeader("Figure 6",
                      "GPU+memory energy of EVR normalized to baseline",
                      ctx.params);

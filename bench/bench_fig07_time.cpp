@@ -11,9 +11,9 @@ using namespace evrsim;
 using namespace evrsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx;
+    BenchContext ctx(argc, argv);
     printBenchHeader("Figure 7",
                      "execution time of EVR normalized to baseline "
                      "(geometry/raster split)",

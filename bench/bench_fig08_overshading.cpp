@@ -12,9 +12,9 @@ using namespace evrsim;
 using namespace evrsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx;
+    BenchContext ctx(argc, argv);
     printBenchHeader("Figure 8",
                      "shaded fragments per pixel: Baseline / EVR reorder / "
                      "Oracle (3D benchmarks)",

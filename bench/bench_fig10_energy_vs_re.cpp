@@ -11,9 +11,9 @@ using namespace evrsim;
 using namespace evrsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx;
+    BenchContext ctx(argc, argv);
     printBenchHeader("Figure 10", "energy of EVR normalized to RE",
                      ctx.params);
 

@@ -14,9 +14,9 @@ using namespace evrsim;
 using namespace evrsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx;
+    BenchContext ctx(argc, argv);
     printBenchHeader("Figure 11",
                      "execution time of RE and EVR normalized to baseline",
                      ctx.params);

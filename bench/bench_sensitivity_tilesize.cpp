@@ -17,9 +17,9 @@ using namespace evrsim;
 using namespace evrsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx;
+    BenchContext ctx(argc, argv);
     printBenchHeader("Sensitivity",
                      "EVR vs tile size (paper fixes 16x16)", ctx.params);
 

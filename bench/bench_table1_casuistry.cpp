@@ -16,9 +16,9 @@ using namespace evrsim;
 using namespace evrsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx;
+    BenchContext ctx(argc, argv);
     printBenchHeader("Table I",
                      "visibility casuistry across frames (per prim-tile "
                      "pair, EVR prediction vs rendered ground truth)",

@@ -20,6 +20,17 @@ mix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
 namespace {
 
 Result<FaultSite>
@@ -32,8 +43,8 @@ siteFromName(const std::string &name)
     }
     return Status::invalidArgument(
         "unknown fault site '" + name +
-        "' (expected cache-read, cache-write, job-execute or "
-        "scene-mutate)");
+        "' (expected cache-read, cache-write, job-execute, "
+        "scene-mutate, worker-crash or worker-hang)");
 }
 
 /** 53-bit mantissa draw in [0, 1) from one mixed word. */
@@ -57,6 +68,10 @@ faultSiteName(FaultSite site)
         return "job-execute";
       case FaultSite::SceneMutate:
         return "scene-mutate";
+      case FaultSite::WorkerCrash:
+        return "worker-crash";
+      case FaultSite::WorkerHang:
+        return "worker-hang";
     }
     return "unknown";
 }

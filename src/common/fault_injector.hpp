@@ -21,6 +21,14 @@
  *   scene-mutate  the frame's scene is corrupted by the deterministic
  *                 fuzz mutator before ingestion (exercises the
  *                 EVRSIM_VALIDATE sanitize/degrade paths from benches)
+ *   worker-crash  an EVRSIM_ISOLATE=process worker raises SIGSEGV
+ *                 before simulating (exercises the supervisor's
+ *                 crash-retry-quarantine path); evaluated only inside
+ *                 a worker process, keyed by job so every attempt of
+ *                 an injected job dies and no other job ever does
+ *   worker-hang   an isolated worker spins forever instead of
+ *                 simulating, so the parent's hard SIGKILL deadline
+ *                 (EVRSIM_JOB_TIMEOUT_MS) must reap it
  *
  * Decisions are a pure function of (site seed, per-site draw counter)
  * via SplitMix64, so a single-threaded sweep injects the *same* faults
@@ -51,8 +59,10 @@ enum class FaultSite {
     CacheWrite = 1,
     JobExecute = 2,
     SceneMutate = 3,
+    WorkerCrash = 4,
+    WorkerHang = 5,
 };
-constexpr int kNumFaultSites = 4;
+constexpr int kNumFaultSites = 6;
 
 /**
  * SplitMix64 finalizer: an uncorrelated u64 from any input. Shared by
@@ -60,6 +70,15 @@ constexpr int kNumFaultSites = 4;
  * so every "random but reproducible" decision uses one primitive.
  */
 std::uint64_t mix64(std::uint64_t x);
+
+/**
+ * FNV-1a over a string, for keying per-job fault decisions.
+ * std::hash<std::string> is implementation-defined, which would make
+ * keyed injection differ across standard libraries (and across the
+ * parent/worker boundary if they were ever built differently); FNV-1a
+ * keeps every string -> decision mapping stable everywhere.
+ */
+std::uint64_t fnv1a64(const std::string &s);
 
 /** Human name used in EVRSIM_FAULT specs ("cache-read"). */
 const char *faultSiteName(FaultSite site);

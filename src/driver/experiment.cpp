@@ -14,10 +14,11 @@
 #include <sstream>
 #include <thread>
 
+#include "common/atomic_file.hpp"
 #include "common/crash_handler.hpp"
-#include "common/crc32.hpp"
 #include "common/env.hpp"
 #include "common/log.hpp"
+#include "driver/envelope.hpp"
 #include "driver/job_pool.hpp"
 #include "scene/scene_fuzzer.hpp"
 
@@ -33,23 +34,8 @@ elapsedMs(std::chrono::steady_clock::time_point since)
         .count();
 }
 
-/**
- * FNV-1a, used to key scene-mutate fault decisions by workload alias.
- * std::hash<std::string> is implementation-defined, which would make the
- * injected corruption differ across standard libraries; FNV-1a keeps the
- * (alias, frame) -> corruption mapping stable everywhere, so a baseline
- * and an EVR run of the same workload see the same corrupted frames.
- */
-std::uint64_t
-fnv1a64(const std::string &s)
-{
-    std::uint64_t h = 1469598103934665603ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    return h;
-}
+/** Name of the write-ahead sweep journal inside the cache directory. */
+constexpr const char *kSweepJournalName = "sweep.journal";
 
 /** Clears the calling thread's crash context when a run ends. */
 struct CrashContextGuard {
@@ -108,6 +94,31 @@ benchParamsFromEnvChecked()
         return s;
     if (present)
         p.job_timeout_ms = static_cast<int>(v);
+    if (Status s = readIntKnob("EVRSIM_JOB_MEM_MB", 0, 1048576, v, present);
+        !s.ok())
+        return s;
+    if (present)
+        p.job_mem_mb = static_cast<int>(v);
+    if (Status s = readIntKnob("EVRSIM_CORRUPT_KEEP", 0, 1000000, v,
+                               present);
+        !s.ok())
+        return s;
+    if (present)
+        p.corrupt_keep = static_cast<int>(v);
+
+    if (const char *iso = std::getenv("EVRSIM_ISOLATE")) {
+        std::string mode = iso;
+        if (mode == "off")
+            p.isolate = IsolateMode::Off;
+        else if (mode == "process")
+            p.isolate = IsolateMode::Process;
+        else
+            return Status::invalidArgument(
+                "EVRSIM_ISOLATE must be 'off' or 'process', got '" + mode +
+                "'");
+    }
+    if (const char *res = std::getenv("EVRSIM_RESUME"); res && res[0] == '1')
+        p.resume = true;
 
     Result<ValidationConfig> val = validationFromEnvChecked();
     if (!val.ok())
@@ -145,6 +156,77 @@ ExperimentRunner::ExperimentRunner(WorkloadFactory factory,
     : factory_(std::move(factory)), params_(params), fault_(faults)
 {
     EVRSIM_ASSERT(factory_ != nullptr);
+
+    // The sweep journal lives alongside the cache; it also engages with
+    // EVRSIM_NO_CACHE when a resume is explicitly requested, because the
+    // journal (not the cache) is what resume replays.
+    if (!params_.use_cache && !params_.resume)
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(params_.cache_dir, ec);
+    std::string jpath =
+        (std::filesystem::path(params_.cache_dir) / kSweepJournalName)
+            .string();
+
+    if (params_.resume) {
+        Result<SweepJournal::Replay> replayed = SweepJournal::replay(jpath);
+        if (!replayed.ok()) {
+            warn("EVRSIM_RESUME: cannot replay %s (%s); starting fresh",
+                 jpath.c_str(), replayed.status().toString().c_str());
+        } else {
+            const SweepJournal::Replay &rep = replayed.value();
+            for (const auto &[key, ro] : rep.outcomes) {
+                auto entry = std::make_shared<MemoEntry>();
+                entry->done = true;
+                entry->outcome.attempts = ro.attempts;
+                switch (ro.kind) {
+                case SweepJournal::ReplayedOutcome::Kind::Finished:
+                    entry->outcome.result = ro.result;
+                    break;
+                case SweepJournal::ReplayedOutcome::Kind::Quarantined:
+                    entry->outcome.quarantined = true;
+                    [[fallthrough]];
+                case SweepJournal::ReplayedOutcome::Kind::Failed:
+                    entry->outcome.status = ro.status;
+                    break;
+                }
+                // Journal keys are cache-entry filenames; the memo keys
+                // on the full cache path.
+                memo_.emplace(
+                    (std::filesystem::path(params_.cache_dir) / key)
+                        .string(),
+                    std::move(entry));
+                ++stats_.resumed;
+            }
+            if (rep.damaged > 0)
+                warn("EVRSIM_RESUME: dropped %zu damaged journal "
+                     "record(s) from %s (those jobs re-run)",
+                     rep.damaged, jpath.c_str());
+            if (rep.in_flight > 0)
+                warn("EVRSIM_RESUME: %zu job(s) were in flight at the "
+                     "interruption and will re-run",
+                     rep.in_flight);
+        }
+    }
+
+    if (Status s = journal_.open(jpath); !s.ok())
+        warn("sweep journal disabled: %s", s.toString().c_str());
+}
+
+void
+ExperimentRunner::setWorkerLauncher(WorkerLauncher launcher)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    launcher_ = std::move(launcher);
+}
+
+std::string
+ExperimentRunner::jobKey(const std::string &alias,
+                         const SimConfig &config) const
+{
+    return std::filesystem::path(cachePath(alias, config))
+        .filename()
+        .string();
 }
 
 std::string
@@ -272,6 +354,12 @@ ExperimentRunner::trySimulate(const std::string &alias,
         return Status::unavailable("workload '" + alias +
                                    "' raised a transient error: " +
                                    e.what());
+    } catch (const std::bad_alloc &) {
+        // Under process isolation the worker's RLIMIT_AS turns a runaway
+        // allocation into bad_alloc (when the allocator throws before
+        // the OOM killer acts); transient, like any resource exhaustion.
+        return Status::unavailable("workload '" + alias +
+                                   "' ran out of memory");
     } catch (const std::exception &e) {
         return Status::internal("workload '" + alias +
                                 "' threw: " + e.what());
@@ -305,51 +393,54 @@ ExperimentRunner::loadCacheEntry(const std::string &path)
     if (fault_.shouldFail(FaultSite::CacheRead))
         return Status::dataLoss("injected cache-read fault");
 
-    Result<Json> doc = Json::tryParse(buf.str());
-    if (!doc.ok())
-        return doc.status();
-
-    // v3 envelope: {schema, payload_crc32, payload}. The schema field
-    // guards against a foreign or stale document that happens to land
-    // at a current filename; the CRC detects any corruption of the
+    // v3 envelope: {schema, payload_crc32, payload} (driver/envelope.hpp,
+    // shared with the sweep journal and the worker pipe). The schema
+    // field guards against a foreign or stale document that happens to
+    // land at a current filename; the CRC detects any corruption of the
     // payload bytes (truncation is caught earlier by the parse).
-    const Json &envelope = doc.value();
-    const Json *schema = envelope.find("schema");
-    if (!schema)
-        return Status::dataLoss("missing schema field");
-    Result<std::int64_t> schema_v = schema->tryAsI64();
-    if (!schema_v.ok())
-        return schema_v.status().withContext("schema");
-    if (schema_v.value() != kResultCacheVersion)
-        return Status::dataLoss(
-            "schema version " + std::to_string(schema_v.value()) +
-            " does not match expected " +
-            std::to_string(kResultCacheVersion));
-
-    const Json *crc = envelope.find("payload_crc32");
-    const Json *payload = envelope.find("payload");
-    if (!crc || !payload)
-        return Status::dataLoss("missing payload or payload_crc32 field");
-    Result<std::uint64_t> want = crc->tryAsU64();
-    if (!want.ok())
-        return want.status().withContext("payload_crc32");
-
-    // The CRC covers the canonical re-serialization of the payload, so
-    // it survives whitespace-preserving transport but catches any
-    // value-level damage.
-    std::string canonical = payload->dump(1);
-    std::uint32_t got = Crc32::of(canonical.data(), canonical.size());
-    if (got != static_cast<std::uint32_t>(want.value()))
-        return Status::dataLoss("payload CRC mismatch (entry damaged)");
-
-    return RunResult::tryFromJson(*payload);
+    Result<Json> payload = parseEnvelope(buf.str(), kResultCacheVersion);
+    if (!payload.ok())
+        return payload.status();
+    return RunResult::tryFromJson(payload.value());
 }
 
 void
 ExperimentRunner::quarantine(const std::string &path, const Status &why)
 {
-    std::string dest = path + ".corrupt";
+    // Existing quarantined copies of this entry, as (seq, path) pairs
+    // parsed from the `<entry>.<seq>.corrupt` naming.
+    const std::string base =
+        std::filesystem::path(path).filename().string() + ".";
+    const std::string suffix = ".corrupt";
     std::error_code ec;
+    std::vector<std::pair<long long, std::filesystem::path>> copies;
+    for (const auto &e : std::filesystem::directory_iterator(
+             std::filesystem::path(path).parent_path(), ec)) {
+        std::string name = e.path().filename().string();
+        if (name.size() <= base.size() + suffix.size())
+            continue;
+        if (name.compare(0, base.size(), base) != 0 ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        std::string mid = name.substr(
+            base.size(), name.size() - base.size() - suffix.size());
+        if (mid.empty() ||
+            mid.find_first_not_of("0123456789") != std::string::npos)
+            continue;
+        copies.emplace_back(std::stoll(mid), e.path());
+    }
+
+    // Destination `<entry>.<seq>.corrupt` with seq = max existing + 1:
+    // successive quarantines keep distinct post-mortem evidence, seq
+    // order stays the age order even after evictions recycle low
+    // numbers, and the extension stays `.corrupt` so tooling that
+    // filters on it keeps working.
+    long long seq = 0;
+    for (const auto &copy : copies)
+        seq = std::max(seq, copy.first + 1);
+    std::string dest = path + "." + std::to_string(seq) + suffix;
+
     std::filesystem::rename(path, dest, ec);
     if (ec) {
         // Could not set it aside (permissions, races): remove instead,
@@ -357,12 +448,36 @@ ExperimentRunner::quarantine(const std::string &path, const Status &why)
         warn("could not quarantine %s (%s); removing it", path.c_str(),
              ec.message().c_str());
         std::filesystem::remove(path, ec);
-    } else {
-        warn("quarantined corrupt cache entry %s -> %s: %s", path.c_str(),
-             dest.c_str(), why.toString().c_str());
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.quarantined;
+        return;
     }
+    warn("quarantined corrupt cache entry %s -> %s: %s", path.c_str(),
+         dest.c_str(), why.toString().c_str());
+    copies.emplace_back(seq, dest);
+
+    // Cap the pile: a crash-looping or bit-rotting deployment would
+    // otherwise grow one `.corrupt` per damaged read forever. Keep the
+    // newest corrupt_keep copies (highest sequence numbers), evict the
+    // rest, and account for the eviction in the sweep stats.
+    std::uint64_t evicted = 0;
+    const std::size_t keep =
+        static_cast<std::size_t>(std::max(params_.corrupt_keep, 0));
+    if (copies.size() > keep) {
+        std::sort(copies.begin(), copies.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first > b.first;
+                  });
+        for (std::size_t i = keep; i < copies.size(); ++i) {
+            std::filesystem::remove(copies[i].second, ec);
+            if (!ec)
+                ++evicted;
+        }
+    }
+
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.quarantined;
+    stats_.corrupt_evicted += evicted;
 }
 
 void
@@ -378,38 +493,45 @@ ExperimentRunner::storeCacheEntry(const std::string &path,
     std::error_code ec;
     std::filesystem::create_directories(params_.cache_dir, ec);
 
-    Json payload = r.toJson();
-    std::string canonical = payload.dump(1);
-    Json envelope = Json::object();
-    envelope.set("schema", kResultCacheVersion);
-    envelope.set("payload_crc32",
-                 static_cast<std::uint64_t>(
-                     Crc32::of(canonical.data(), canonical.size())));
-    envelope.set("payload", std::move(payload));
+    // Write-then-fsync-then-rename (common/atomic_file.hpp) so a
+    // concurrent bench binary, a kill mid write, or a power loss can
+    // never leave a truncated or unsynced entry at the published name.
+    // Within one process the memo guarantees a single writer per key.
+    std::string text =
+        wrapEnvelope(r.toJson(), kResultCacheVersion).dump(1);
+    if (Status s = atomicWriteFile(path, text); !s.ok())
+        warn("could not publish cache entry %s: %s", path.c_str(),
+             s.message().c_str());
+}
 
-    // Write-then-rename so a concurrent bench binary (or a kill mid
-    // write) can never observe a truncated entry: rename() within a
-    // directory is atomic on POSIX. The tmp name is pid-qualified;
-    // within one process the memo guarantees a single writer per key.
-    std::filesystem::path tmp = path + ".tmp." + std::to_string(::getpid());
-    std::ofstream out(tmp);
-    if (out) {
-        out << envelope.dump(1);
-        out.close();
-        if (!out) {
-            warn("could not write cache entry %s", tmp.c_str());
-            std::filesystem::remove(tmp, ec);
-        } else {
-            std::filesystem::rename(tmp, path, ec);
-            if (ec) {
-                warn("could not publish cache entry %s: %s", path.c_str(),
-                     ec.message().c_str());
-                std::filesystem::remove(tmp, ec);
+Result<RunResult>
+ExperimentRunner::attemptOnce(const std::string &alias,
+                              const SimConfig &config,
+                              const std::string &path, bool &worker_died)
+{
+    worker_died = false;
+    if (params_.isolate == IsolateMode::Process) {
+        WorkerLauncher launcher;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            launcher = launcher_;
+            if (!launcher && !warned_no_launcher_) {
+                warned_no_launcher_ = true;
+                warn("EVRSIM_ISOLATE=process but no worker launcher is "
+                     "installed; jobs run in-process");
             }
         }
-    } else {
-        warn("could not write cache entry %s", tmp.c_str());
+        if (launcher) {
+            WorkerAttempt a =
+                launcher(alias, config,
+                         std::filesystem::path(path).filename().string());
+            worker_died = a.worker_died;
+            if (!a.status.ok())
+                return a.status;
+            return a.result;
+        }
     }
+    return trySimulate(alias, config);
 }
 
 ExperimentRunner::RunOutcome
@@ -432,9 +554,13 @@ ExperimentRunner::computeUncached(const std::string &alias,
     }
 
     RunOutcome outcome;
+    int worker_deaths = 0;
     for (int attempt = 1; attempt <= kJobMaxAttempts; ++attempt) {
         outcome.attempts = attempt;
-        Result<RunResult> r = trySimulate(alias, config);
+        bool worker_died = false;
+        Result<RunResult> r = attemptOnce(alias, config, path, worker_died);
+        if (worker_died)
+            ++worker_deaths;
         if (r.ok()) {
             outcome.result = r.value();
             outcome.status = Status();
@@ -451,6 +577,11 @@ ExperimentRunner::computeUncached(const std::string &alias,
              outcome.status.toString().c_str(), backoff_ms);
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
     }
+    // Every attempt was a hard worker death (crash, deadline SIGKILL,
+    // OOM): the job is crash-quarantined — surfaced in the failure
+    // report and skipped by later requesters via the memo/journal.
+    outcome.quarantined =
+        !outcome.status.ok() && worker_deaths >= kJobMaxAttempts;
     return outcome;
 }
 
@@ -480,10 +611,19 @@ ExperimentRunner::runMemoized(const std::string &alias,
     }
 
     // We own the computation for this key; everyone else waits on entry.
+    // The journal write-ahead record goes first: a crash between it and
+    // the terminal record replays as "in flight", which re-runs the job.
+    std::string jkey = std::filesystem::path(key).filename().string();
+    journal_.recordStart(jkey);
     bool from_disk = false;
     auto start = std::chrono::steady_clock::now();
     RunOutcome outcome = computeUncached(alias, config, key, from_disk);
     double wall_ms = elapsedMs(start);
+    if (outcome.status.ok())
+        journal_.recordFinish(jkey, outcome.result, outcome.attempts);
+    else
+        journal_.recordFail(jkey, outcome.status, outcome.attempts,
+                            outcome.quarantined);
 
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -494,6 +634,8 @@ ExperimentRunner::runMemoized(const std::string &alias,
                 static_cast<std::uint64_t>(outcome.attempts - 1);
         if (!outcome.status.ok()) {
             ++stats_.failed;
+            if (outcome.quarantined)
+                ++stats_.crash_quarantined;
         } else if (from_disk) {
             ++stats_.disk_hits;
         } else {
@@ -553,8 +695,8 @@ ExperimentRunner::runAllChecked(const std::vector<RunRequest> &requests)
                 std::lock_guard<std::mutex> lock(failures_mu);
                 batch.failures.push_back({i, requests[i].alias,
                                           requests[i].config.name,
-                                          outcome.status,
-                                          outcome.attempts});
+                                          outcome.status, outcome.attempts,
+                                          outcome.quarantined});
             });
         }
         pool.wait();

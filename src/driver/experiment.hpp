@@ -25,6 +25,7 @@
 #define EVRSIM_DRIVER_EXPERIMENT_HPP
 
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -36,9 +37,19 @@
 #include "common/validate.hpp"
 #include "driver/run_result.hpp"
 #include "driver/sim_config.hpp"
+#include "driver/sweep_journal.hpp"
 #include "driver/workload.hpp"
 
 namespace evrsim {
+
+/**
+ * Failure-domain granularity for simulation jobs (EVRSIM_ISOLATE).
+ * Off runs jobs on scheduler threads (PR 2's soft-failure machinery:
+ * exceptions and cooperative deadlines cost one run). Process runs
+ * each attempt in a forked, resource-limited worker, so a segfault,
+ * hard hang or OOM also costs one run instead of the sweep.
+ */
+enum class IsolateMode { Off, Process };
 
 /** Shared bench parameters, resolved from the environment. */
 struct BenchParams {
@@ -57,8 +68,21 @@ struct BenchParams {
     int jobs = 0;
     /** Per-job wall-clock budget in milliseconds, enforced between
      *  frames (cooperative watchdog); 0 disables
-     *  (EVRSIM_JOB_TIMEOUT_MS). */
+     *  (EVRSIM_JOB_TIMEOUT_MS). Under IsolateMode::Process the same
+     *  budget, plus a grace period, is also the hard SIGKILL deadline
+     *  the supervisor enforces on the worker process. */
     int job_timeout_ms = 0;
+    /** Job failure domain (EVRSIM_ISOLATE: off | process). */
+    IsolateMode isolate = IsolateMode::Off;
+    /** Per-worker RLIMIT_AS budget in MiB under IsolateMode::Process
+     *  (EVRSIM_JOB_MEM_MB); 0 = unlimited. */
+    int job_mem_mb = 0;
+    /** EVRSIM_RESUME=1: replay <cache_dir>/sweep.journal on startup so
+     *  an interrupted sweep re-executes only unfinished jobs. */
+    bool resume = false;
+    /** Newest quarantined `.corrupt` files kept per cache entry before
+     *  older ones are evicted (EVRSIM_CORRUPT_KEEP). */
+    int corrupt_keep = 3;
     /** Ingestion validation + invariant auditing applied to every run
      *  whose SimConfig does not carry its own (EVRSIM_VALIDATE /
      *  EVRSIM_VALIDATE_SAMPLE). */
@@ -79,7 +103,13 @@ struct BenchParams {
  *   EVRSIM_CACHE_DIR        cache location (default: <repo>/.bench_cache)
  *   EVRSIM_JOBS=n           scheduler workers (default:
  *                           hardware_concurrency; 1 = serial path)
- *   EVRSIM_JOB_TIMEOUT_MS=n per-job wall-clock watchdog (0 = off)
+ *   EVRSIM_JOB_TIMEOUT_MS=n per-job wall-clock watchdog (0 = off);
+ *                           doubles as the hard worker deadline under
+ *                           process isolation
+ *   EVRSIM_ISOLATE=mode     off | process job failure domain
+ *   EVRSIM_JOB_MEM_MB=n     per-worker RLIMIT_AS in MiB (0 = unlimited)
+ *   EVRSIM_RESUME=1         resume an interrupted sweep from the journal
+ *   EVRSIM_CORRUPT_KEEP=n   quarantined .corrupt files kept per entry
  *   EVRSIM_VALIDATE=mode    off | permissive | strict (see validate.hpp)
  *   EVRSIM_VALIDATE_SAMPLE=r image-identity audit tile sample rate
  *
@@ -105,6 +135,9 @@ struct RunFailure {
     std::string config;
     Status status;    ///< why the last attempt failed
     int attempts = 1; ///< simulation attempts made (1 + retries)
+    /** Every attempt was a hard worker death (crash, deadline kill,
+     *  OOM): the job is crash-quarantined and skipped, not retried. */
+    bool quarantined = false;
 };
 
 /**
@@ -134,10 +167,30 @@ struct SweepStats {
     std::uint64_t quarantined = 0; ///< corrupt cache entries set aside
     std::uint64_t retries = 0;     ///< extra attempts after transient failures
     std::uint64_t failed = 0;      ///< runs that failed permanently
+    std::uint64_t crash_quarantined = 0; ///< jobs whose workers died every attempt
+    std::uint64_t corrupt_evicted = 0;   ///< old .corrupt files evicted by the cap
+    std::uint64_t resumed = 0; ///< outcomes replayed from the sweep journal
     // Validation / degradation accounting (freshly simulated runs only):
     std::uint64_t degraded_tiles = 0;     ///< tiles repaired or disabled
     std::uint64_t validate_violations = 0; ///< invariant audit failures
 };
+
+/** One supervised worker attempt, as seen by the runner. */
+struct WorkerAttempt {
+    Status status; ///< Ok => result is valid
+    RunResult result;
+    bool worker_died = false; ///< hard death (counts toward quarantine)
+};
+
+/**
+ * Launches one isolated attempt of (alias, config) whose cache-entry
+ * key is @p key, blocking until the worker terminates. The bench
+ * context installs a fork/exec launcher (driver/supervisor.hpp);
+ * tests install fakes to script worker behaviour deterministically.
+ */
+using WorkerLauncher = std::function<WorkerAttempt(
+    const std::string & /*alias*/, const SimConfig & /*config*/,
+    const std::string & /*key*/)>;
 
 /** Simulates and caches runs. */
 class ExperimentRunner
@@ -197,6 +250,23 @@ class ExperimentRunner
 
     const BenchParams &params() const { return params_; }
 
+    /**
+     * Install the launcher used for attempts under
+     * IsolateMode::Process. Without one, isolation degrades to the
+     * in-process path (with a warning) — the runner itself never
+     * forks; the embedding binary owns re-exec.
+     */
+    void setWorkerLauncher(WorkerLauncher launcher);
+
+    /**
+     * Stable job key of (alias, config): the cache-entry filename,
+     * which already encodes workload, config, dimensions, frames,
+     * validation and schema version. Keys address jobs across the
+     * sweep journal and the worker protocol.
+     */
+    std::string jobKey(const std::string &alias,
+                       const SimConfig &config) const;
+
     /** Snapshot of the sweep accounting so far. */
     SweepStats sweepStats() const;
 
@@ -209,6 +279,7 @@ class ExperimentRunner
         RunResult result;
         Status status;    ///< Ok, or why the run permanently failed
         int attempts = 0; ///< simulation attempts (0 = served from cache)
+        bool quarantined = false; ///< all attempts were hard worker deaths
     };
 
     /** A memoized run: filled once, then shared by every requester. */
@@ -233,13 +304,21 @@ class ExperimentRunner
                                const SimConfig &config,
                                const std::string &path, bool &from_disk);
 
+    /** One simulation attempt: in-process, or via the worker launcher
+     *  under IsolateMode::Process. */
+    Result<RunResult> attemptOnce(const std::string &alias,
+                                  const SimConfig &config,
+                                  const std::string &path,
+                                  bool &worker_died);
+
     /**
      * Load + validate one cache entry: NotFound on a plain miss,
      * DataLoss on parse/schema/CRC/shape damage (caller quarantines).
      */
     Result<RunResult> loadCacheEntry(const std::string &path);
 
-    /** Move a damaged entry to `<path>.corrupt` so it is never reused. */
+    /** Move a damaged entry aside (`<stem>.<seq>.corrupt`) so it is
+     *  never reused, evicting all but the newest corrupt_keep copies. */
     void quarantine(const std::string &path, const Status &why);
 
     /** Atomically publish @p r at @p path (failure is only a warn). */
@@ -248,11 +327,14 @@ class ExperimentRunner
     WorkloadFactory factory_;
     BenchParams params_;
     FaultInjector fault_;
+    WorkerLauncher launcher_;
+    SweepJournal journal_;
 
     mutable std::mutex mu_;
     std::condition_variable memo_done_;
     std::map<std::string, std::shared_ptr<MemoEntry>> memo_;
     SweepStats stats_;
+    bool warned_no_launcher_ = false;
 };
 
 /**

@@ -146,14 +146,29 @@ printSweepSummary(const ExperimentRunner &runner)
                     "%.2fs wall\n",
                     s.batch_wall_ms / 1000.0);
     }
-    if (s.quarantined > 0 || s.retries > 0 || s.failed > 0)
+    if (s.resumed > 0)
+        std::printf("sweep resume: %llu outcome(s) replayed from the "
+                    "journal\n",
+                    static_cast<unsigned long long>(s.resumed));
+    if (s.quarantined > 0 || s.retries > 0 || s.failed > 0 ||
+        s.crash_quarantined > 0 || s.corrupt_evicted > 0) {
         std::printf("sweep faults: %llu cache entr%s quarantined, "
-                    "%llu retr%s, %llu run(s) failed\n",
+                    "%llu retr%s, %llu run(s) failed",
                     static_cast<unsigned long long>(s.quarantined),
                     s.quarantined == 1 ? "y" : "ies",
                     static_cast<unsigned long long>(s.retries),
                     s.retries == 1 ? "y" : "ies",
                     static_cast<unsigned long long>(s.failed));
+        if (s.crash_quarantined > 0)
+            std::printf(", %llu job(s) crash-quarantined",
+                        static_cast<unsigned long long>(
+                            s.crash_quarantined));
+        if (s.corrupt_evicted > 0)
+            std::printf(", %llu old .corrupt file(s) evicted",
+                        static_cast<unsigned long long>(
+                            s.corrupt_evicted));
+        std::printf("\n");
+    }
     if (s.validate_violations > 0 || s.degraded_tiles > 0)
         std::printf("sweep degradations: %llu invariant violation(s), "
                     "%llu tile(s) degraded\n",
@@ -169,8 +184,9 @@ printFailureReport(const BatchOutcome &outcome)
         return;
     std::fprintf(stderr, "FAILED RUNS (%zu):\n", outcome.failures.size());
     for (const RunFailure &f : outcome.failures)
-        std::fprintf(stderr, "  %s/%s after %d attempt(s): %s\n",
+        std::fprintf(stderr, "  %s/%s after %d attempt(s)%s: %s\n",
                      f.alias.c_str(), f.config.c_str(), f.attempts,
+                     f.quarantined ? " [crash-quarantined]" : "",
                      f.status.toString().c_str());
     std::fprintf(stderr,
                  "results for failed runs are omitted below; exit will "

@@ -367,10 +367,9 @@ TEST(ExperimentRunner, DifferentConfigsGetDifferentCacheKeys)
     runner.run("mini", SimConfig::evr(p.gpuConfig()));
 
     int files = 0;
-    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
-        (void)entry;
-        ++files;
-    }
+    for (const auto &entry : std::filesystem::directory_iterator(dir))
+        if (entry.path().extension() == ".json")
+            ++files;
     EXPECT_EQ(files, 2);
     std::filesystem::remove_all(dir);
 }
