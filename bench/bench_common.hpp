@@ -26,6 +26,8 @@
 #ifndef EVRSIM_BENCH_BENCH_COMMON_HPP
 #define EVRSIM_BENCH_BENCH_COMMON_HPP
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <csignal>
@@ -37,6 +39,7 @@
 
 #include "common/crash_handler.hpp"
 #include "common/log.hpp"
+#include "common/trace.hpp"
 #include "driver/experiment.hpp"
 #include "driver/report.hpp"
 #include "driver/supervisor.hpp"
@@ -62,6 +65,8 @@ struct BenchContext {
           params(resolveParams(!worker_job.empty())),
           runner(workloads::factory(), params)
     {
+        setLogLevel(params.log_level);
+        installTracing(!worker_job.empty());
         // A sweep that crashes hours in should at least say which
         // (workload, config, frame, tile) it was simulating.
         installCrashHandler();
@@ -107,6 +112,36 @@ struct BenchContext {
         outcome = runner.runAllChecked(plan);
         printSweepSummary(runner);
         printFailureReport(outcome);
+
+        // Observability artifacts: summary.json next to the journal (or
+        // at EVRSIM_SUMMARY), metrics.json/metrics.prom in the metrics
+        // dir, and the trace file (also flushed at exit; flushing here
+        // too makes the sweep's spans durable before the tables print).
+        std::string summary = summaryPath();
+        if (!summary.empty())
+            if (Status s = writeSweepSummaryJson(runner, outcome, summary);
+                !s.ok())
+                warn("could not write %s: %s", summary.c_str(),
+                     s.message().c_str());
+        if (Status s = runner.writeMetricsArtifacts(); !s.ok())
+            warn("could not write metrics artifacts: %s",
+                 s.message().c_str());
+        if (traceActive())
+            if (Status s = traceWrite(); !s.ok())
+                warn("could not write trace: %s", s.message().c_str());
+    }
+
+    /** Where summary.json goes; empty = disabled. */
+    std::string
+    summaryPath() const
+    {
+        if (!params.write_summary)
+            return {};
+        if (!params.summary_path.empty())
+            return params.summary_path;
+        if (!params.use_cache)
+            return {};
+        return params.cache_dir + "/summary.json";
     }
 
     /** True when every declared run for @p alias succeeded. */
@@ -163,13 +198,40 @@ struct BenchContext {
         BenchParams p = benchParamsFromEnv();
         if (as_worker) {
             // The parent owns the cache, the journal, the scheduler and
-            // the retry policy; the worker is one bare attempt.
+            // the retry policy; the worker is one bare attempt. It also
+            // owns none of the sweep telemetry: no heartbeat, no
+            // metrics/summary artifacts (the parent's accounting covers
+            // the whole sweep).
             p.use_cache = false;
             p.resume = false;
             p.isolate = IsolateMode::Off; // no nested forking
             p.jobs = 1;
+            p.heartbeat_ms = 0;
+            p.metrics_dir.clear();
+            p.write_summary = false;
         }
         return p;
+    }
+
+    /**
+     * Arm the tracer from EVRSIM_TRACE (a bad spec is fatal, like any
+     * other knob). Workers inherit the parent's environment, so in
+     * worker mode the output path gets a `.worker-<pid>` suffix —
+     * per-process trace files instead of every worker clobbering the
+     * parent's.
+     */
+    void
+    installTracing(bool as_worker)
+    {
+        Result<TraceConfig> cfg = traceConfigFromEnv();
+        if (!cfg.ok())
+            fatal("%s", cfg.status().message().c_str());
+        if (!cfg.value().enabled())
+            return;
+        TraceConfig tc = cfg.value();
+        if (as_worker)
+            tc.path += ".worker-" + std::to_string(::getpid());
+        traceConfigure(tc);
     }
 
     void

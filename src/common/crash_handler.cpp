@@ -24,6 +24,13 @@ thread_local char tls_config[kNameMax] = {0};
 thread_local int tls_frame = -1;
 thread_local int tls_tile = -1;
 
+/** Fixed-depth stack of active trace spans (literal pointers only, so
+ *  the handler can read them from a signal context without copying). */
+constexpr int kSpanDepthMax = 16;
+thread_local const char *tls_span_cat[kSpanDepthMax] = {nullptr};
+thread_local const char *tls_span_name[kSpanDepthMax] = {nullptr};
+thread_local int tls_span_depth = 0;
+
 bool installed = false;
 
 /** Bounded copy into a fixed buffer, always NUL-terminated. */
@@ -120,6 +127,18 @@ crashHandler(int sig)
         putInt(tls_tile);
         put("\n");
     }
+    int depth = tls_span_depth;
+    if (depth > kSpanDepthMax)
+        depth = kSpanDepthMax;
+    if (depth > 0 && tls_span_name[depth - 1]) {
+        put("active span: ");
+        put(tls_span_cat[depth - 1] ? tls_span_cat[depth - 1] : "?");
+        put("/");
+        put(tls_span_name[depth - 1]);
+        put(" (depth ");
+        putInt(tls_span_depth);
+        put(")\n");
+    }
     put("=== re-raising with default disposition ===\n");
 
     // Restore the default action and re-raise so the process still dies
@@ -177,12 +196,52 @@ crashContextSetTile(int tile)
 }
 
 void
+crashContextPushSpan(const char *category, const char *name)
+{
+    if (tls_span_depth < kSpanDepthMax) {
+        tls_span_cat[tls_span_depth] = category;
+        tls_span_name[tls_span_depth] = name;
+    }
+    ++tls_span_depth;
+}
+
+void
+crashContextPopSpan()
+{
+    if (tls_span_depth > 0)
+        --tls_span_depth;
+}
+
+const char *
+crashContextInnermostSpanCategory()
+{
+    int depth = tls_span_depth;
+    if (depth > kSpanDepthMax)
+        depth = kSpanDepthMax;
+    if (depth <= 0 || !tls_span_cat[depth - 1])
+        return "";
+    return tls_span_cat[depth - 1];
+}
+
+const char *
+crashContextInnermostSpanName()
+{
+    int depth = tls_span_depth;
+    if (depth > kSpanDepthMax)
+        depth = kSpanDepthMax;
+    if (depth <= 0 || !tls_span_name[depth - 1])
+        return "";
+    return tls_span_name[depth - 1];
+}
+
+void
 crashContextClear()
 {
     tls_workload[0] = '\0';
     tls_config[0] = '\0';
     tls_frame = -1;
     tls_tile = -1;
+    tls_span_depth = 0;
 }
 
 } // namespace evrsim

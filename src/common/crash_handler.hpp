@@ -34,6 +34,23 @@ void crashContextSetFrame(int frame);
 /** Tile index the calling thread is rasterizing (-1 = none). */
 void crashContextSetTile(int tile);
 
+/**
+ * Push / pop the innermost active trace span onto the calling thread's
+ * crash context, so a crash report says which stage died. Both pointers
+ * MUST be string literals (or otherwise outlive the span): the handler
+ * reads them from a signal context, so no copy is taken. The stack is
+ * fixed-depth; deeper spans are counted but not recorded.
+ */
+void crashContextPushSpan(const char *category, const char *name);
+void crashContextPopSpan();
+
+/**
+ * The calling thread's innermost recorded span, as "category/name", or
+ * an empty string when no span is active. For tests.
+ */
+const char *crashContextInnermostSpanCategory();
+const char *crashContextInnermostSpanName();
+
 /** Clear the calling thread's context (end of a run). */
 void crashContextClear();
 

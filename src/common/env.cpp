@@ -78,4 +78,28 @@ readIntKnob(const char *name, long long min_value, long long max_value,
     return {};
 }
 
+Status
+readChoiceKnob(const char *name, const std::vector<std::string> &choices,
+               int &index, bool &present)
+{
+    const char *raw = std::getenv(name);
+    present = raw != nullptr;
+    if (!present)
+        return {};
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+        if (choices[i] == raw) {
+            index = static_cast<int>(i);
+            return {};
+        }
+    }
+    std::string accepted;
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+        if (i)
+            accepted += "|";
+        accepted += choices[i];
+    }
+    return Status::invalidArgument(std::string(name) + "='" + raw +
+                                   "' is not one of " + accepted);
+}
+
 } // namespace evrsim

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.hpp"
 
@@ -41,6 +42,23 @@ Result<double> parseDoubleStrict(const std::string &text);
  */
 Status readIntKnob(const char *name, long long min_value,
                    long long max_value, long long &out, bool &present);
+
+/**
+ * Read an enumerated environment knob whose value must be one of
+ * @p choices exactly (case-sensitive; e.g. EVRSIM_LOG=quiet|normal|
+ * verbose).
+ *
+ * @param name    variable name (used verbatim in error messages)
+ * @param choices accepted values, in declaration order
+ * @param index   receives the matched choice's index; untouched when
+ *                the knob is unset
+ * @returns Ok with @p present=false when unset; Ok with @p present=true
+ *          on a match; InvalidArgument naming the variable, its value
+ *          and every accepted choice otherwise.
+ */
+Status readChoiceKnob(const char *name,
+                      const std::vector<std::string> &choices, int &index,
+                      bool &present);
 
 } // namespace evrsim
 

@@ -14,10 +14,14 @@
 #include <sstream>
 #include <thread>
 
+#include <atomic>
+
 #include "common/atomic_file.hpp"
 #include "common/crash_handler.hpp"
 #include "common/env.hpp"
 #include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "driver/envelope.hpp"
 #include "driver/job_pool.hpp"
 #include "scene/scene_fuzzer.hpp"
@@ -41,6 +45,160 @@ constexpr const char *kSweepJournalName = "sweep.journal";
 struct CrashContextGuard {
     ~CrashContextGuard() { crashContextClear(); }
 };
+
+/**
+ * Live sweep telemetry: a timer thread that, every interval, prints a
+ * one-line progress status (completed/total, sims/s, ETA, retries,
+ * quarantines, cache ratio) and appends the same numbers as one JSON
+ * line to heartbeat.jsonl. A terminal record is always appended when
+ * the sweep ends, so even a sweep faster than one interval leaves a
+ * machine-readable trail; records append (never truncate) so a resumed
+ * sweep extends the same file.
+ */
+class SweepHeartbeat
+{
+  public:
+    SweepHeartbeat(const ExperimentRunner &runner, const JobPool &pool,
+                   const std::atomic<std::size_t> &completed,
+                   std::size_t total, int interval_ms, std::string path)
+        : runner_(runner), pool_(pool), completed_(completed),
+          total_(total), path_(std::move(path)),
+          start_(std::chrono::steady_clock::now()),
+          thread_([this, interval_ms] { loop(interval_ms); })
+    {
+    }
+
+    ~SweepHeartbeat()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+        emit(true);
+    }
+
+  private:
+    void
+    loop(int interval_ms)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        for (;;) {
+            if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                             [this] { return stop_; }))
+                return;
+            lock.unlock();
+            emit(false);
+            lock.lock();
+        }
+    }
+
+    /** One telemetry sample: status line (ticks only) + JSONL record. */
+    void
+    emit(bool final_record)
+    {
+        SweepStats s = runner_.sweepStats();
+        std::size_t done = completed_.load(std::memory_order_relaxed);
+        double elapsed_s = elapsedMs(start_) / 1000.0;
+        double rate = elapsed_s > 0.0 ? done / elapsed_s : 0.0;
+        double sims_per_s =
+            elapsed_s > 0.0 ? s.simulated / elapsed_s : 0.0;
+        double frames_per_s =
+            elapsed_s > 0.0 ? s.frames_simulated / elapsed_s : 0.0;
+        double eta_s =
+            rate > 0.0 && total_ > done ? (total_ - done) / rate : 0.0;
+        std::uint64_t served = s.disk_hits + s.memo_hits;
+        double cache_ratio =
+            s.requested > 0
+                ? static_cast<double>(served) / s.requested
+                : 0.0;
+
+        if (!final_record) {
+            std::fprintf(
+                stderr,
+                "[sweep] %zu/%zu done (%.0f%%), %.2f sims/s, "
+                "%.1f frames/s, ETA %.0fs, queue %zu, retries %llu, "
+                "failed %llu, cache %.0f%%\n",
+                done, total_,
+                total_ > 0 ? 100.0 * done / total_ : 100.0, sims_per_s,
+                frames_per_s, eta_s, pool_.pendingCount(),
+                static_cast<unsigned long long>(s.retries),
+                static_cast<unsigned long long>(s.failed),
+                100.0 * cache_ratio);
+        }
+        if (path_.empty())
+            return;
+
+        Json rec = Json::object();
+        rec.set("completed", static_cast<std::uint64_t>(done));
+        rec.set("total", static_cast<std::uint64_t>(total_));
+        rec.set("elapsed_s", elapsed_s);
+        rec.set("sims_per_s", sims_per_s);
+        rec.set("frames_per_s", frames_per_s);
+        rec.set("eta_s", eta_s);
+        rec.set("pending", static_cast<std::uint64_t>(
+                               pool_.pendingCount()));
+        rec.set("simulated", s.simulated);
+        rec.set("disk_hits", s.disk_hits);
+        rec.set("memo_hits", s.memo_hits);
+        rec.set("cache_ratio", cache_ratio);
+        rec.set("retries", s.retries);
+        rec.set("failed", s.failed);
+        rec.set("quarantined", s.quarantined);
+        rec.set("crash_quarantined", s.crash_quarantined);
+        rec.set("resumed", s.resumed);
+        rec.set("final", final_record);
+
+        std::ofstream out(path_, std::ios::app);
+        if (out)
+            out << rec.dump() << "\n";
+    }
+
+    const ExperimentRunner &runner_;
+    const JobPool &pool_;
+    const std::atomic<std::size_t> &completed_;
+    std::size_t total_;
+    std::string path_;
+    std::chrono::steady_clock::time_point start_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_; ///< last member: starts after state is ready
+};
+
+/**
+ * Per-run metrics adoption: every FrameStats counter (and the nested
+ * memory sub-object), labeled by (workload, config), plus the run's
+ * energy total. Field names track run_result.cpp's serialization table
+ * automatically — a counter added there shows up here unprompted.
+ */
+void
+recordRunMetrics(const std::string &alias, const std::string &config,
+                 const RunResult &result, double wall_ms)
+{
+    MetricLabels labels{{"workload", alias}, {"config", config}};
+    metricsCounterAdd("evrsim_runs_simulated_total", 1, labels);
+    metricsCounterAdd("evrsim_frames_simulated_total",
+                      static_cast<double>(result.frames), labels);
+    metricsCounterAdd("evrsim_energy_total_nj", result.energy.total(),
+                      labels);
+    metricsHistogramObserve("evrsim_sim_wall_ms", wall_ms,
+                            {{"config", config}});
+
+    Json stats = frameStatsToJson(result.totals);
+    for (const auto &[key, value] : stats.members()) {
+        if (value.type() == Json::Type::Number) {
+            metricsCounterAdd("evrsim_stat_" + key, value.asDouble(),
+                              labels);
+        } else if (value.type() == Json::Type::Object) {
+            for (const auto &[sub, subval] : value.members())
+                if (subval.type() == Json::Type::Number)
+                    metricsCounterAdd("evrsim_stat_" + key + "_" + sub,
+                                      subval.asDouble(), labels);
+        }
+    }
+}
 
 } // namespace
 
@@ -106,17 +264,28 @@ benchParamsFromEnvChecked()
     if (present)
         p.corrupt_keep = static_cast<int>(v);
 
-    if (const char *iso = std::getenv("EVRSIM_ISOLATE")) {
-        std::string mode = iso;
-        if (mode == "off")
-            p.isolate = IsolateMode::Off;
-        else if (mode == "process")
-            p.isolate = IsolateMode::Process;
-        else
-            return Status::invalidArgument(
-                "EVRSIM_ISOLATE must be 'off' or 'process', got '" + mode +
-                "'");
-    }
+    int choice = 0;
+    if (Status s = readChoiceKnob("EVRSIM_ISOLATE", {"off", "process"},
+                                  choice, present);
+        !s.ok())
+        return s;
+    if (present)
+        p.isolate = choice == 1 ? IsolateMode::Process : IsolateMode::Off;
+
+    if (Status s = readChoiceKnob("EVRSIM_LOG",
+                                  {"quiet", "normal", "verbose"}, choice,
+                                  present);
+        !s.ok())
+        return s;
+    if (present)
+        p.log_level = static_cast<LogLevel>(choice);
+
+    if (Status s = readIntKnob("EVRSIM_HEARTBEAT_MS", 0, 86400000, v,
+                               present);
+        !s.ok())
+        return s;
+    if (present)
+        p.heartbeat_ms = static_cast<int>(v);
     if (const char *res = std::getenv("EVRSIM_RESUME"); res && res[0] == '1')
         p.resume = true;
 
@@ -131,6 +300,23 @@ benchParamsFromEnvChecked()
         p.cache_dir = dir;
     else
         p.cache_dir = ".bench_cache";
+
+    // Placement knobs resolved after cache_dir so "1" can mean "next to
+    // the journal".
+    if (const char *m = std::getenv("EVRSIM_METRICS")) {
+        std::string where = m;
+        if (where == "1")
+            p.metrics_dir = p.cache_dir;
+        else if (where != "0" && !where.empty())
+            p.metrics_dir = where;
+    }
+    if (const char *sm = std::getenv("EVRSIM_SUMMARY")) {
+        std::string where = sm;
+        if (where == "0" || where.empty())
+            p.write_summary = false;
+        else if (where != "1")
+            p.summary_path = where;
+    }
     return p;
 }
 
@@ -258,6 +444,10 @@ ExperimentRunner::trySimulate(const std::string &alias,
     if (fault_.shouldFail(FaultSite::JobExecute))
         return Status::unavailable("injected job-execute fault (" +
                                    alias + "/" + config.name + ")");
+
+    TraceSpan sim_span(TraceCat::Driver, "simulate");
+    if (sim_span.active())
+        sim_span.setDetail(alias + "/" + config.name);
 
     auto start = std::chrono::steady_clock::now();
 
@@ -407,6 +597,10 @@ ExperimentRunner::loadCacheEntry(const std::string &path)
 void
 ExperimentRunner::quarantine(const std::string &path, const Status &why)
 {
+    if (traceEnabled(TraceCat::Cache))
+        traceInstant(TraceCat::Cache, "cache-quarantine",
+                     std::filesystem::path(path).filename().string());
+
     // Existing quarantined copies of this entry, as (seq, path) pairs
     // parsed from the `<entry>.<seq>.corrupt` naming.
     const std::string base =
@@ -543,9 +737,15 @@ ExperimentRunner::computeUncached(const std::string &alias,
     if (params_.use_cache) {
         Result<RunResult> cached = loadCacheEntry(path);
         if (cached.ok()) {
+            if (traceEnabled(TraceCat::Cache))
+                traceInstant(TraceCat::Cache, "cache-hit",
+                             alias + "/" + config.name);
             from_disk = true;
             return {cached.value(), Status(), 0};
         }
+        if (traceEnabled(TraceCat::Cache))
+            traceInstant(TraceCat::Cache, "cache-miss",
+                         alias + "/" + config.name);
         // A plain miss (NotFound) is the normal cold path; anything
         // else means the entry exists but cannot be trusted — set it
         // aside for post-mortem and fall through to re-simulation.
@@ -558,7 +758,13 @@ ExperimentRunner::computeUncached(const std::string &alias,
     for (int attempt = 1; attempt <= kJobMaxAttempts; ++attempt) {
         outcome.attempts = attempt;
         bool worker_died = false;
-        Result<RunResult> r = attemptOnce(alias, config, path, worker_died);
+        Result<RunResult> r = [&]() {
+            TraceSpan attempt_span(TraceCat::Driver, "attempt");
+            attempt_span.setValue(attempt);
+            if (attempt_span.active())
+                attempt_span.setDetail(alias + "/" + config.name);
+            return attemptOnce(alias, config, path, worker_died);
+        }();
         if (worker_died)
             ++worker_deaths;
         if (r.ok()) {
@@ -571,6 +777,10 @@ ExperimentRunner::computeUncached(const std::string &alias,
         outcome.status = r.status();
         if (!outcome.status.isTransient() || attempt == kJobMaxAttempts)
             break;
+        if (traceEnabled(TraceCat::Driver))
+            traceInstant(TraceCat::Driver, "retry",
+                         alias + "/" + config.name + " attempt " +
+                             std::to_string(attempt));
         int backoff_ms = kRetryBaseMs << (attempt - 1);
         warn("run %s/%s attempt %d/%d failed (%s); retrying in %d ms",
              alias.c_str(), config.name.c_str(), attempt, kJobMaxAttempts,
@@ -590,6 +800,7 @@ ExperimentRunner::runMemoized(const std::string &alias,
                               const SimConfig &config)
 {
     std::string key = cachePath(alias, config);
+    const bool metrics_on = !params_.metrics_dir.empty();
 
     std::shared_ptr<MemoEntry> entry;
     {
@@ -604,6 +815,12 @@ ExperimentRunner::runMemoized(const std::string &alias,
             entry = it->second;
             memo_done_.wait(lock, [&] { return entry->done; });
             ++stats_.memo_hits;
+            if (traceEnabled(TraceCat::Cache))
+                traceInstant(TraceCat::Cache, "memo-hit",
+                             alias + "/" + config.name);
+            if (metrics_on)
+                metricsCounterAdd("evrsim_runs_total", 1,
+                                  {{"outcome", "memo"}});
             return entry->outcome;
         }
         entry = std::make_shared<MemoEntry>();
@@ -617,7 +834,13 @@ ExperimentRunner::runMemoized(const std::string &alias,
     journal_.recordStart(jkey);
     bool from_disk = false;
     auto start = std::chrono::steady_clock::now();
-    RunOutcome outcome = computeUncached(alias, config, key, from_disk);
+    RunOutcome outcome;
+    {
+        TraceSpan job_span(TraceCat::Driver, "job");
+        if (job_span.active())
+            job_span.setDetail(alias + "/" + config.name);
+        outcome = computeUncached(alias, config, key, from_disk);
+    }
     double wall_ms = elapsedMs(start);
     if (outcome.status.ok())
         journal_.recordFinish(jkey, outcome.result, outcome.attempts);
@@ -647,6 +870,22 @@ ExperimentRunner::runMemoized(const std::string &alias,
             stats_.validate_violations +=
                 outcome.result.totals.validate_violations;
         }
+    }
+    if (metrics_on) {
+        if (!outcome.status.ok())
+            metricsCounterAdd("evrsim_runs_total", 1,
+                              {{"outcome", "failed"}});
+        else if (from_disk)
+            metricsCounterAdd("evrsim_runs_total", 1,
+                              {{"outcome", "disk"}});
+        else {
+            metricsCounterAdd("evrsim_runs_total", 1,
+                              {{"outcome", "simulated"}});
+            recordRunMetrics(alias, config.name, outcome.result, wall_ms);
+        }
+        if (outcome.attempts > 1)
+            metricsCounterAdd("evrsim_retries_total",
+                              static_cast<double>(outcome.attempts - 1));
     }
     memo_done_.notify_all();
     return outcome;
@@ -680,26 +919,35 @@ ExperimentRunner::runAllChecked(const std::vector<RunRequest> &requests)
     batch.results.resize(requests.size());
     {
         std::mutex failures_mu;
+        std::atomic<std::size_t> completed{0};
         int jobs = params_.resolvedJobs();
         if (jobs > static_cast<int>(requests.size()) && !requests.empty())
             jobs = static_cast<int>(requests.size());
         JobPool pool(std::max(jobs, 1));
+        std::unique_ptr<SweepHeartbeat> heartbeat;
+        if (params_.heartbeat_ms > 0 && !requests.empty())
+            heartbeat = std::make_unique<SweepHeartbeat>(
+                *this, pool, completed, requests.size(),
+                params_.heartbeat_ms, heartbeatPath());
         for (std::size_t i = 0; i < requests.size(); ++i) {
-            pool.submit([this, &requests, &batch, &failures_mu, i] {
+            pool.submit([this, &requests, &batch, &failures_mu,
+                         &completed, i] {
                 RunOutcome outcome =
                     runMemoized(requests[i].alias, requests[i].config);
                 if (outcome.status.ok()) {
                     batch.results[i] = outcome.result;
-                    return;
+                } else {
+                    std::lock_guard<std::mutex> lock(failures_mu);
+                    batch.failures.push_back(
+                        {i, requests[i].alias, requests[i].config.name,
+                         outcome.status, outcome.attempts,
+                         outcome.quarantined});
                 }
-                std::lock_guard<std::mutex> lock(failures_mu);
-                batch.failures.push_back({i, requests[i].alias,
-                                          requests[i].config.name,
-                                          outcome.status, outcome.attempts,
-                                          outcome.quarantined});
+                completed.fetch_add(1, std::memory_order_relaxed);
             });
         }
         pool.wait();
+        heartbeat.reset(); // appends the terminal heartbeat record
         // runMemoized() catches everything a job can raise, so escaped
         // exceptions here are scheduler bugs, not workload faults.
         EVRSIM_ASSERT(pool.failureCount() == 0);
@@ -735,6 +983,68 @@ ExperimentRunner::sweepStats() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return stats_;
+}
+
+std::string
+ExperimentRunner::heartbeatPath() const
+{
+    std::string dir = !params_.metrics_dir.empty()
+                          ? params_.metrics_dir
+                          : (params_.use_cache ? params_.cache_dir
+                                               : std::string());
+    if (dir.empty())
+        return {};
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return (std::filesystem::path(dir) / "heartbeat.jsonl").string();
+}
+
+Status
+ExperimentRunner::writeMetricsArtifacts()
+{
+    if (params_.metrics_dir.empty())
+        return {};
+
+    // Sweep-level aggregates as gauges, refreshed at export time so the
+    // JSON numbers are exactly the ones printSweepSummary() prints.
+    SweepStats s = sweepStats();
+    metricsGaugeSet("evrsim_sweep_requested",
+                    static_cast<double>(s.requested));
+    metricsGaugeSet("evrsim_sweep_simulated",
+                    static_cast<double>(s.simulated));
+    metricsGaugeSet("evrsim_sweep_disk_hits",
+                    static_cast<double>(s.disk_hits));
+    metricsGaugeSet("evrsim_sweep_memo_hits",
+                    static_cast<double>(s.memo_hits));
+    metricsGaugeSet("evrsim_sweep_frames_simulated",
+                    static_cast<double>(s.frames_simulated));
+    metricsGaugeSet("evrsim_sweep_sim_wall_ms", s.sim_wall_ms);
+    metricsGaugeSet("evrsim_sweep_batch_wall_ms", s.batch_wall_ms);
+    metricsGaugeSet("evrsim_sweep_quarantined",
+                    static_cast<double>(s.quarantined));
+    metricsGaugeSet("evrsim_sweep_retries",
+                    static_cast<double>(s.retries));
+    metricsGaugeSet("evrsim_sweep_failed", static_cast<double>(s.failed));
+    metricsGaugeSet("evrsim_sweep_crash_quarantined",
+                    static_cast<double>(s.crash_quarantined));
+    metricsGaugeSet("evrsim_sweep_corrupt_evicted",
+                    static_cast<double>(s.corrupt_evicted));
+    metricsGaugeSet("evrsim_sweep_resumed",
+                    static_cast<double>(s.resumed));
+    metricsGaugeSet("evrsim_sweep_degraded_tiles",
+                    static_cast<double>(s.degraded_tiles));
+    metricsGaugeSet("evrsim_sweep_validate_violations",
+                    static_cast<double>(s.validate_violations));
+    metricsGaugeSet("evrsim_sweep_jobs",
+                    static_cast<double>(params_.resolvedJobs()));
+
+    std::error_code ec;
+    std::filesystem::create_directories(params_.metrics_dir, ec);
+    std::filesystem::path dir(params_.metrics_dir);
+    if (Status st = metricsWriteJson((dir / "metrics.json").string());
+        !st.ok())
+        return st;
+    return metricsWriteProm((dir / "metrics.prom").string());
 }
 
 } // namespace evrsim

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/fault_injector.hpp"
+#include "common/log.hpp"
 #include "common/status.hpp"
 #include "common/validate.hpp"
 #include "driver/run_result.hpp"
@@ -87,6 +88,23 @@ struct BenchParams {
      *  whose SimConfig does not carry its own (EVRSIM_VALIDATE /
      *  EVRSIM_VALIDATE_SAMPLE). */
     ValidationConfig validation;
+    /** Console verbosity (EVRSIM_LOG: quiet | normal | verbose). */
+    LogLevel log_level = LogLevel::Normal;
+    /** Directory receiving metrics.json/metrics.prom after a sweep
+     *  (EVRSIM_METRICS: unset or 0 = disabled, 1 = the cache dir,
+     *  anything else = that directory). Empty = metrics disabled, so
+     *  the default path records nothing. */
+    std::string metrics_dir;
+    /** Live sweep telemetry cadence in milliseconds (EVRSIM_HEARTBEAT_MS;
+     *  0 disables the heartbeat thread entirely). Each tick prints a
+     *  status line and appends a record to heartbeat.jsonl next to the
+     *  journal (or in metrics_dir when not caching). */
+    int heartbeat_ms = 2000;
+    /** Emit the sweep throughput summary as a summary.json artifact
+     *  (EVRSIM_SUMMARY: 0 = off, 1/unset = default placement next to
+     *  the journal, anything else = that path). */
+    bool write_summary = true;
+    std::string summary_path; ///< empty = <cache_dir>/summary.json
 
     /** GpuConfig for these parameters (Table II otherwise). */
     GpuConfig gpuConfig() const;
@@ -112,6 +130,12 @@ struct BenchParams {
  *   EVRSIM_CORRUPT_KEEP=n   quarantined .corrupt files kept per entry
  *   EVRSIM_VALIDATE=mode    off | permissive | strict (see validate.hpp)
  *   EVRSIM_VALIDATE_SAMPLE=r image-identity audit tile sample rate
+ *   EVRSIM_LOG=level        quiet | normal | verbose console verbosity
+ *   EVRSIM_METRICS=where    0 = off, 1 = cache dir, else a directory:
+ *                           write metrics.json/metrics.prom per sweep
+ *   EVRSIM_HEARTBEAT_MS=n   live telemetry cadence (0 = off)
+ *   EVRSIM_SUMMARY=where    0 = off, 1 = next to the journal, else a
+ *                           path: write summary.json per sweep
  *
  * Numeric knobs are validated strictly: a value that is not entirely a
  * number in the accepted range is InvalidArgument naming the variable,
@@ -269,6 +293,17 @@ class ExperimentRunner
 
     /** Snapshot of the sweep accounting so far. */
     SweepStats sweepStats() const;
+
+    /**
+     * Export the metrics registry (per-run counters recorded while
+     * simulating, plus sweep-level `evrsim_sweep_*` gauges refreshed
+     * from sweepStats() at call time) as metrics.json and metrics.prom
+     * in params().metrics_dir. No-op (Ok) when metrics are disabled.
+     */
+    Status writeMetricsArtifacts();
+
+    /** Where the heartbeat file goes; empty = no file (stderr only). */
+    std::string heartbeatPath() const;
 
     /** Injection state (tests assert on draw/failure counts). */
     const FaultInjector &faultInjector() const { return fault_; }

@@ -5,6 +5,7 @@
 #include "driver/gpu_simulator.hpp"
 
 #include "common/log.hpp"
+#include "common/trace.hpp"
 #include "scene/scene_validate.hpp"
 
 namespace evrsim {
@@ -68,6 +69,15 @@ GpuSimulator::registerTexture(Texture &texture)
 FrameStats
 GpuSimulator::renderFrameImpl(const Scene &scene, FrameStats stats)
 {
+    // Frame + stage spans (simulation altitude): tracing reads state,
+    // never writes it, so an enabled tracer cannot perturb results.
+    // The geometry span covers binning too: this is a tile-based
+    // renderer whose geometry pipeline bins each primitive as it
+    // processes it (single interleaved pass), so there is no separate
+    // binning phase to delimit.
+    TraceSpan frame_span(TraceCat::Frame, "frame");
+    frame_span.setValue(frames_rendered_);
+
     mem_.clearStats();
 
     pb_.beginFrame(config_.gpu.tileCount(), mem_.addressSpace());
@@ -75,33 +85,44 @@ GpuSimulator::renderFrameImpl(const Scene &scene, FrameStats stats)
         auditor_->frameStart(
             static_cast<std::uint64_t>(frames_rendered_));
 
-    GeometryHooks gh;
-    gh.scheduler = evr_.get();
-    gh.signature = re_.get();
-    gh.store_layers = config_.evr_predict;
-    gh.filter_signature = config_.evr_filter_signature;
-    geometry_.run(scene, pb_, gh, stats);
-    stats.geometry_cycles = timing_.geometryCycles(stats);
+    {
+        TraceSpan stage(TraceCat::Stage, "geometry");
+        GeometryHooks gh;
+        gh.scheduler = evr_.get();
+        gh.signature = re_.get();
+        gh.store_layers = config_.evr_predict;
+        gh.filter_signature = config_.evr_filter_signature;
+        geometry_.run(scene, pb_, gh, stats);
+        stats.geometry_cycles = timing_.geometryCycles(stats);
+    }
 
-    if (auditor_)
+    if (auditor_) {
+        TraceSpan stage(TraceCat::Stage, "binning-audit");
         auditor_->checkBinning(pb_, stats);
+    }
 
     // Snapshot the display before this frame touches it: the raster
     // pipeline compares freshly-rendered tiles against it to produce the
     // ground-truth "equal tiles" statistic (Figure 9's oracle).
     prev_fb_ = fb_;
 
-    RasterHooks rh;
-    rh.signature = re_.get();
-    rh.tracker = evr_.get();
-    rh.auditor = auditor_.get();
-    rh.oracle_z = config_.oracle_z;
-    rh.z_prepass = config_.z_prepass;
-    raster_.run(scene, pb_, fb_, frames_rendered_ > 0 ? &prev_fb_ : nullptr,
-                rh, stats);
+    {
+        TraceSpan stage(TraceCat::Stage, "raster");
+        RasterHooks rh;
+        rh.signature = re_.get();
+        rh.tracker = evr_.get();
+        rh.auditor = auditor_.get();
+        rh.oracle_z = config_.oracle_z;
+        rh.z_prepass = config_.z_prepass;
+        raster_.run(scene, pb_, fb_,
+                    frames_rendered_ > 0 ? &prev_fb_ : nullptr, rh,
+                    stats);
+    }
 
-    if (re_)
+    if (re_) {
+        TraceSpan stage(TraceCat::Stage, "re-frame-end");
         re_->frameEnd();
+    }
 
     stats.mem = mem_.stats();
     totals_.accumulate(stats);

@@ -5,6 +5,7 @@
 #include "driver/job_pool.hpp"
 
 #include "common/log.hpp"
+#include "common/trace.hpp"
 
 namespace evrsim {
 
@@ -56,10 +57,14 @@ JobPool::submit(std::function<void()> job)
         runGuarded(job);
         return;
     }
+    QueuedJob queued;
+    queued.fn = std::move(job);
+    if (traceEnabled(TraceCat::Driver))
+        queued.enqueue_ns = traceNowNs();
     {
         std::lock_guard<std::mutex> lock(mu_);
         EVRSIM_ASSERT(!stop_);
-        queue_.push_back(std::move(job));
+        queue_.push_back(std::move(queued));
         ++pending_;
     }
     work_ready_.notify_one();
@@ -78,7 +83,7 @@ void
 JobPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> job;
+        QueuedJob job;
         {
             std::unique_lock<std::mutex> lock(mu_);
             work_ready_.wait(lock,
@@ -88,7 +93,12 @@ JobPool::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
-        runGuarded(job);
+        if (job.enqueue_ns != 0 && traceEnabled(TraceCat::Driver)) {
+            std::uint64_t now = traceNowNs();
+            traceComplete(TraceCat::Driver, "queue-wait", job.enqueue_ns,
+                          now > job.enqueue_ns ? now - job.enqueue_ns : 0);
+        }
+        runGuarded(job.fn);
         {
             std::lock_guard<std::mutex> lock(mu_);
             if (--pending_ == 0)
@@ -111,6 +121,13 @@ JobPool::failureCount() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return failures_.size();
+}
+
+std::size_t
+JobPool::pendingCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_;
 }
 
 int

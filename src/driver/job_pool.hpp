@@ -14,6 +14,7 @@
 #define EVRSIM_DRIVER_JOB_POOL_HPP
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -60,6 +61,9 @@ class JobPool
     /** Number of escaped-exception failures recorded so far. */
     std::size_t failureCount() const;
 
+    /** Jobs queued or currently running (heartbeat telemetry). */
+    std::size_t pendingCount() const;
+
     int threadCount() const { return threads_; }
 
     /** Default worker count: hardware_concurrency, at least 1. */
@@ -74,10 +78,18 @@ class JobPool
     int threads_;
     std::vector<std::thread> workers_;
 
+    /** A queued job plus its submit timestamp, so the worker that
+     *  dequeues it can emit a driver-level queue-wait trace span
+     *  (0 when tracing was off at submit time). */
+    struct QueuedJob {
+        std::function<void()> fn;
+        std::uint64_t enqueue_ns = 0;
+    };
+
     mutable std::mutex mu_;
     std::condition_variable work_ready_;  ///< queue non-empty or stopping
     std::condition_variable all_done_;    ///< pending_ reached zero
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedJob> queue_;
     std::vector<std::string> failures_; ///< escaped-exception messages
     std::size_t pending_ = 0; ///< queued + currently-running jobs
     bool stop_ = false;

@@ -7,7 +7,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/atomic_file.hpp"
 #include "common/log.hpp"
+#include "driver/json.hpp"
 
 namespace evrsim {
 
@@ -191,6 +193,51 @@ printFailureReport(const BatchOutcome &outcome)
     std::fprintf(stderr,
                  "results for failed runs are omitted below; exit will "
                  "be non-zero\n");
+}
+
+Status
+writeSweepSummaryJson(const ExperimentRunner &runner,
+                      const BatchOutcome &outcome, const std::string &path)
+{
+    SweepStats s = runner.sweepStats();
+    Json doc = Json::object();
+    doc.set("schema", 1);
+    doc.set("jobs", runner.params().resolvedJobs());
+    doc.set("requested", s.requested);
+    doc.set("simulated", s.simulated);
+    doc.set("disk_hits", s.disk_hits);
+    doc.set("memo_hits", s.memo_hits);
+    doc.set("frames_simulated", s.frames_simulated);
+    doc.set("sim_wall_ms", s.sim_wall_ms);
+    doc.set("batch_wall_ms", s.batch_wall_ms);
+    double secs = s.batch_wall_ms / 1000.0;
+    doc.set("sims_per_s", secs > 0.0 ? s.simulated / secs : 0.0);
+    doc.set("frames_per_s",
+            secs > 0.0 ? s.frames_simulated / secs : 0.0);
+    doc.set("avg_concurrency",
+            s.batch_wall_ms > 0.0 ? s.sim_wall_ms / s.batch_wall_ms : 0.0);
+    doc.set("quarantined", s.quarantined);
+    doc.set("retries", s.retries);
+    doc.set("failed", s.failed);
+    doc.set("crash_quarantined", s.crash_quarantined);
+    doc.set("corrupt_evicted", s.corrupt_evicted);
+    doc.set("resumed", s.resumed);
+    doc.set("degraded_tiles", s.degraded_tiles);
+    doc.set("validate_violations", s.validate_violations);
+
+    Json failures = Json::array();
+    for (const RunFailure &f : outcome.failures) {
+        Json entry = Json::object();
+        entry.set("workload", f.alias);
+        entry.set("config", f.config);
+        entry.set("attempts", f.attempts);
+        entry.set("quarantined", f.quarantined);
+        entry.set("status", f.status.toString());
+        failures.push(std::move(entry));
+    }
+    doc.set("failures", std::move(failures));
+
+    return atomicWriteFile(path, doc.dump(1) + "\n");
 }
 
 } // namespace evrsim

@@ -70,6 +70,17 @@ void printSweepSummary(const ExperimentRunner &runner);
  */
 void printFailureReport(const BatchOutcome &outcome);
 
+/**
+ * Write the numbers printSweepSummary() prints — run accounting,
+ * throughput, fault counters — plus the batch's permanent failures as
+ * a summary.json artifact at @p path (atomic tmp+rename), so BENCH_*
+ * trajectories can be collected mechanically instead of scraped from
+ * stdout.
+ */
+Status writeSweepSummaryJson(const ExperimentRunner &runner,
+                             const BatchOutcome &outcome,
+                             const std::string &path);
+
 } // namespace evrsim
 
 #endif // EVRSIM_DRIVER_REPORT_HPP

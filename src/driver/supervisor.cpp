@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/trace.hpp"
 #include "driver/envelope.hpp"
 
 namespace evrsim {
@@ -149,6 +150,13 @@ superviseWorker(const std::vector<std::string> &argv,
     if (argv.empty() || argv[0].empty())
         return died("worker launch failed: empty argv");
 
+    // One span per fork→exec→reap lifetime; the child pid lands in
+    // args.value once known, so a Perfetto view stitches the parent's
+    // supervision span to the worker's own `.worker-<pid>` trace file.
+    TraceSpan lifetime(TraceCat::Worker, "worker-lifetime");
+    if (lifetime.active())
+        lifetime.setDetail(describeArgv(argv));
+
     int fds[2];
     if (::pipe(fds) != 0)
         return died(std::string("worker pipe failed: ") +
@@ -174,6 +182,7 @@ superviseWorker(const std::vector<std::string> &argv,
         execWorker(cargv.data(), fds[1], limits);
     }
     ::close(fds[1]);
+    lifetime.setValue(static_cast<std::int64_t>(pid));
 
     // Drain the response pipe, enforcing the hard wall-clock deadline.
     using clock = std::chrono::steady_clock;

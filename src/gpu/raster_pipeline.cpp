@@ -6,6 +6,7 @@
 
 #include "common/crash_handler.hpp"
 #include "common/log.hpp"
+#include "common/trace.hpp"
 #include "gpu/invariant_auditor.hpp"
 #include "gpu/rasterizer.hpp"
 #include "gpu/reference_raster.hpp"
@@ -379,6 +380,11 @@ RasterPipeline::run(const Scene &scene, const ParameterBuffer &pb,
 
     for (int tile = 0; tile < tiles; ++tile) {
         crashContextSetTile(tile);
+        // Per-tile span: the hottest category, so it honours the
+        // EVRSIM_TRACE tile/N sampling filter (a disabled or sampled-out
+        // span is one relaxed load + one branch).
+        TraceSpan tile_span(TraceCat::Tile, "tile");
+        tile_span.setValue(tile);
         FrameStats ts;
         renderTile(tile, scene, pb, fb, prev_fb, hooks, ts);
         ts.raster_cycles = timing_.tileCycles(ts);

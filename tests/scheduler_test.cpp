@@ -294,8 +294,10 @@ TEST(Scheduler, CacheWriteLeavesNoTempFilesAndParses)
 
     int json_files = 0;
     for (const auto &entry : std::filesystem::directory_iterator(dir)) {
-        // The write-ahead sweep journal lives alongside the entries.
-        if (entry.path().filename() == "sweep.journal")
+        // The write-ahead sweep journal and the live-telemetry
+        // heartbeat log live alongside the entries.
+        if (entry.path().filename() == "sweep.journal" ||
+            entry.path().filename() == "heartbeat.jsonl")
             continue;
         EXPECT_EQ(entry.path().extension(), ".json")
             << "leftover temp file " << entry.path();
