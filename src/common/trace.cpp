@@ -17,9 +17,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -97,6 +99,53 @@ global()
 
 thread_local std::shared_ptr<ThreadBuf> tls_buf;
 thread_local int tls_depth = 0;
+
+/** Categories whose spans feed the totals accumulator. */
+std::atomic<unsigned> g_totals_mask{0};
+
+/** One (category, name) bucket. Names are string literals, so pointer
+ *  pairs identify buckets; two TUs spelling the same literal simply
+ *  yield two buckets that are merged at snapshot time. */
+struct TotalsBucket {
+    TraceCat cat;
+    const char *name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+};
+
+struct Totals {
+    std::mutex mu;
+    std::vector<TotalsBucket> buckets;
+};
+
+Totals &
+totals()
+{
+    static Totals *t = new Totals; // never destroyed (atexit ordering)
+    return *t;
+}
+
+inline bool
+totalsEnabled(TraceCat cat)
+{
+    return (g_totals_mask.load(std::memory_order_relaxed) &
+            (1u << static_cast<unsigned>(cat))) != 0;
+}
+
+void
+totalsAdd(TraceCat cat, const char *name, std::uint64_t dur_ns)
+{
+    Totals &t = totals();
+    std::lock_guard<std::mutex> lock(t.mu);
+    for (TotalsBucket &b : t.buckets) {
+        if (b.cat == cat && b.name == name) {
+            ++b.count;
+            b.total_ns += dur_ns;
+            return;
+        }
+    }
+    t.buckets.push_back({cat, name, 1, dur_ns});
+}
 
 ThreadBuf &
 threadBuf()
@@ -374,6 +423,56 @@ traceActiveDepth()
 }
 
 void
+traceTotalsEnable(unsigned mask)
+{
+    traceTotalsReset();
+    g_totals_mask.store(mask, std::memory_order_relaxed);
+}
+
+void
+traceTotalsReset()
+{
+    Totals &t = totals();
+    std::lock_guard<std::mutex> lock(t.mu);
+    t.buckets.clear();
+}
+
+std::vector<TraceTotal>
+traceTotals()
+{
+    std::vector<TraceTotal> out;
+    {
+        Totals &t = totals();
+        std::lock_guard<std::mutex> lock(t.mu);
+        for (const TotalsBucket &b : t.buckets) {
+            // Merge buckets whose literals live at different addresses
+            // but spell the same (category, name).
+            bool merged = false;
+            for (TraceTotal &o : out) {
+                if (std::strcmp(o.cat, traceCatName(b.cat)) == 0 &&
+                    std::strcmp(o.name, b.name) == 0) {
+                    o.count += b.count;
+                    o.total_ns += b.total_ns;
+                    merged = true;
+                    break;
+                }
+            }
+            if (!merged)
+                out.push_back(
+                    {traceCatName(b.cat), b.name, b.count, b.total_ns});
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceTotal &a, const TraceTotal &b) {
+                  int c = std::strcmp(a.cat, b.cat);
+                  if (c != 0)
+                      return c < 0;
+                  return std::strcmp(a.name, b.name) < 0;
+              });
+    return out;
+}
+
+void
 traceInstant(TraceCat cat, const char *name)
 {
     traceInstant(cat, name, std::string());
@@ -413,21 +512,32 @@ traceComplete(TraceCat cat, const char *name, std::uint64_t start_ns,
 TraceSpan::TraceSpan(TraceCat cat, const char *name)
     : active_(false), cat_(cat), name_(name)
 {
-    if (!traceEnabled(cat))
+    totals_ = totalsEnabled(cat);
+    if (traceEnabled(cat)) {
+        ThreadBuf &buf = threadBuf();
+        std::size_t c = static_cast<std::size_t>(cat);
+        unsigned sample = g_sample[c].load(std::memory_order_relaxed);
+        // Sampling filters trace *events* only; totals count every span.
+        if (sample <= 1 || (buf.sample_seq[c]++ % sample) == 0)
+            active_ = true;
+    }
+    if (!active_ && !totals_)
         return;
-    ThreadBuf &buf = threadBuf();
-    std::size_t c = static_cast<std::size_t>(cat);
-    unsigned sample = g_sample[c].load(std::memory_order_relaxed);
-    if (sample > 1 && (buf.sample_seq[c]++ % sample) != 0)
-        return;
-    active_ = true;
     start_ns_ = traceNowNs();
-    ++tls_depth;
-    crashContextPushSpan(traceCatName(cat_), name_);
+    if (active_) {
+        ++tls_depth;
+        crashContextPushSpan(traceCatName(cat_), name_);
+    }
 }
 
 TraceSpan::~TraceSpan()
 {
+    if (!active_ && !totals_)
+        return;
+    std::uint64_t end = traceNowNs();
+    std::uint64_t dur = end > start_ns_ ? end - start_ns_ : 0;
+    if (totals_)
+        totalsAdd(cat_, name_, dur);
     if (!active_)
         return;
     crashContextPopSpan();
@@ -437,8 +547,7 @@ TraceSpan::~TraceSpan()
     e.cat = cat_;
     e.phase = 'X';
     e.ts_ns = start_ns_;
-    std::uint64_t end = traceNowNs();
-    e.dur_ns = end > start_ns_ ? end - start_ns_ : 0;
+    e.dur_ns = dur;
     e.value = value_;
     e.detail = std::move(detail_);
     threadBuf().append(std::move(e));

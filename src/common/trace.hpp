@@ -42,6 +42,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.hpp"
 
@@ -133,6 +134,35 @@ std::uint64_t traceDroppedEvents();
 /** Open-span depth of the calling thread (tests assert balance). */
 int traceActiveDepth();
 
+/**
+ * Span-totals accumulator: aggregate wall time per (category, name).
+ *
+ * Independent of the trace-event machinery above: totals can be
+ * collected with tracing off (no ring buffers, no output file), and a
+ * sampled trace still counts *every* span in the totals. bench_summary
+ * --bench-speed uses this to attribute a run's wall time to pipeline
+ * stages (geometry / binning / raster) without writing a trace.
+ */
+struct TraceTotal {
+    const char *cat;  ///< category name ("stage", "frame", ...)
+    const char *name; ///< span name ("geometry", "raster", ...)
+    std::uint64_t count = 0;    ///< spans accumulated
+    std::uint64_t total_ns = 0; ///< summed wall time
+};
+
+/**
+ * Enable totals collection for the categories in @p mask (bit per
+ * TraceCat, as in TraceConfig::mask; 0 disables). Implicitly resets
+ * previously accumulated totals.
+ */
+void traceTotalsEnable(unsigned mask);
+
+/** Zero all accumulated totals (collection state is unchanged). */
+void traceTotalsReset();
+
+/** Snapshot of the accumulated totals, sorted by category then name. */
+std::vector<TraceTotal> traceTotals();
+
 /** Record an instant event (a point in time, no duration). */
 void traceInstant(TraceCat cat, const char *name);
 void traceInstant(TraceCat cat, const char *name, std::string detail);
@@ -182,7 +212,8 @@ class TraceSpan
     }
 
   private:
-    bool active_;
+    bool active_;        ///< recorded as a trace event
+    bool totals_ = false; ///< accumulated into the span totals
     TraceCat cat_;
     const char *name_;
     std::uint64_t start_ns_ = 0;

@@ -23,7 +23,7 @@
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "driver/envelope.hpp"
-#include "driver/job_pool.hpp"
+#include "common/job_pool.hpp"
 #include "scene/scene_fuzzer.hpp"
 
 namespace evrsim {
@@ -246,6 +246,11 @@ benchParamsFromEnvChecked()
         return s;
     if (present)
         p.jobs = static_cast<int>(v);
+    if (Status s = readIntKnob("EVRSIM_TILE_JOBS", 1, 4096, v, present);
+        !s.ok())
+        return s;
+    if (present)
+        p.tile_jobs = static_cast<int>(v);
     if (Status s = readIntKnob("EVRSIM_JOB_TIMEOUT_MS", 0, 86400000, v,
                                present);
         !s.ok())
@@ -510,6 +515,8 @@ ExperimentRunner::trySimulate(const std::string &alias,
         };
 
         GpuSimulator sim(cfg);
+        if (params_.tile_jobs > 1)
+            sim.setTileExecution(active_pool_, params_.tile_jobs);
         workload->setup(sim);
 
         // Warm-up: establish FVP and signature state, then measure.
@@ -924,6 +931,10 @@ ExperimentRunner::runAllChecked(const std::vector<RunRequest> &requests)
         if (jobs > static_cast<int>(requests.size()) && !requests.empty())
             jobs = static_cast<int>(requests.size());
         JobPool pool(std::max(jobs, 1));
+        // Published before any job is submitted, cleared after wait():
+        // tile jobs inside simulations nest onto this pool via
+        // JobPool::runBatch instead of spawning a pool per simulator.
+        active_pool_ = &pool;
         std::unique_ptr<SweepHeartbeat> heartbeat;
         if (params_.heartbeat_ms > 0 && !requests.empty())
             heartbeat = std::make_unique<SweepHeartbeat>(
@@ -947,6 +958,7 @@ ExperimentRunner::runAllChecked(const std::vector<RunRequest> &requests)
             });
         }
         pool.wait();
+        active_pool_ = nullptr;
         heartbeat.reset(); // appends the terminal heartbeat record
         // runMemoized() catches everything a job can raise, so escaped
         // exceptions here are scheduler bugs, not workload faults.

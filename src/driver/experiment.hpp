@@ -43,6 +43,8 @@
 
 namespace evrsim {
 
+class JobPool;
+
 /**
  * Failure-domain granularity for simulation jobs (EVRSIM_ISOLATE).
  * Off runs jobs on scheduler threads (PR 2's soft-failure machinery:
@@ -67,6 +69,12 @@ struct BenchParams {
     /** Scheduler width for runAll(); 0 = hardware_concurrency,
      *  1 = serial (EVRSIM_JOBS). */
     int jobs = 0;
+    /** Tile-level parallelism inside each simulation: tiles of a frame
+     *  render concurrently with their memory logs replayed in tile
+     *  order, byte-identical to the serial path (EVRSIM_TILE_JOBS;
+     *  1 = serial tiles). Tile jobs share the sweep scheduler's pool
+     *  when it has workers, otherwise each simulator owns a pool. */
+    int tile_jobs = 1;
     /** Per-job wall-clock budget in milliseconds, enforced between
      *  frames (cooperative watchdog); 0 disables
      *  (EVRSIM_JOB_TIMEOUT_MS). Under IsolateMode::Process the same
@@ -121,6 +129,9 @@ struct BenchParams {
  *   EVRSIM_CACHE_DIR        cache location (default: <repo>/.bench_cache)
  *   EVRSIM_JOBS=n           scheduler workers (default:
  *                           hardware_concurrency; 1 = serial path)
+ *   EVRSIM_TILE_JOBS=n      tile-parallel rasterization inside each
+ *                           simulation (default 1 = serial tiles;
+ *                           results are byte-identical either way)
  *   EVRSIM_JOB_TIMEOUT_MS=n per-job wall-clock watchdog (0 = off);
  *                           doubles as the hard worker deadline under
  *                           process isolation
@@ -364,6 +375,11 @@ class ExperimentRunner
     FaultInjector fault_;
     WorkerLauncher launcher_;
     SweepJournal journal_;
+
+    /** Sweep scheduler pool while runAllChecked is active (else null).
+     *  Tile jobs (EVRSIM_TILE_JOBS) share it so one set of workers
+     *  serves both levels; JobPool::runBatch makes the nesting safe. */
+    JobPool *active_pool_ = nullptr;
 
     mutable std::mutex mu_;
     std::condition_variable memo_done_;

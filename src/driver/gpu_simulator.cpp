@@ -45,6 +45,23 @@ GpuSimulator::GpuSimulator(const SimConfig &config,
 }
 
 void
+GpuSimulator::setTileExecution(JobPool *pool, int tile_jobs)
+{
+    if (tile_jobs <= 1) {
+        raster_.setTileExecution(nullptr, 1);
+        owned_tile_pool_.reset();
+        return;
+    }
+    if (pool == nullptr || pool->threadCount() < 2) {
+        // No shareable pool (or an inline one): own a worker pool sized
+        // to the requested tile parallelism.
+        owned_tile_pool_ = std::make_unique<JobPool>(tile_jobs);
+        pool = owned_tile_pool_.get();
+    }
+    raster_.setTileExecution(pool, tile_jobs);
+}
+
+void
 GpuSimulator::uploadMesh(Mesh &mesh)
 {
     if (mesh.buffer_base != 0)

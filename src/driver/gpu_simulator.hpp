@@ -68,6 +68,26 @@ class GpuSimulator
      */
     FrameStats renderFrame(const Scene &scene);
 
+    /**
+     * Enable tile-parallel rasterization (EVRSIM_TILE_JOBS): tiles are
+     * rendered concurrently and their memory-access logs replayed in
+     * tile order, keeping every result byte-identical to the serial
+     * path (see RasterPipeline::setTileExecution).
+     *
+     * @param pool      pool to run tile jobs on; pass null to let the
+     *                  simulator own a pool of @p tile_jobs workers
+     * @param tile_jobs parallelism (<= 1 restores the serial path)
+     */
+    void setTileExecution(JobPool *pool, int tile_jobs);
+
+    /**
+     * Rasterize with the scalar reference path instead of the SoA/SIMD
+     * fast path (bit-identical results; see
+     * RasterPipeline::setReferenceRaster). Used by tests and by the
+     * --bench-speed scalar leg.
+     */
+    void setReferenceRaster(bool on) { raster_.setReferenceRaster(on); }
+
     /** Energy of a frame's (or accumulated) stats under this config. */
     EnergyBreakdown energyOf(const FrameStats &stats) const;
 
@@ -115,6 +135,7 @@ class GpuSimulator
     std::unique_ptr<RenderingElimination> re_;
     std::unique_ptr<EarlyVisibilityResolution> evr_;
     std::unique_ptr<InvariantAuditor> auditor_;
+    std::unique_ptr<JobPool> owned_tile_pool_;
     Framebuffer fb_;
     Framebuffer prev_fb_;
     FrameStats totals_;

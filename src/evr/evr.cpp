@@ -14,7 +14,8 @@ EarlyVisibilityResolution::EarlyVisibilityResolution(int tile_count,
     : config_(config),
       lgt_(tile_count),
       fvp_(tile_count),
-      layer_buffer_(tile_size * tile_size)
+      layer_buffer_pixels_(tile_size * tile_size),
+      active_(static_cast<std::size_t>(tile_count), nullptr)
 {
 }
 
@@ -71,16 +72,30 @@ void
 EarlyVisibilityResolution::tileStart(int tile, int width, int height,
                                      FrameStats &stats)
 {
-    (void)tile;
     (void)stats;
-    layer_buffer_.tileStart(width, height);
+    LayerBuffer *lb;
+    {
+        std::lock_guard<std::mutex> lock(slot_mu_);
+        if (free_.empty()) {
+            pool_.push_back(
+                std::make_unique<LayerBuffer>(layer_buffer_pixels_));
+            lb = pool_.back().get();
+        } else {
+            lb = free_.back();
+            free_.pop_back();
+        }
+    }
+    active_[static_cast<std::size_t>(tile)] = lb;
+    lb->tileStart(width, height);
 }
 
 void
-EarlyVisibilityResolution::onOpaqueWrite(int x, int y, std::uint16_t layer,
-                                         bool is_woz, FrameStats &stats)
+EarlyVisibilityResolution::onOpaqueWrite(int tile, int x, int y,
+                                         std::uint16_t layer, bool is_woz,
+                                         FrameStats &stats)
 {
-    layer_buffer_.opaqueWrite(x, y, layer, is_woz);
+    active_[static_cast<std::size_t>(tile)]->opaqueWrite(x, y, layer,
+                                                         is_woz);
     ++stats.layer_buffer_accesses;
 }
 
@@ -88,14 +103,15 @@ void
 EarlyVisibilityResolution::tileEnd(int tile, const float *tile_depth,
                                    int pixel_count, FrameStats &stats)
 {
+    LayerBuffer *lb = active_[static_cast<std::size_t>(tile)];
+
     // L_far: minimum visible layer (full Layer Buffer sweep).
-    std::uint16_t l_far = layer_buffer_.computeLFar();
+    std::uint16_t l_far = lb->computeLFar();
     stats.layer_buffer_accesses += static_cast<std::uint64_t>(pixel_count);
 
     // FVP-type: WOZ iff the farthest visible layer is the one latched by
     // the last visible WOZ fragment (ZR register).
-    bool woz_type = layer_buffer_.zr() != LayerBuffer::kNoZr &&
-                    layer_buffer_.zr() == l_far;
+    bool woz_type = lb->zr() != LayerBuffer::kNoZr && lb->zr() == l_far;
 
     if (woz_type) {
         // Z_far: maximum depth held in the tile's Z Buffer.
@@ -111,6 +127,11 @@ EarlyVisibilityResolution::tileEnd(int tile, const float *tile_depth,
         fvp_.storeNwoz(tile, l_far);
     }
     ++stats.fvp_table_accesses;
+
+    // Return the Layer Buffer slot for the next tile to start.
+    active_[static_cast<std::size_t>(tile)] = nullptr;
+    std::lock_guard<std::mutex> lock(slot_mu_);
+    free_.push_back(lb);
 }
 
 bool

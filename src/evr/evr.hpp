@@ -15,6 +15,10 @@
 #ifndef EVRSIM_EVR_EVR_HPP
 #define EVRSIM_EVR_EVR_HPP
 
+#include <memory>
+#include <mutex>
+#include <vector>
+
 #include "evr/fvp_table.hpp"
 #include "evr/layer_buffer.hpp"
 #include "evr/layer_generator_table.hpp"
@@ -52,8 +56,8 @@ class EarlyVisibilityResolution : public PrimitiveScheduler,
     // --- TileVisibilityTracker ---
     void tileStart(int tile, int width, int height,
                    FrameStats &stats) override;
-    void onOpaqueWrite(int x, int y, std::uint16_t layer, bool is_woz,
-                       FrameStats &stats) override;
+    void onOpaqueWrite(int tile, int x, int y, std::uint16_t layer,
+                       bool is_woz, FrameStats &stats) override;
     void tileEnd(int tile, const float *tile_depth, int pixel_count,
                  FrameStats &stats) override;
     void tileSkipped(int tile) override;
@@ -65,14 +69,30 @@ class EarlyVisibilityResolution : public PrimitiveScheduler,
     const FvpTable &fvpTable() const { return fvp_; }
     /** Mutable FVP access for tests/tools that inject prediction state. */
     FvpTable &mutableFvpTable() { return fvp_; }
-    const LayerBuffer &layerBuffer() const { return layer_buffer_; }
     const EvrConfig &config() const { return config_; }
 
   private:
     EvrConfig config_;
     LayerGeneratorTable lgt_;
     FvpTable fvp_;
-    LayerBuffer layer_buffer_;
+
+    /**
+     * Layer Buffer slot pool. The hardware has exactly one tile-sized
+     * Layer Buffer (tiles render one at a time); tile-parallel
+     * simulation has several tiles between tileStart and tileEnd at
+     * once, so each active tile borrows a slot from this pool. Serially
+     * only one slot ever exists, and results are identical either way —
+     * the buffer is scratch that tileStart fully resets.
+     *
+     * pool_/free_ are guarded by slot_mu_; active_[tile] is written
+     * only by the thread rendering that tile (elements are disjoint),
+     * so the hot opaqueWrite path takes no lock.
+     */
+    int layer_buffer_pixels_;
+    std::vector<std::unique_ptr<LayerBuffer>> pool_;
+    std::vector<LayerBuffer *> free_;
+    std::vector<LayerBuffer *> active_;
+    std::mutex slot_mu_;
 };
 
 } // namespace evrsim

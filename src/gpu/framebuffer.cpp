@@ -5,6 +5,7 @@
 #include "gpu/framebuffer.hpp"
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/crc32.hpp"
 #include "common/log.hpp"
@@ -26,22 +27,40 @@ Framebuffer::clear(Rgba8 c)
 }
 
 void
+Framebuffer::writeRow(int x, int y, const Rgba8 *src, int count)
+{
+    // Rgba8 is trivially copyable and == is field-wise on uint8 fields,
+    // so byte copies/compares are exact.
+    std::memcpy(&pixels_[index(x, y)], src,
+                static_cast<std::size_t>(count) * sizeof(Rgba8));
+}
+
+void
 Framebuffer::copyRect(const Framebuffer &src, const RectI &rect)
 {
     EVRSIM_ASSERT(src.width_ == width_ && src.height_ == height_);
+    if (rect.empty())
+        return;
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(rect.width()) * sizeof(Rgba8);
     for (int y = rect.y0; y < rect.y1; ++y)
-        for (int x = rect.x0; x < rect.x1; ++x)
-            pixels_[index(x, y)] = src.pixels_[index(x, y)];
+        std::memcpy(&pixels_[index(rect.x0, y)],
+                    &src.pixels_[index(rect.x0, y)], row_bytes);
 }
 
 bool
 Framebuffer::rectEquals(const Framebuffer &other, const RectI &rect) const
 {
     EVRSIM_ASSERT(other.width_ == width_ && other.height_ == height_);
+    if (rect.empty())
+        return true;
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(rect.width()) * sizeof(Rgba8);
     for (int y = rect.y0; y < rect.y1; ++y)
-        for (int x = rect.x0; x < rect.x1; ++x)
-            if (pixels_[index(x, y)] != other.pixels_[index(x, y)])
-                return false;
+        if (std::memcmp(&pixels_[index(rect.x0, y)],
+                        &other.pixels_[index(rect.x0, y)],
+                        row_bytes) != 0)
+            return false;
     return true;
 }
 

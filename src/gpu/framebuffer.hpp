@@ -32,6 +32,10 @@ class Framebuffer
     Rgba8 pixel(int x, int y) const { return pixels_[index(x, y)]; }
     void setPixel(int x, int y, Rgba8 c) { pixels_[index(x, y)] = c; }
 
+    /** Copy @p count pixels into the row starting at (@p x, @p y) —
+     *  the tile-flush fast path (one memcpy per tile row). */
+    void writeRow(int x, int y, const Rgba8 *src, int count);
+
     /** Fill the whole surface with one color. */
     void clear(Rgba8 c);
 

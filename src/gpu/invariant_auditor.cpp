@@ -4,8 +4,11 @@
  */
 #include "gpu/invariant_auditor.hpp"
 
+#include <algorithm>
+
 #include "common/fault_injector.hpp"
 #include "common/log.hpp"
+#include "gpu/raster_kernels.hpp"
 #include "gpu/rasterizer.hpp"
 
 namespace evrsim {
@@ -20,7 +23,10 @@ void
 InvariantAuditor::frameStart(std::uint64_t frame)
 {
     frame_ = frame;
-    frame_violations_.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.clear();
+    next_seq_ = 0;
+    frame_violation_count_ = 0;
 }
 
 bool
@@ -57,7 +63,8 @@ InvariantAuditor::checkBinning(const ParameterBuffer &pb, FrameStats &stats)
         for (const DisplayListEntry &e : pb.firstList(tile)) {
             const ShadedPrimitive &prim = pb.prim(e.prim);
             if (!Rasterizer::triangleOverlapsRect(prim, rect))
-                record("binning: prim " + std::to_string(e.prim) +
+                record(Phase::Binning, tile,
+                       "binning: prim " + std::to_string(e.prim) +
                            " listed in tile " + std::to_string(tile) +
                            " it does not overlap",
                        stats);
@@ -65,7 +72,8 @@ InvariantAuditor::checkBinning(const ParameterBuffer &pb, FrameStats &stats)
         for (const DisplayListEntry &e : pb.secondList(tile)) {
             const ShadedPrimitive &prim = pb.prim(e.prim);
             if (!Rasterizer::triangleOverlapsRect(prim, rect))
-                record("binning: prim " + std::to_string(e.prim) +
+                record(Phase::Binning, tile,
+                       "binning: prim " + std::to_string(e.prim) +
                            " listed in tile " + std::to_string(tile) +
                            " it does not overlap",
                        stats);
@@ -74,7 +82,8 @@ InvariantAuditor::checkBinning(const ParameterBuffer &pb, FrameStats &stats)
             // rendering semantics, not just order.
             if (!e.predicted_occluded || !prim.state.depth_write ||
                 prim.state.blend != BlendMode::Opaque)
-                record("ordering: tile " + std::to_string(tile) +
+                record(Phase::Binning, tile,
+                       "ordering: tile " + std::to_string(tile) +
                            " Second List holds prim " +
                            std::to_string(e.prim) +
                            " that is not predicted-occluded opaque WOZ",
@@ -89,13 +98,14 @@ InvariantAuditor::checkFvpConservative(int tile, const float *tile_depth,
 {
     if (!tracker_)
         return;
-    float max_depth = 0.0f;
-    for (int i = 0; i < pixel_count; ++i)
-        if (tile_depth[i] > max_depth)
-            max_depth = tile_depth[i];
+    // Vector max over the tile's depth buffer; the kernel reproduces
+    // the scalar max-from-zero reduction exactly (max is associative).
+    float max_depth = rasterKernels().max_float(
+        tile_depth, static_cast<std::size_t>(pixel_count));
     if (tracker_->fvpConservative(tile, max_depth))
         return;
-    record("fvp: tile " + std::to_string(tile) +
+    record(Phase::Raster, tile,
+           "fvp: tile " + std::to_string(tile) +
                " stored a farthest-visible point nearer than its actual "
                "farthest depth",
            stats);
@@ -112,7 +122,8 @@ InvariantAuditor::checkMispredictionPoisoned(int tile, FrameStats &stats)
     ++stats.degraded_tiles;
     if (!signature_ || signature_->mispredictionPoisoned(tile))
         return;
-    record("re: tile " + std::to_string(tile) +
+    record(Phase::Raster, tile,
+           "re: tile " + std::to_string(tile) +
                " misprediction did not poison its signature",
            stats);
 }
@@ -120,7 +131,8 @@ InvariantAuditor::checkMispredictionPoisoned(int tile, FrameStats &stats)
 void
 InvariantAuditor::reportTileMismatch(int tile, FrameStats &stats)
 {
-    record("identity: tile " + std::to_string(tile) +
+    record(Phase::Raster, tile,
+           "identity: tile " + std::to_string(tile) +
                " pixels differ from the submission-order reference",
            stats);
 }
@@ -136,26 +148,79 @@ InvariantAuditor::degradeTile(int tile, FrameStats &stats)
 }
 
 void
-InvariantAuditor::record(std::string message, FrameStats &stats)
+InvariantAuditor::record(Phase phase, int tile, std::string message,
+                         FrameStats &stats)
 {
-    ++total_violations_;
     ++stats.validate_violations;
     if (config_.strict())
         warn("invariant violation (frame %llu): %s",
              static_cast<unsigned long long>(frame_), message.c_str());
-    if (frame_violations_.size() < kMaxStoredViolations)
-        frame_violations_.push_back(std::move(message));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_violations_;
+    ++frame_violation_count_;
+    // Keep every message until the frame is read out: the retention cap
+    // is applied after the (phase, tile, seq) sort, so which messages
+    // survive a violation storm never depends on thread interleaving.
+    pending_.push_back(
+        {static_cast<int>(phase), tile, next_seq_++, std::move(message)});
+}
+
+std::vector<std::string>
+InvariantAuditor::sortedViolationsLocked() const
+{
+    std::vector<const Pending *> order;
+    order.reserve(pending_.size());
+    for (const Pending &p : pending_)
+        order.push_back(&p);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Pending *a, const Pending *b) {
+                         if (a->phase != b->phase)
+                             return a->phase < b->phase;
+                         if (a->tile != b->tile)
+                             return a->tile < b->tile;
+                         return a->seq < b->seq;
+                     });
+    std::vector<std::string> out;
+    out.reserve(std::min(order.size(), kMaxStoredViolations));
+    for (const Pending *p : order) {
+        if (out.size() >= kMaxStoredViolations)
+            break;
+        out.push_back(p->msg);
+    }
+    return out;
+}
+
+bool
+InvariantAuditor::frameClean() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.empty();
+}
+
+std::uint64_t
+InvariantAuditor::totalViolations() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_violations_;
+}
+
+std::vector<std::string>
+InvariantAuditor::frameViolations() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sortedViolationsLocked();
 }
 
 Status
 InvariantAuditor::frameStatus() const
 {
-    if (frameClean())
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.empty())
         return {};
-    std::string msg = frame_violations_.front();
-    if (total_violations_ > 1 || frame_violations_.size() > 1)
-        msg += " (+" +
-               std::to_string(frame_violations_.size() - 1) +
+    std::vector<std::string> stored = sortedViolationsLocked();
+    std::string msg = stored.front();
+    if (frame_violation_count_ > 1 || stored.size() > 1)
+        msg += " (+" + std::to_string(stored.size() - 1) +
                " more this frame)";
     return Status::invariantViolation(std::move(msg));
 }

@@ -30,6 +30,7 @@
 #define EVRSIM_GPU_INVARIANT_AUDITOR_HPP
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -103,27 +104,41 @@ class InvariantAuditor
     void degradeTile(int tile, FrameStats &stats);
 
     /** No violations so far this frame? */
-    bool frameClean() const { return frame_violations_.empty(); }
+    bool frameClean() const;
 
     /** Ok when clean; otherwise an InvariantViolation describing them. */
     Status frameStatus() const;
 
     /** Violations across the auditor's lifetime. */
-    std::uint64_t totalViolations() const { return total_violations_; }
+    std::uint64_t totalViolations() const;
 
-    const std::vector<std::string> &
-    frameViolations() const
-    {
-        return frame_violations_;
-    }
+    /**
+     * Retained violation descriptions (capped), ordered by
+     * (pipeline phase, tile, arrival) — an order that is identical
+     * whether tiles rendered serially or in parallel.
+     */
+    std::vector<std::string> frameViolations() const;
 
     const ValidationConfig &config() const { return config_; }
 
   private:
-    void record(std::string message, FrameStats &stats);
+    /** Pipeline phase a violation was observed in; the primary sort
+     *  key, so binning findings always precede raster findings. */
+    enum class Phase { Binning = 0, Raster = 1 };
+
+    /**
+     * Record one violation. Thread-safe: concurrent tile workers append
+     * under the mutex, and reads sort by (phase, tile, seq) so the
+     * reported order never depends on thread interleaving.
+     */
+    void record(Phase phase, int tile, std::string message,
+                FrameStats &stats);
 
     /** Pixel rectangle of @p tile (mirrors the raster pipeline). */
     RectI tileRect(int tile) const;
+
+    /** Sorted, capped view of this frame's violations (mu_ held). */
+    std::vector<std::string> sortedViolationsLocked() const;
 
     ValidationConfig config_;
     const GpuConfig &gpu_;
@@ -132,8 +147,18 @@ class InvariantAuditor
     bool identity_enabled_ = true;
 
     std::uint64_t frame_ = 0;
-    std::vector<std::string> frame_violations_;
-    std::uint64_t total_violations_ = 0;
+
+    struct Pending {
+        int phase;
+        int tile;
+        std::uint64_t seq; ///< arrival order (deterministic per tile)
+        std::string msg;
+    };
+    mutable std::mutex mu_;
+    std::vector<Pending> pending_;       ///< this frame's violations
+    std::uint64_t next_seq_ = 0;         ///< guarded by mu_
+    std::uint64_t frame_violation_count_ = 0; ///< uncapped, this frame
+    std::uint64_t total_violations_ = 0; ///< guarded by mu_
 
     /** Cap on retained violation descriptions per frame. */
     static constexpr std::size_t kMaxStoredViolations = 8;

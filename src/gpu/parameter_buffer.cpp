@@ -65,10 +65,21 @@ ParameterBuffer::moveSecondToFirst(int tile)
 std::vector<DisplayListEntry>
 ParameterBuffer::renderOrder(int tile) const
 {
-    const TileLists &t = tiles_[tile];
-    std::vector<DisplayListEntry> order = t.first;
-    order.insert(order.end(), t.second.begin(), t.second.end());
+    std::vector<DisplayListEntry> order;
+    renderOrderInto(tile, order);
     return order;
+}
+
+std::vector<DisplayListEntry> &
+ParameterBuffer::renderOrderInto(int tile,
+                                 std::vector<DisplayListEntry> &out) const
+{
+    const TileLists &t = tiles_[tile];
+    out.clear();
+    out.reserve(t.first.size() + t.second.size());
+    out.insert(out.end(), t.first.begin(), t.first.end());
+    out.insert(out.end(), t.second.begin(), t.second.end());
+    return out;
 }
 
 } // namespace evrsim

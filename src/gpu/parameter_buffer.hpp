@@ -79,6 +79,14 @@ class ParameterBuffer
     /** Entries of both lists in render order (First then Second). */
     std::vector<DisplayListEntry> renderOrder(int tile) const;
 
+    /**
+     * renderOrder() into a caller-owned vector, reusing its capacity —
+     * the raster pipeline's per-tile scratch calls this once per tile,
+     * so the steady state allocates nothing. Returns @p out.
+     */
+    std::vector<DisplayListEntry> &
+    renderOrderInto(int tile, std::vector<DisplayListEntry> &out) const;
+
     /** Simulated addresses of the entries, parallel to renderOrder(). */
     const std::vector<Addr> &entryAddrs(int tile) const
     {

@@ -117,12 +117,15 @@ class TileVisibilityTracker
 
     /**
      * An opaque fragment (alpha == 1) was written to the Color Buffer at
-     * tile-local pixel (x, y).
+     * tile-local pixel (x, y) of @p tile.
      *
+     * @param tile   tile being rendered (tile-parallel rasterization may
+     *               have several tiles between tileStart and tileEnd at
+     *               once, so per-tile state must be keyed by it)
      * @param layer  layer identifier carried by the fragment
      * @param is_woz fragment belongs to a WOZ primitive (updates ZR)
      */
-    virtual void onOpaqueWrite(int x, int y, std::uint16_t layer,
+    virtual void onOpaqueWrite(int tile, int x, int y, std::uint16_t layer,
                                bool is_woz, FrameStats &stats) = 0;
 
     /**

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Portable raster kernels and runtime SIMD dispatch.
+ */
+#include "gpu/raster_kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace evrsim {
+
+namespace {
+
+bool
+rowCoverageScalar(const EdgeSetup &s, int x0, int count, int y,
+                  std::uint8_t *mask, float *w0, float *w1, float *w2)
+{
+    const float py = static_cast<float>(y) + 0.5f;
+    bool any = false;
+    for (int i = 0; i < count; ++i) {
+        const float px = static_cast<float>(x0 + i) + 0.5f;
+        const bool covered = coverPixel(s, px, py, w0[i], w1[i], w2[i]);
+        mask[i] = covered ? 1 : 0;
+        any |= covered;
+    }
+    return any;
+}
+
+float
+maxFloatScalar(const float *v, std::size_t count)
+{
+    float best = 0.0f;
+    for (std::size_t i = 0; i < count; ++i)
+        if (v[i] > best)
+            best = v[i];
+    return best;
+}
+
+constexpr RasterKernels kScalarKernels = {rowCoverageScalar,
+                                          maxFloatScalar,
+                                          SimdLevel::Scalar};
+
+const RasterKernels *
+tableFor(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Avx2:
+        return rasterKernelsAvx2();
+      case SimdLevel::Neon:
+        return rasterKernelsNeon();
+      case SimdLevel::Scalar:
+        break;
+    }
+    return &kScalarKernels;
+}
+
+const RasterKernels *
+bestTable()
+{
+    if (const RasterKernels *k = rasterKernelsAvx2())
+        return k;
+    if (const RasterKernels *k = rasterKernelsNeon())
+        return k;
+    return &kScalarKernels;
+}
+
+/** EVRSIM_SIMD=off pins scalar; anything else (or unset) means auto. */
+const RasterKernels *
+resolveFromEnv()
+{
+    if (const char *mode = std::getenv("EVRSIM_SIMD");
+        mode && std::strcmp(mode, "off") == 0)
+        return &kScalarKernels;
+    return bestTable();
+}
+
+std::atomic<const RasterKernels *> g_active{nullptr};
+
+} // namespace
+
+const RasterKernels &
+rasterKernels()
+{
+    const RasterKernels *k = g_active.load(std::memory_order_acquire);
+    if (k == nullptr) {
+        k = resolveFromEnv();
+        // A concurrent first call resolves to the same table, so a lost
+        // race publishes an identical pointer.
+        g_active.store(k, std::memory_order_release);
+    }
+    return *k;
+}
+
+SimdLevel
+bestSimdLevel()
+{
+    return bestTable()->level;
+}
+
+SimdLevel
+forceSimdLevel(SimdLevel level)
+{
+    const RasterKernels *k = tableFor(level);
+    if (k == nullptr)
+        k = bestTable();
+    g_active.store(k, std::memory_order_release);
+    return k->level;
+}
+
+} // namespace evrsim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * SIMD-dispatched inner-loop kernels for the raster hot path.
+ *
+ * The rasterizer's per-pixel work — three edge functions, the top-left
+ * coverage rule and the barycentric normalization — is data-parallel
+ * across a row of pixel centers. This module exposes that work as a
+ * row-granular kernel writing SoA outputs (coverage mask + w0/w1/w2
+ * lanes), with three interchangeable implementations:
+ *
+ *  - a portable scalar kernel (always present, the reference);
+ *  - an 8-wide AVX2 kernel (x86, selected when the CPU supports it);
+ *  - a 4-wide NEON kernel (AArch64).
+ *
+ * Every implementation is bit-identical to `Rasterizer::coverage`: each
+ * lane evaluates the *same expression tree in the same order* as the
+ * scalar code (mul, mul, sub per edge — never an FMA; the AVX2
+ * translation unit is compiled with -ffp-contract=off so the compiler
+ * cannot contract the scalar tail either), so vector lanes produce the
+ * exact floats the scalar path produces and the simulation's results do
+ * not depend on which kernel ran. EVRSIM_SIMD=off pins the scalar
+ * kernel; the default (auto) picks the best the CPU supports.
+ */
+#ifndef EVRSIM_GPU_RASTER_KERNELS_HPP
+#define EVRSIM_GPU_RASTER_KERNELS_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace evrsim {
+
+/**
+ * Per-triangle constants for the row kernels, derived from the
+ * rasterizer's winding-normalized setup (plain scalars so SIMD
+ * implementations broadcast them once per triangle).
+ */
+struct EdgeSetup {
+    float p0x, p0y; ///< winding-normalized screen positions
+    float p1x, p1y;
+    float p2x, p2y;
+    float inv_area;      ///< 1 / signedArea2(p0, p1, p2)
+    bool tl0, tl1, tl2;  ///< top-left classification per edge
+};
+
+/**
+ * Coverage + barycentrics for one pixel center (px, py); the shared
+ * scalar body every kernel (and every vector kernel's tail) uses.
+ * Mirrors Rasterizer::coverage expression-for-expression.
+ */
+inline bool
+coverPixel(const EdgeSetup &s, float px, float py, float &w0, float &w1,
+           float &w2)
+{
+    float e0 = (s.p2x - s.p1x) * (py - s.p1y) -
+               (s.p2y - s.p1y) * (px - s.p1x);
+    float e1 = (s.p0x - s.p2x) * (py - s.p2y) -
+               (s.p0y - s.p2y) * (px - s.p2x);
+    float e2 = (s.p1x - s.p0x) * (py - s.p0y) -
+               (s.p1y - s.p0y) * (px - s.p0x);
+
+    bool in0 = e0 > 0.0f || (e0 == 0.0f && s.tl0);
+    bool in1 = e1 > 0.0f || (e1 == 0.0f && s.tl1);
+    bool in2 = e2 > 0.0f || (e2 == 0.0f && s.tl2);
+    if (!(in0 && in1 && in2))
+        return false;
+
+    w0 = e0 * s.inv_area;
+    w1 = e1 * s.inv_area;
+    w2 = e2 * s.inv_area;
+    return true;
+}
+
+/**
+ * Row coverage kernel: test pixel centers (x0+i+0.5, y+0.5) for
+ * i in [0, count), writing mask[i] (1 = covered) and, for covered
+ * lanes, the normalized barycentrics w0/w1/w2[i] (uncovered lanes
+ * leave their w slots unspecified). Returns true iff any lane covered.
+ */
+using RowCoverageFn = bool (*)(const EdgeSetup &s, int x0, int count,
+                               int y, std::uint8_t *mask, float *w0,
+                               float *w1, float *w2);
+
+/**
+ * max(0.0f, max of @p count floats) — the depth-buffer reduction the
+ * FVP conservativeness audit runs per tile. Matches the scalar
+ * "keep v[i] when v[i] > best, starting from 0" loop exactly.
+ */
+using MaxFloatFn = float (*)(const float *v, std::size_t count);
+
+/** Instruction-set tier a kernel table was built for. */
+enum class SimdLevel { Scalar = 0, Avx2 = 1, Neon = 2 };
+
+/** A coherent set of kernels, all of one SIMD tier. */
+struct RasterKernels {
+    RowCoverageFn row_coverage;
+    MaxFloatFn max_float;
+    SimdLevel level;
+};
+
+/**
+ * The active kernel table. Resolved once on first use: the best tier
+ * this CPU supports, unless EVRSIM_SIMD=off pinned the scalar tier or
+ * forceSimdLevel() overrode the choice.
+ */
+const RasterKernels &rasterKernels();
+
+/** Best tier the running CPU supports (Scalar when nothing better). */
+SimdLevel bestSimdLevel();
+
+/**
+ * Test hook: pin the active table to @p level (falling back to the
+ * best available tier when @p level is not supported on this CPU).
+ * Returns the tier actually in effect. Call only while no simulation
+ * is running.
+ */
+SimdLevel forceSimdLevel(SimdLevel level);
+
+/**
+ * Internal: per-ISA tables. Each returns null when the build or the
+ * running CPU lacks the ISA, so dispatch needs no cross-TU macros.
+ */
+const RasterKernels *rasterKernelsAvx2();
+const RasterKernels *rasterKernelsNeon();
+
+} // namespace evrsim
+
+#endif // EVRSIM_GPU_RASTER_KERNELS_HPP

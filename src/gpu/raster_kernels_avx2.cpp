@@ -1,0 +1,140 @@
+/**
+ * @file
+ * 8-wide AVX2 raster kernels (x86-64).
+ *
+ * Compiled with -mavx2 -ffp-contract=off when the compiler supports it
+ * (see src/gpu/CMakeLists.txt); on other targets, or with a compiler
+ * lacking AVX2 support, this translation unit compiles to a stub that
+ * reports the tier as unavailable. FMA contraction is disabled and no
+ * FMA intrinsics are used, so every lane performs exactly the mul, mul,
+ * sub sequence of the scalar coverage test — bit-identical results are
+ * a hard requirement, not an aspiration (the byte-identity property
+ * test in tests/raster_pipeline_test.cpp enforces it).
+ */
+#include "gpu/raster_kernels.hpp"
+
+#if defined(EVRSIM_BUILD_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace evrsim {
+
+namespace {
+
+bool
+rowCoverageAvx2(const EdgeSetup &s, int x0, int count, int y,
+                std::uint8_t *mask, float *w0, float *w1, float *w2)
+{
+    const float py = static_cast<float>(y) + 0.5f;
+
+    // Per-row constants, computed in scalar SSE exactly as the scalar
+    // kernel computes them, then broadcast. For edge k the per-pixel
+    // value is  tK - bK * (px - aKx): same mul/sub tree as coverPixel.
+    const __m256 t0 = _mm256_set1_ps((s.p2x - s.p1x) * (py - s.p1y));
+    const __m256 b0 = _mm256_set1_ps(s.p2y - s.p1y);
+    const __m256 a0x = _mm256_set1_ps(s.p1x);
+    const __m256 t1 = _mm256_set1_ps((s.p0x - s.p2x) * (py - s.p2y));
+    const __m256 b1 = _mm256_set1_ps(s.p0y - s.p2y);
+    const __m256 a1x = _mm256_set1_ps(s.p2x);
+    const __m256 t2 = _mm256_set1_ps((s.p1x - s.p0x) * (py - s.p0y));
+    const __m256 b2 = _mm256_set1_ps(s.p1y - s.p0y);
+    const __m256 a2x = _mm256_set1_ps(s.p0x);
+
+    const __m256 inv_area = _mm256_set1_ps(s.inv_area);
+    const __m256 zero = _mm256_setzero_ps();
+    const __m256 ones = _mm256_castsi256_ps(_mm256_set1_epi32(-1));
+    const __m256 tl0 = s.tl0 ? ones : zero;
+    const __m256 tl1 = s.tl1 ? ones : zero;
+    const __m256 tl2 = s.tl2 ? ones : zero;
+    const __m256 half = _mm256_set1_ps(0.5f);
+    const __m256i lane = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+
+    auto edge = [](__m256 t, __m256 b, __m256 ax, __m256 px) {
+        return _mm256_sub_ps(t, _mm256_mul_ps(b, _mm256_sub_ps(px, ax)));
+    };
+    auto inside = [&](__m256 e, __m256 tl) {
+        __m256 gt = _mm256_cmp_ps(e, zero, _CMP_GT_OQ);
+        __m256 eq = _mm256_cmp_ps(e, zero, _CMP_EQ_OQ);
+        return _mm256_or_ps(gt, _mm256_and_ps(eq, tl));
+    };
+
+    unsigned any = 0;
+    int i = 0;
+    for (; i + 8 <= count; i += 8) {
+        __m256i xi = _mm256_add_epi32(_mm256_set1_epi32(x0 + i), lane);
+        __m256 px = _mm256_add_ps(_mm256_cvtepi32_ps(xi), half);
+
+        __m256 e0 = edge(t0, b0, a0x, px);
+        __m256 e1 = edge(t1, b1, a1x, px);
+        __m256 e2 = edge(t2, b2, a2x, px);
+
+        __m256 in = _mm256_and_ps(
+            inside(e0, tl0),
+            _mm256_and_ps(inside(e1, tl1), inside(e2, tl2)));
+
+        _mm256_storeu_ps(w0 + i, _mm256_mul_ps(e0, inv_area));
+        _mm256_storeu_ps(w1 + i, _mm256_mul_ps(e1, inv_area));
+        _mm256_storeu_ps(w2 + i, _mm256_mul_ps(e2, inv_area));
+
+        auto bits =
+            static_cast<unsigned>(_mm256_movemask_ps(in)) & 0xffu;
+        any |= bits;
+        for (int l = 0; l < 8; ++l)
+            mask[i + l] = static_cast<std::uint8_t>((bits >> l) & 1u);
+    }
+    bool covered_any = any != 0;
+    for (; i < count; ++i) {
+        const float px = static_cast<float>(x0 + i) + 0.5f;
+        const bool covered = coverPixel(s, px, py, w0[i], w1[i], w2[i]);
+        mask[i] = covered ? 1 : 0;
+        covered_any |= covered;
+    }
+    return covered_any;
+}
+
+float
+maxFloatAvx2(const float *v, std::size_t count)
+{
+    // Accumulating from 0.0f reproduces the scalar "max(0, max(v))"
+    // semantics; float max is associative, so lane order is immaterial.
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 8 <= count; i += 8)
+        acc = _mm256_max_ps(acc, _mm256_loadu_ps(v + i));
+    __m128 m = _mm_max_ps(_mm256_castps256_ps128(acc),
+                          _mm256_extractf128_ps(acc, 1));
+    m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+    m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+    float best = _mm_cvtss_f32(m);
+    for (; i < count; ++i)
+        if (v[i] > best)
+            best = v[i];
+    return best;
+}
+
+constexpr RasterKernels kAvx2Kernels = {rowCoverageAvx2, maxFloatAvx2,
+                                        SimdLevel::Avx2};
+
+} // namespace
+
+const RasterKernels *
+rasterKernelsAvx2()
+{
+    return __builtin_cpu_supports("avx2") ? &kAvx2Kernels : nullptr;
+}
+
+} // namespace evrsim
+
+#else // !EVRSIM_BUILD_AVX2
+
+namespace evrsim {
+
+const RasterKernels *
+rasterKernelsAvx2()
+{
+    return nullptr;
+}
+
+} // namespace evrsim
+
+#endif

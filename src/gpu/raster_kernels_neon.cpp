@@ -1,0 +1,124 @@
+/**
+ * @file
+ * 4-wide NEON raster kernels (AArch64, where NEON is baseline).
+ *
+ * Same bit-identity contract as the AVX2 kernels: per lane the exact
+ * mul, mul, sub sequence of the scalar coverage test, no fused
+ * multiply-add intrinsics (AArch64 NEON arithmetic is IEEE-compliant
+ * by default, and intrinsics are never contracted).
+ */
+#include "gpu/raster_kernels.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace evrsim {
+
+namespace {
+
+bool
+rowCoverageNeon(const EdgeSetup &s, int x0, int count, int y,
+                std::uint8_t *mask, float *w0, float *w1, float *w2)
+{
+    const float py = static_cast<float>(y) + 0.5f;
+
+    const float32x4_t t0 = vdupq_n_f32((s.p2x - s.p1x) * (py - s.p1y));
+    const float32x4_t b0 = vdupq_n_f32(s.p2y - s.p1y);
+    const float32x4_t a0x = vdupq_n_f32(s.p1x);
+    const float32x4_t t1 = vdupq_n_f32((s.p0x - s.p2x) * (py - s.p2y));
+    const float32x4_t b1 = vdupq_n_f32(s.p0y - s.p2y);
+    const float32x4_t a1x = vdupq_n_f32(s.p2x);
+    const float32x4_t t2 = vdupq_n_f32((s.p1x - s.p0x) * (py - s.p0y));
+    const float32x4_t b2 = vdupq_n_f32(s.p1y - s.p0y);
+    const float32x4_t a2x = vdupq_n_f32(s.p0x);
+
+    const float32x4_t inv_area = vdupq_n_f32(s.inv_area);
+    const float32x4_t zero = vdupq_n_f32(0.0f);
+    const uint32x4_t tl0 = vdupq_n_u32(s.tl0 ? 0xffffffffu : 0u);
+    const uint32x4_t tl1 = vdupq_n_u32(s.tl1 ? 0xffffffffu : 0u);
+    const uint32x4_t tl2 = vdupq_n_u32(s.tl2 ? 0xffffffffu : 0u);
+    const float32x4_t half = vdupq_n_f32(0.5f);
+    const std::int32_t lane_init[4] = {0, 1, 2, 3};
+    const int32x4_t lane = vld1q_s32(lane_init);
+
+    bool covered_any = false;
+    int i = 0;
+    for (; i + 4 <= count; i += 4) {
+        int32x4_t xi = vaddq_s32(vdupq_n_s32(x0 + i), lane);
+        float32x4_t px = vaddq_f32(vcvtq_f32_s32(xi), half);
+
+        float32x4_t e0 =
+            vsubq_f32(t0, vmulq_f32(b0, vsubq_f32(px, a0x)));
+        float32x4_t e1 =
+            vsubq_f32(t1, vmulq_f32(b1, vsubq_f32(px, a1x)));
+        float32x4_t e2 =
+            vsubq_f32(t2, vmulq_f32(b2, vsubq_f32(px, a2x)));
+
+        uint32x4_t in0 = vorrq_u32(
+            vcgtq_f32(e0, zero), vandq_u32(vceqq_f32(e0, zero), tl0));
+        uint32x4_t in1 = vorrq_u32(
+            vcgtq_f32(e1, zero), vandq_u32(vceqq_f32(e1, zero), tl1));
+        uint32x4_t in2 = vorrq_u32(
+            vcgtq_f32(e2, zero), vandq_u32(vceqq_f32(e2, zero), tl2));
+        uint32x4_t in = vandq_u32(in0, vandq_u32(in1, in2));
+
+        vst1q_f32(w0 + i, vmulq_f32(e0, inv_area));
+        vst1q_f32(w1 + i, vmulq_f32(e1, inv_area));
+        vst1q_f32(w2 + i, vmulq_f32(e2, inv_area));
+
+        std::uint32_t bits[4];
+        vst1q_u32(bits, in);
+        for (int l = 0; l < 4; ++l)
+            mask[i + l] = bits[l] ? 1 : 0;
+        covered_any |= vmaxvq_u32(in) != 0;
+    }
+    for (; i < count; ++i) {
+        const float px = static_cast<float>(x0 + i) + 0.5f;
+        const bool covered = coverPixel(s, px, py, w0[i], w1[i], w2[i]);
+        mask[i] = covered ? 1 : 0;
+        covered_any |= covered;
+    }
+    return covered_any;
+}
+
+float
+maxFloatNeon(const float *v, std::size_t count)
+{
+    float32x4_t acc = vdupq_n_f32(0.0f);
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4)
+        acc = vmaxq_f32(acc, vld1q_f32(v + i));
+    float best = vmaxvq_f32(acc);
+    for (; i < count; ++i)
+        if (v[i] > best)
+            best = v[i];
+    return best;
+}
+
+constexpr RasterKernels kNeonKernels = {rowCoverageNeon, maxFloatNeon,
+                                        SimdLevel::Neon};
+
+} // namespace
+
+const RasterKernels *
+rasterKernelsNeon()
+{
+    return &kNeonKernels;
+}
+
+} // namespace evrsim
+
+#else // !__aarch64__
+
+namespace evrsim {
+
+const RasterKernels *
+rasterKernelsNeon()
+{
+    return nullptr;
+}
+
+} // namespace evrsim
+
+#endif

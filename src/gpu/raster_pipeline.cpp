@@ -4,6 +4,8 @@
  */
 #include "gpu/raster_pipeline.hpp"
 
+#include <algorithm>
+
 #include "common/crash_handler.hpp"
 #include "common/log.hpp"
 #include "common/trace.hpp"
@@ -12,6 +14,31 @@
 #include "gpu/reference_raster.hpp"
 
 namespace evrsim {
+
+namespace {
+
+/**
+ * Per-thread tile-rendering scratch: the on-chip tile buffers plus the
+ * rasterizer's SoA row buffers, reused across every tile a thread
+ * renders so the steady-state hot path performs no heap allocation.
+ * Thread-local (rather than per-pipeline) because tile jobs from
+ * several concurrent simulations can share one JobPool worker; every
+ * buffer is fully re-initialized per tile, so reuse cannot leak state
+ * between tiles, frames or simulations.
+ */
+struct TileScratch {
+    std::vector<float> depth;
+    std::vector<Rgba8> color;
+    std::vector<int> owner;
+    std::vector<char> contributed;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> blend_journal;
+    std::vector<DisplayListEntry> order;
+    RasterScratch raster;
+};
+
+thread_local TileScratch t_scratch;
+
+} // namespace
 
 RasterPipeline::RasterPipeline(const GpuConfig &config, MemorySystem &mem,
                                ShaderCore &shader, const TimingModel &timing)
@@ -35,7 +62,8 @@ RasterPipeline::depthPrepass(const RectI &rect, const Scene &scene,
                              const ParameterBuffer &pb,
                              const std::vector<DisplayListEntry> &order,
                              float clear_depth, std::vector<float> &depth,
-                             FrameStats *charge) const
+                             FrameStats *charge, TileMemLog *log,
+                             RasterScratch &scratch) const
 {
     depth.assign(static_cast<std::size_t>(rect.area()), clear_depth);
     const int w = rect.width();
@@ -44,8 +72,8 @@ RasterPipeline::depthPrepass(const RectI &rect, const Scene &scene,
     // functionally, costing no cycles, energy or memory traffic. With a
     // stats block it is the real Z-Prepass: rasterization, depth tests
     // and discard-shader evaluations are all paid a second time.
-    FrameStats scratch;
-    FrameStats &ts = charge ? *charge : scratch;
+    FrameStats uncharged;
+    FrameStats &ts = charge ? *charge : uncharged;
 
     for (const DisplayListEntry &e : order) {
         const ShadedPrimitive &prim = pb.prim(e.prim);
@@ -54,8 +82,7 @@ RasterPipeline::depthPrepass(const RectI &rect, const Scene &scene,
         if (charge)
             ++ts.prim_tile_rasterized;
 
-        Rasterizer::rasterize(
-            prim, rect, ts, [&](const Fragment &frag) {
+        auto sink = [&](const Fragment &frag) {
                 std::size_t li =
                     static_cast<std::size_t>(frag.y - rect.y0) * w +
                     (frag.x - rect.x0);
@@ -70,7 +97,7 @@ RasterPipeline::depthPrepass(const RectI &rect, const Scene &scene,
                             ++ts.fragments_shaded;
                             FragmentShadeResult res = shader_.shadeFragment(
                                 prim.state, frag.color, frag.uv, frag.x,
-                                frag.y, ts);
+                                frag.y, ts, log);
                             alpha = res.discarded ? 0.0f : 1.0f;
                         } else {
                             alpha *= tex->sample(frag.uv.x, frag.uv.y).w;
@@ -93,7 +120,11 @@ RasterPipeline::depthPrepass(const RectI &rect, const Scene &scene,
                 if (charge)
                     ++ts.depth_buffer_accesses;
                 depth[li] = frag.depth;
-            });
+        };
+        if (reference_)
+            Rasterizer::rasterize(prim, rect, ts, sink);
+        else
+            Rasterizer::rasterizeFast(prim, rect, ts, scratch, sink);
     }
 }
 
@@ -101,7 +132,8 @@ void
 RasterPipeline::renderTile(int tile, const Scene &scene,
                            const ParameterBuffer &pb, Framebuffer &fb,
                            const Framebuffer *prev_fb,
-                           const RasterHooks &hooks, FrameStats &ts)
+                           const RasterHooks &hooks, FrameStats &ts,
+                           TileMemLog *log)
 {
     ++ts.tiles_total;
 
@@ -158,29 +190,41 @@ RasterPipeline::renderTile(int tile, const Scene &scene,
     if (hooks.tracker)
         entry_bytes += DisplayListEntry::kLayerBytes;
     for (Addr addr : pb.entryAddrs(tile)) {
-        AccessResult r = mem_.parameterRead(addr, entry_bytes);
-        ts.raster_mem_latency += r.latency;
+        if (log) {
+            log->paramRead(addr, entry_bytes);
+        } else {
+            AccessResult r = mem_.parameterRead(addr, entry_bytes);
+            ts.raster_mem_latency += r.latency;
+        }
     }
 
-    std::vector<DisplayListEntry> order = pb.renderOrder(tile);
+    // On-chip tile buffers, from the thread's reusable scratch (every
+    // one fully re-initialized here).
+    const std::vector<DisplayListEntry> &order =
+        pb.renderOrderInto(tile, t_scratch.order);
 
-    // On-chip tile buffers.
-    std::vector<float> depth;
+    std::vector<float> &depth = t_scratch.depth;
     if (hooks.oracle_z || hooks.z_prepass) {
         depthPrepass(rect, scene, pb, order, scene.clear_depth, depth,
-                     hooks.z_prepass ? &ts : nullptr);
+                     hooks.z_prepass ? &ts : nullptr, log,
+                     t_scratch.raster);
     } else {
         depth.assign(npix, scene.clear_depth);
     }
-    std::vector<Rgba8> color(npix, scene.clear_color);
+    std::vector<Rgba8> &color = t_scratch.color;
+    color.assign(npix, scene.clear_color);
     /** Display-list position of the opaque fragment owning each pixel. */
-    std::vector<int> owner(npix, -1);
+    std::vector<int> &owner = t_scratch.owner;
+    owner.assign(npix, -1);
     /** Ground-truth contribution per display-list position. */
-    std::vector<char> contributed(order.size(), 0);
+    std::vector<char> &contributed = t_scratch.contributed;
+    contributed.assign(order.size(), 0);
     /** Journal of translucent blends: (pixel, position). A translucent
      *  blend only reaches the final image if no opaque write follows at
      *  that pixel, resolved against the final owner at end of tile. */
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> blend_journal;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> &blend_journal =
+        t_scratch.blend_journal;
+    blend_journal.clear();
 
     if (hooks.tracker)
         hooks.tracker->tileStart(tile, w, rect.height(), ts);
@@ -189,9 +233,13 @@ RasterPipeline::renderTile(int tile, const Scene &scene,
         const DisplayListEntry &e = order[pos];
         const ShadedPrimitive &prim = pb.prim(e.prim);
 
-        AccessResult r = mem_.parameterRead(prim.pb_addr,
-                                            ShadedPrimitive::kAttrBytes);
-        ts.raster_mem_latency += r.latency;
+        if (log) {
+            log->paramRead(prim.pb_addr, ShadedPrimitive::kAttrBytes);
+        } else {
+            AccessResult r = mem_.parameterRead(
+                prim.pb_addr, ShadedPrimitive::kAttrBytes);
+            ts.raster_mem_latency += r.latency;
+        }
         ++ts.prim_tile_rasterized;
 
         const RenderState &state = prim.state;
@@ -204,7 +252,7 @@ RasterPipeline::renderTile(int tile, const Scene &scene,
         const bool leq = (hooks.oracle_z || hooks.z_prepass) &&
                          state.depth_write;
 
-        Rasterizer::rasterize(prim, rect, ts, [&](const Fragment &frag) {
+        auto sink = [&](const Fragment &frag) {
             std::size_t li = static_cast<std::size_t>(frag.y - rect.y0) * w +
                              (frag.x - rect.x0);
 
@@ -225,7 +273,7 @@ RasterPipeline::renderTile(int tile, const Scene &scene,
 
             ++ts.fragments_shaded;
             FragmentShadeResult res = shader_.shadeFragment(
-                state, frag.color, frag.uv, frag.x, frag.y, ts);
+                state, frag.color, frag.uv, frag.x, frag.y, ts, log);
             if (res.discarded)
                 return;
 
@@ -268,7 +316,7 @@ RasterPipeline::renderTile(int tile, const Scene &scene,
             if (opaque) {
                 owner[li] = static_cast<int>(pos);
                 if (hooks.tracker) {
-                    hooks.tracker->onOpaqueWrite(frag.x - rect.x0,
+                    hooks.tracker->onOpaqueWrite(tile, frag.x - rect.x0,
                                                  frag.y - rect.y0, e.layer,
                                                  is_woz, ts);
                 }
@@ -276,7 +324,12 @@ RasterPipeline::renderTile(int tile, const Scene &scene,
                 blend_journal.emplace_back(static_cast<std::uint32_t>(li),
                                            static_cast<std::uint32_t>(pos));
             }
-        });
+        };
+        if (reference_)
+            Rasterizer::rasterize(prim, rect, ts, sink);
+        else
+            Rasterizer::rasterizeFast(prim, rect, ts, t_scratch.raster,
+                                      sink);
     }
 
     // Ground truth: a primitive contributed iff it owns a pixel's base
@@ -352,20 +405,41 @@ RasterPipeline::renderTile(int tile, const Scene &scene,
     // Flush the Color Buffer to the framebuffer in main memory, one
     // cache-line-sized row segment at a time.
     for (int y = rect.y0; y < rect.y1; ++y) {
-        mem_.framebufferWrite(
-            AddressSpace::framebufferAddr(rect.x0, y, config_.screen_width),
-            static_cast<unsigned>(w) * 4);
+        Addr row_addr = AddressSpace::framebufferAddr(rect.x0, y,
+                                                      config_.screen_width);
+        if (log)
+            log->framebufferWrite(row_addr, static_cast<unsigned>(w) * 4);
+        else
+            mem_.framebufferWrite(row_addr, static_cast<unsigned>(w) * 4);
     }
     ts.tile_flush_bytes += npix * 4;
 
     for (int y = rect.y0; y < rect.y1; ++y)
-        for (int x = rect.x0; x < rect.x1; ++x)
-            fb.setPixel(x, y, color[static_cast<std::size_t>(y - rect.y0) *
-                                        w +
-                                    (x - rect.x0)]);
+        fb.writeRow(rect.x0, y,
+                    &color[static_cast<std::size_t>(y - rect.y0) * w], w);
 
     if (prev_fb && fb.rectEquals(*prev_fb, rect))
         ++ts.tiles_equal_oracle;
+}
+
+void
+RasterPipeline::replayMemLog(const TileMemLog &log, FrameStats &ts)
+{
+    for (const TileMemAccess &a : log.accesses()) {
+        switch (a.kind) {
+          case TileMemAccess::Kind::ParamRead:
+            ts.raster_mem_latency +=
+                mem_.parameterRead(a.addr, a.bytes).latency;
+            break;
+          case TileMemAccess::Kind::TextureFetch:
+            ts.raster_mem_latency +=
+                mem_.textureFetch(a.unit, a.addr, a.bytes).latency;
+            break;
+          case TileMemAccess::Kind::FramebufferWrite:
+            mem_.framebufferWrite(a.addr, a.bytes);
+            break;
+        }
+    }
 }
 
 void
@@ -378,19 +452,66 @@ RasterPipeline::run(const Scene &scene, const ParameterBuffer &pb,
     int tiles = config_.tileCount();
     EVRSIM_ASSERT(pb.tileCount() == tiles);
 
+    if (tile_pool_ == nullptr || tile_jobs_ <= 1) {
+        // Serial reference path: tiles issue their memory accesses
+        // directly, interleaved with rendering.
+        for (int tile = 0; tile < tiles; ++tile) {
+            crashContextSetTile(tile);
+            // Per-tile span: the hottest category, so it honours the
+            // EVRSIM_TRACE tile/N sampling filter (a disabled or
+            // sampled-out span is one relaxed load + one branch).
+            TraceSpan tile_span(TraceCat::Tile, "tile");
+            tile_span.setValue(tile);
+            FrameStats ts;
+            renderTile(tile, scene, pb, fb, prev_fb, hooks, ts, nullptr);
+            ts.raster_cycles = timing_.tileCycles(ts);
+            stats.accumulate(ts);
+        }
+        crashContextSetTile(-1);
+        return;
+    }
+
+    // Tile-parallel path. Phase 1: render tiles concurrently — the
+    // compute is pure per tile (disjoint framebuffer rects, per-tile
+    // hook state), with each tile recording the ordered memory accesses
+    // it would have issued. Contiguous chunks keep some locality; a few
+    // chunks per worker lets the pool load-balance uneven tiles.
+    std::vector<FrameStats> tile_stats(static_cast<std::size_t>(tiles));
+    std::vector<TileMemLog> logs(static_cast<std::size_t>(tiles));
+
+    int chunks = std::min(tiles, tile_jobs_ * 4);
+    int chunk_size = (tiles + chunks - 1) / chunks;
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(static_cast<std::size_t>(chunks));
+    for (int begin = 0; begin < tiles; begin += chunk_size) {
+        int end = std::min(begin + chunk_size, tiles);
+        jobs.emplace_back([this, begin, end, &scene, &pb, &fb, prev_fb,
+                           &hooks, &tile_stats, &logs] {
+            for (int tile = begin; tile < end; ++tile) {
+                crashContextSetTile(tile);
+                TraceSpan tile_span(TraceCat::Tile, "tile");
+                tile_span.setValue(tile);
+                renderTile(tile, scene, pb, fb, prev_fb, hooks,
+                           tile_stats[static_cast<std::size_t>(tile)],
+                           &logs[static_cast<std::size_t>(tile)]);
+            }
+            crashContextSetTile(-1);
+        });
+    }
+    tile_pool_->runBatch(std::move(jobs));
+    crashContextSetTile(-1);
+
+    // Phase 2: replay every tile's access log serially in tile order.
+    // The MemorySystem sees exactly the serial renderer's global access
+    // stream, so cache contents, hit rates and latencies all match;
+    // per-tile stats then merge in tile order (raster_cycles only after
+    // the replayed latencies landed).
     for (int tile = 0; tile < tiles; ++tile) {
-        crashContextSetTile(tile);
-        // Per-tile span: the hottest category, so it honours the
-        // EVRSIM_TRACE tile/N sampling filter (a disabled or sampled-out
-        // span is one relaxed load + one branch).
-        TraceSpan tile_span(TraceCat::Tile, "tile");
-        tile_span.setValue(tile);
-        FrameStats ts;
-        renderTile(tile, scene, pb, fb, prev_fb, hooks, ts);
+        FrameStats &ts = tile_stats[static_cast<std::size_t>(tile)];
+        replayMemLog(logs[static_cast<std::size_t>(tile)], ts);
         ts.raster_cycles = timing_.tileCycles(ts);
         stats.accumulate(ts);
     }
-    crashContextSetTile(-1);
 }
 
 } // namespace evrsim

@@ -10,11 +10,14 @@
 
 #include <vector>
 
+#include "common/job_pool.hpp"
 #include "gpu/framebuffer.hpp"
 #include "gpu/gpu_config.hpp"
 #include "gpu/parameter_buffer.hpp"
 #include "gpu/pipeline_hooks.hpp"
+#include "gpu/rasterizer.hpp"
 #include "gpu/shader.hpp"
+#include "gpu/tile_mem_log.hpp"
 #include "gpu/timing_model.hpp"
 #include "scene/scene.hpp"
 
@@ -66,11 +69,45 @@ class RasterPipeline
              const Framebuffer *prev_fb, const RasterHooks &hooks,
              FrameStats &stats);
 
+    /**
+     * Enable tile-parallel rendering (EVRSIM_TILE_JOBS): tiles are
+     * computed concurrently on @p pool via JobPool::runBatch, each
+     * recording its memory accesses in a TileMemLog, then the logs are
+     * replayed serially in tile order against the MemorySystem — so
+     * stats, cache behavior and pixels stay byte-identical to the
+     * serial path (see DESIGN.md section 12).
+     *
+     * @param pool      shared pool to run tile jobs on (null or
+     *                  tile_jobs <= 1 restores the serial path)
+     * @param tile_jobs parallelism the tile batch is sized for
+     */
+    void
+    setTileExecution(JobPool *pool, int tile_jobs)
+    {
+        tile_pool_ = tile_jobs > 1 ? pool : nullptr;
+        tile_jobs_ = tile_jobs;
+    }
+
+    /**
+     * Rasterize with the scalar reference path (Rasterizer::rasterize)
+     * instead of the SoA/SIMD fast path. The two are bit-identical by
+     * construction; the reference path exists so tests and the
+     * --bench-speed scalar leg can measure/compare against it.
+     */
+    void setReferenceRaster(bool on) { reference_ = on; }
+
   private:
-    /** Render (or skip) one tile, accumulating into @p tile_stats. */
+    /**
+     * Render (or skip) one tile, accumulating into @p tile_stats.
+     *
+     * @param log when non-null the tile's memory accesses are recorded
+     *            there (in issue order) instead of touching mem_;
+     *            latency stats are then charged at replay
+     */
     void renderTile(int tile, const Scene &scene, const ParameterBuffer &pb,
                     Framebuffer &fb, const Framebuffer *prev_fb,
-                    const RasterHooks &hooks, FrameStats &tile_stats);
+                    const RasterHooks &hooks, FrameStats &tile_stats,
+                    TileMemLog *log);
 
     /**
      * Depth prepass: compute the tile's final depth values by running
@@ -86,15 +123,22 @@ class RasterPipeline
                       const ParameterBuffer &pb,
                       const std::vector<DisplayListEntry> &order,
                       float clear_depth, std::vector<float> &depth,
-                      FrameStats *charge) const;
+                      FrameStats *charge, TileMemLog *log,
+                      RasterScratch &scratch) const;
 
     /** Tile pixel rectangle, clipped to the screen for edge tiles. */
     RectI tileRect(int tile) const;
+
+    /** Replay one tile's recorded accesses against the MemorySystem. */
+    void replayMemLog(const TileMemLog &log, FrameStats &tile_stats);
 
     const GpuConfig &config_;
     MemorySystem &mem_;
     ShaderCore &shader_;
     const TimingModel &timing_;
+    JobPool *tile_pool_ = nullptr;
+    int tile_jobs_ = 1;
+    bool reference_ = false;
 };
 
 } // namespace evrsim

@@ -52,34 +52,6 @@ Rasterizer::setup(const ShadedPrimitive &prim, Setup &s)
     return true;
 }
 
-void
-Rasterizer::interpolate(const ShadedPrimitive &prim, const Setup &s, int x,
-                        int y, float w0, float w1, float w2, Fragment &frag)
-{
-    const ShadedVertex &v0 = prim.v[s.i0];
-    const ShadedVertex &v1 = prim.v[s.i1];
-    const ShadedVertex &v2 = prim.v[s.i2];
-
-    frag.x = x;
-    frag.y = y;
-
-    // Depth interpolates affinely in screen space (post-projection z).
-    frag.depth = w0 * v0.depth + w1 * v1.depth + w2 * v2.depth;
-
-    // Attributes interpolate perspective-correct: lerp attr/w and 1/w.
-    float iw = w0 * v0.inv_w + w1 * v1.inv_w + w2 * v2.inv_w;
-    float rw = 1.0f / iw;
-
-    frag.color = (v0.color * (w0 * v0.inv_w) + v1.color * (w1 * v1.inv_w) +
-                  v2.color * (w2 * v2.inv_w)) *
-                 rw;
-    Vec2 uv = {(v0.uv.x * v0.inv_w) * w0 + (v1.uv.x * v1.inv_w) * w1 +
-                   (v2.uv.x * v2.inv_w) * w2,
-               (v0.uv.y * v0.inv_w) * w0 + (v1.uv.y * v1.inv_w) * w1 +
-                   (v2.uv.y * v2.inv_w) * w2};
-    frag.uv = {uv.x * rw, uv.y * rw};
-}
-
 bool
 Rasterizer::triangleOverlapsRect(const ShadedPrimitive &prim,
                                  const RectI &rect)

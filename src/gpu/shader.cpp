@@ -1,12 +1,9 @@
 /**
  * @file
- * Shader core implementation.
+ * Shader core implementation (cold parts; the per-fragment shading path
+ * is inline in the header).
  */
 #include "gpu/shader.hpp"
-
-#include <cmath>
-
-#include "common/log.hpp"
 
 namespace evrsim {
 
@@ -20,122 +17,6 @@ void
 ShaderCore::bindTextures(const std::vector<const Texture *> *textures)
 {
     textures_ = textures;
-}
-
-unsigned
-ShaderCore::fragmentInstrs(FragmentProgram program)
-{
-    switch (program) {
-      case FragmentProgram::Flat:
-        return 4;
-      case FragmentProgram::Textured:
-        return 8;
-      case FragmentProgram::TexturedTint:
-        return 12;
-      case FragmentProgram::Procedural:
-        return 32;
-      case FragmentProgram::TexturedDiscard:
-        return 10;
-    }
-    panic("invalid fragment program %d", static_cast<int>(program));
-}
-
-unsigned
-ShaderCore::fragmentTexFetches(FragmentProgram program)
-{
-    switch (program) {
-      case FragmentProgram::Flat:
-      case FragmentProgram::Procedural:
-        return 0;
-      case FragmentProgram::Textured:
-      case FragmentProgram::TexturedTint:
-      case FragmentProgram::TexturedDiscard:
-        return 1;
-    }
-    panic("invalid fragment program %d", static_cast<int>(program));
-}
-
-FragmentShadeResult
-ShaderCore::shadeFragment(const RenderState &state, const Vec4 &color,
-                          const Vec2 &uv, int px, int py, FrameStats &stats)
-{
-    stats.fragment_shader_instrs += fragmentInstrs(state.program);
-
-    // Charge the simulated texture traffic; the color math itself is
-    // shared with the stat-free functional path below.
-    if (fragmentTexFetches(state.program) > 0) {
-        EVRSIM_ASSERT(textures_ != nullptr);
-        EVRSIM_ASSERT(state.texture >= 0 &&
-                      state.texture <
-                          static_cast<int>(textures_->size()));
-        const Texture *tex =
-            (*textures_)[static_cast<std::size_t>(state.texture)];
-        AccessResult r = mem_.textureFetch(
-            unitFor(px, py), tex->texelAddr(uv.x, uv.y), 4);
-        stats.raster_mem_latency += r.latency;
-        ++stats.texture_fetches;
-    }
-
-    static const std::vector<const Texture *> kNoTextures;
-    FragmentShadeResult out = shadeFunctional(
-        state, color, uv, textures_ ? *textures_ : kNoTextures);
-    if (out.discarded)
-        ++stats.fragments_discarded_shader;
-    return out;
-}
-
-FragmentShadeResult
-ShaderCore::shadeFunctional(const RenderState &state, const Vec4 &color,
-                            const Vec2 &uv,
-                            const std::vector<const Texture *> &textures)
-{
-    auto sample = [&](int slot) {
-        EVRSIM_ASSERT(slot >= 0 &&
-                      slot < static_cast<int>(textures.size()));
-        return textures[static_cast<std::size_t>(slot)]->sample(uv.x,
-                                                                uv.y);
-    };
-
-    FragmentShadeResult out;
-    switch (state.program) {
-      case FragmentProgram::Flat:
-        out.color = color;
-        break;
-
-      case FragmentProgram::Textured:
-        out.color = sample(state.texture);
-        // Carry the vertex alpha so translucent textured sprites work.
-        out.color.w *= color.w;
-        break;
-
-      case FragmentProgram::TexturedTint: {
-        Vec4 t = sample(state.texture);
-        out.color = {t.x * color.x, t.y * color.y, t.z * color.z,
-                     t.w * color.w};
-        break;
-      }
-
-      case FragmentProgram::Procedural: {
-        // ALU-heavy deterministic pattern: two octaves of sine bands
-        // modulating the interpolated color.
-        float a = std::sin(uv.x * 37.0f) * std::sin(uv.y * 29.0f);
-        float b = std::sin(uv.x * 11.0f + uv.y * 7.0f);
-        float t = 0.5f + 0.25f * a + 0.25f * b;
-        out.color = {color.x * t, color.y * t, color.z * t, color.w};
-        break;
-      }
-
-      case FragmentProgram::TexturedDiscard: {
-        Vec4 t = sample(state.texture);
-        if (t.w * color.w < 0.5f) {
-            out.discarded = true;
-            return out;
-        }
-        out.color = {t.x * color.x, t.y * color.y, t.z * color.z, 1.0f};
-        break;
-      }
-    }
-    return out;
 }
 
 } // namespace evrsim

@@ -12,9 +12,12 @@
 #ifndef EVRSIM_GPU_SHADER_HPP
 #define EVRSIM_GPU_SHADER_HPP
 
+#include <cmath>
 #include <vector>
 
+#include "common/log.hpp"
 #include "gpu/gpu_stats.hpp"
+#include "gpu/tile_mem_log.hpp"
 #include "mem/memory_system.hpp"
 #include "scene/draw_command.hpp"
 #include "scene/texture.hpp"
@@ -42,11 +45,44 @@ class ShaderCore
     /** ALU instructions of the standard transform vertex shader. */
     static constexpr unsigned kVertexShaderInstrs = 20;
 
+    // The per-fragment functions below are inline: they run once per
+    // generated fragment (tens of millions of times per sweep) and the
+    // build has no LTO to inline them across translation units.
+
     /** ALU instruction cost of a fragment program. */
-    static unsigned fragmentInstrs(FragmentProgram program);
+    static unsigned
+    fragmentInstrs(FragmentProgram program)
+    {
+        switch (program) {
+          case FragmentProgram::Flat:
+            return 4;
+          case FragmentProgram::Textured:
+            return 8;
+          case FragmentProgram::TexturedTint:
+            return 12;
+          case FragmentProgram::Procedural:
+            return 32;
+          case FragmentProgram::TexturedDiscard:
+            return 10;
+        }
+        panic("invalid fragment program %d", static_cast<int>(program));
+    }
 
     /** Texture fetches a fragment program performs. */
-    static unsigned fragmentTexFetches(FragmentProgram program);
+    static unsigned
+    fragmentTexFetches(FragmentProgram program)
+    {
+        switch (program) {
+          case FragmentProgram::Flat:
+          case FragmentProgram::Procedural:
+            return 0;
+          case FragmentProgram::Textured:
+          case FragmentProgram::TexturedTint:
+          case FragmentProgram::TexturedDiscard:
+            return 1;
+        }
+        panic("invalid fragment program %d", static_cast<int>(program));
+    }
 
     /**
      * Shade one fragment.
@@ -57,10 +93,80 @@ class ShaderCore
      * @param px,py  screen pixel (selects the fragment processor / texture
      *               cache and thus the locality the cache observes)
      * @param stats  instruction/texture counters are charged here
+     * @param log    when non-null, the texture fetch is recorded there
+     *               instead of touching the MemorySystem (its latency is
+     *               charged later, when the log is replayed in tile
+     *               order); all pure counters are charged as usual
      */
-    FragmentShadeResult shadeFragment(const RenderState &state,
-                                      const Vec4 &color, const Vec2 &uv,
-                                      int px, int py, FrameStats &stats);
+    FragmentShadeResult
+    shadeFragment(const RenderState &state, const Vec4 &color,
+                  const Vec2 &uv, int px, int py, FrameStats &stats,
+                  TileMemLog *log = nullptr)
+    {
+        stats.fragment_shader_instrs += fragmentInstrs(state.program);
+
+        if (fragmentTexFetches(state.program) > 0) {
+            EVRSIM_ASSERT(textures_ != nullptr);
+            EVRSIM_ASSERT(state.texture >= 0 &&
+                          state.texture <
+                              static_cast<int>(textures_->size()));
+            const Texture *tex =
+                (*textures_)[static_cast<std::size_t>(state.texture)];
+            // Fused texel path: wrap the UV once and reuse the texel
+            // coordinates for both the simulated fetch address and the
+            // color lookup. The color math must mirror shadeFunctional
+            // exactly — the invariant auditor's reference rasterizer
+            // shades through shadeFunctional and compares pixels.
+            int tx, ty;
+            tex->toTexel(uv.x, uv.y, tx, ty);
+            if (log) {
+                // Record mode: the fetch's latency is charged at replay.
+                log->textureFetch(unitFor(px, py),
+                                  tex->texelAddrAt(tx, ty), 4);
+            } else {
+                AccessResult r = mem_.textureFetch(
+                    unitFor(px, py), tex->texelAddrAt(tx, ty), 4);
+                stats.raster_mem_latency += r.latency;
+            }
+            ++stats.texture_fetches;
+
+            Vec4 t = tex->texelAt(tx, ty);
+            FragmentShadeResult out;
+            switch (state.program) {
+              case FragmentProgram::Textured:
+                out.color = t;
+                // Carry the vertex alpha so translucent textured
+                // sprites work.
+                out.color.w *= color.w;
+                break;
+              case FragmentProgram::TexturedTint:
+                out.color = {t.x * color.x, t.y * color.y, t.z * color.z,
+                             t.w * color.w};
+                break;
+              case FragmentProgram::TexturedDiscard:
+                if (t.w * color.w < 0.5f) {
+                    out.discarded = true;
+                    ++stats.fragments_discarded_shader;
+                    return out;
+                }
+                out.color = {t.x * color.x, t.y * color.y, t.z * color.z,
+                             1.0f};
+                break;
+              default:
+                panic("fragment program %d charges texture fetches but "
+                      "has no fused shading path",
+                      static_cast<int>(state.program));
+            }
+            return out;
+        }
+
+        static const std::vector<const Texture *> kNoTextures;
+        FragmentShadeResult out = shadeFunctional(
+            state, color, uv, textures_ ? *textures_ : kNoTextures);
+        if (out.discarded)
+            ++stats.fragments_discarded_shader;
+        return out;
+    }
 
     /**
      * Pure color math of shadeFragment: no cost charged, no simulated
@@ -71,7 +177,57 @@ class ShaderCore
     static FragmentShadeResult
     shadeFunctional(const RenderState &state, const Vec4 &color,
                     const Vec2 &uv,
-                    const std::vector<const Texture *> &textures);
+                    const std::vector<const Texture *> &textures)
+    {
+        auto sample = [&](int slot) {
+            EVRSIM_ASSERT(slot >= 0 &&
+                          slot < static_cast<int>(textures.size()));
+            return textures[static_cast<std::size_t>(slot)]->sample(uv.x,
+                                                                    uv.y);
+        };
+
+        FragmentShadeResult out;
+        switch (state.program) {
+          case FragmentProgram::Flat:
+            out.color = color;
+            break;
+
+          case FragmentProgram::Textured:
+            out.color = sample(state.texture);
+            // Carry the vertex alpha so translucent textured sprites work.
+            out.color.w *= color.w;
+            break;
+
+          case FragmentProgram::TexturedTint: {
+            Vec4 t = sample(state.texture);
+            out.color = {t.x * color.x, t.y * color.y, t.z * color.z,
+                         t.w * color.w};
+            break;
+          }
+
+          case FragmentProgram::Procedural: {
+            // ALU-heavy deterministic pattern: two octaves of sine bands
+            // modulating the interpolated color.
+            float a = std::sin(uv.x * 37.0f) * std::sin(uv.y * 29.0f);
+            float b = std::sin(uv.x * 11.0f + uv.y * 7.0f);
+            float t = 0.5f + 0.25f * a + 0.25f * b;
+            out.color = {color.x * t, color.y * t, color.z * t, color.w};
+            break;
+          }
+
+          case FragmentProgram::TexturedDiscard: {
+            Vec4 t = sample(state.texture);
+            if (t.w * color.w < 0.5f) {
+                out.discarded = true;
+                return out;
+            }
+            out.color = {t.x * color.x, t.y * color.y, t.z * color.z,
+                         1.0f};
+            break;
+          }
+        }
+        return out;
+    }
 
   private:
     /** Fragment processor (and texture cache) a pixel's quad maps to. */

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-tile memory-access log for tile-parallel rasterization.
+ *
+ * The simulated memory hierarchy is a single stateful machine: the
+ * latency of every access depends on the exact global order of all
+ * accesses before it. Tiles, however, are *computed* independently —
+ * texel values come straight from the texture (not from simulated
+ * memory), and access latencies only accumulate into statistics, never
+ * feeding back into rendering. That split is what makes tile-parallel
+ * rendering bit-identical to serial: each tile worker renders purely and
+ * records the ordered sequence of accesses it *would* have issued, and
+ * a serial replay in tile order then drives the real MemorySystem with
+ * exactly the access stream of the serial renderer — same cache states,
+ * same latencies, same counters.
+ */
+#ifndef EVRSIM_GPU_TILE_MEM_LOG_HPP
+#define EVRSIM_GPU_TILE_MEM_LOG_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/mem_types.hpp"
+
+namespace evrsim {
+
+/** One recorded access, replayed verbatim against the MemorySystem. */
+struct TileMemAccess {
+    enum class Kind : std::uint8_t {
+        ParamRead,        ///< Tile Cache read (display list / attributes)
+        TextureFetch,     ///< texture-cache fetch of one fragment unit
+        FramebufferWrite, ///< Color Buffer flush row segment
+    };
+
+    Kind kind;
+    std::uint8_t unit = 0; ///< fragment unit (TextureFetch only)
+    std::uint16_t bytes = 0;
+    Addr addr = 0;
+};
+
+/** Ordered access log of one tile's render. */
+class TileMemLog
+{
+  public:
+    void
+    paramRead(Addr addr, unsigned bytes)
+    {
+        accesses_.push_back({TileMemAccess::Kind::ParamRead, 0,
+                             static_cast<std::uint16_t>(bytes), addr});
+    }
+
+    void
+    textureFetch(unsigned unit, Addr addr, unsigned bytes)
+    {
+        accesses_.push_back({TileMemAccess::Kind::TextureFetch,
+                             static_cast<std::uint8_t>(unit),
+                             static_cast<std::uint16_t>(bytes), addr});
+    }
+
+    void
+    framebufferWrite(Addr addr, unsigned bytes)
+    {
+        accesses_.push_back({TileMemAccess::Kind::FramebufferWrite, 0,
+                             static_cast<std::uint16_t>(bytes), addr});
+    }
+
+    const std::vector<TileMemAccess> &accesses() const { return accesses_; }
+
+    void clear() { accesses_.clear(); }
+
+  private:
+    std::vector<TileMemAccess> accesses_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_GPU_TILE_MEM_LOG_HPP

@@ -1,10 +1,9 @@
 /**
  * @file
- * Set-associative cache implementation.
+ * Set-associative cache implementation (cold parts; the hit path is
+ * inline in the header).
  */
 #include "mem/cache.hpp"
-
-#include "common/log.hpp"
 
 namespace evrsim {
 
@@ -14,6 +13,15 @@ bool
 isPowerOfTwo(unsigned v)
 {
     return v != 0 && (v & (v - 1)) == 0;
+}
+
+unsigned
+log2Exact(unsigned v)
+{
+    unsigned s = 0;
+    while ((1u << s) < v)
+        ++s;
+    return s;
 }
 
 } // namespace
@@ -28,28 +36,32 @@ CacheStats::accumulate(const CacheStats &other)
     writebacks += other.writebacks;
 }
 
-SetAssocCache::SetAssocCache(const CacheConfig &config, SetAssocCache *next)
-    : config_(config), next_cache_(next)
+void
+SetAssocCache::initGeometry()
 {
-    EVRSIM_ASSERT(next != nullptr);
     EVRSIM_ASSERT(isPowerOfTwo(config_.line_bytes));
     EVRSIM_ASSERT(config_.ways > 0);
     EVRSIM_ASSERT(config_.size_bytes % (config_.line_bytes * config_.ways) ==
                   0);
     num_sets_ = config_.size_bytes / (config_.line_bytes * config_.ways);
+    line_shift_ = log2Exact(config_.line_bytes);
+    sets_pow2_ = isPowerOfTwo(num_sets_);
+    set_shift_ = sets_pow2_ ? log2Exact(num_sets_) : 0;
     lines_.assign(static_cast<std::size_t>(num_sets_) * config_.ways, Line{});
+}
+
+SetAssocCache::SetAssocCache(const CacheConfig &config, SetAssocCache *next)
+    : config_(config), next_cache_(next)
+{
+    EVRSIM_ASSERT(next != nullptr);
+    initGeometry();
 }
 
 SetAssocCache::SetAssocCache(const CacheConfig &config, DramModel *dram)
     : config_(config), dram_(dram)
 {
     EVRSIM_ASSERT(dram != nullptr);
-    EVRSIM_ASSERT(isPowerOfTwo(config_.line_bytes));
-    EVRSIM_ASSERT(config_.ways > 0);
-    EVRSIM_ASSERT(config_.size_bytes % (config_.line_bytes * config_.ways) ==
-                  0);
-    num_sets_ = config_.size_bytes / (config_.line_bytes * config_.ways);
-    lines_.assign(static_cast<std::size_t>(num_sets_) * config_.ways, Line{});
+    initGeometry();
 }
 
 AccessResult
@@ -61,29 +73,11 @@ SetAssocCache::forward(Addr line_addr, bool write, TrafficClass cls)
 }
 
 Cycles
-SetAssocCache::accessLine(Addr line_addr, bool write, TrafficClass cls,
-                          bool &hit)
+SetAssocCache::missLine(Addr line_addr, Line *set_lines, unsigned set,
+                        std::uint64_t tag, bool write, TrafficClass cls,
+                        bool &hit)
 {
-    std::uint64_t line_no = line_addr / config_.line_bytes;
-    unsigned set = static_cast<unsigned>(line_no % num_sets_);
-    std::uint64_t tag = line_no / num_sets_;
-    Line *set_lines = &lines_[static_cast<std::size_t>(set) * config_.ways];
-
-    ++lru_clock_;
-
-    // Lookup.
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        Line &line = set_lines[w];
-        if (line.valid && line.tag == tag) {
-            line.lru = lru_clock_;
-            if (write)
-                line.dirty = true;
-            hit = true;
-            return config_.hit_latency;
-        }
-    }
-
-    // Miss: pick the LRU victim.
+    // Pick the LRU victim.
     hit = false;
     unsigned victim = 0;
     for (unsigned w = 1; w < config_.ways; ++w) {
@@ -114,37 +108,6 @@ SetAssocCache::accessLine(Addr line_addr, bool write, TrafficClass cls,
     line.tag = tag;
     line.lru = lru_clock_;
     return latency;
-}
-
-AccessResult
-SetAssocCache::access(Addr addr, unsigned size, bool write, TrafficClass cls)
-{
-    EVRSIM_ASSERT(size > 0);
-
-    Addr first_line = addr & ~static_cast<Addr>(config_.line_bytes - 1);
-    Addr last_line = (addr + size - 1) &
-                     ~static_cast<Addr>(config_.line_bytes - 1);
-
-    AccessResult result;
-    result.hit = true;
-    for (Addr line_addr = first_line; line_addr <= last_line;
-         line_addr += config_.line_bytes) {
-        if (write)
-            ++stats_.writes;
-        else
-            ++stats_.reads;
-
-        bool hit = false;
-        result.latency += accessLine(line_addr, write, cls, hit);
-        if (!hit) {
-            result.hit = false;
-            if (write)
-                ++stats_.write_misses;
-            else
-                ++stats_.read_misses;
-        }
-    }
-    return result;
 }
 
 void

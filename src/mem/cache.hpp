@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "mem/dram.hpp"
 #include "mem/mem_types.hpp"
 
@@ -78,10 +79,43 @@ class SetAssocCache
      * Access @p size bytes starting at @p addr. Requests spanning several
      * lines touch each line once.
      *
+     * Defined in the header: this is the single hottest call in a
+     * simulation (every fragment's texture fetch and framebuffer
+     * traffic lands here, tens of millions of calls per sweep) and the
+     * build has no LTO to inline it across translation units.
+     *
      * @return aggregate latency and whether every line hit in this level.
      */
-    AccessResult access(Addr addr, unsigned size, bool write,
-                        TrafficClass cls);
+    AccessResult
+    access(Addr addr, unsigned size, bool write, TrafficClass cls)
+    {
+        EVRSIM_ASSERT(size > 0);
+
+        Addr first_line = addr & ~static_cast<Addr>(config_.line_bytes - 1);
+        Addr last_line = (addr + size - 1) &
+                         ~static_cast<Addr>(config_.line_bytes - 1);
+
+        AccessResult result;
+        result.hit = true;
+        for (Addr line_addr = first_line; line_addr <= last_line;
+             line_addr += config_.line_bytes) {
+            if (write)
+                ++stats_.writes;
+            else
+                ++stats_.reads;
+
+            bool hit = false;
+            result.latency += accessLine(line_addr, write, cls, hit);
+            if (!hit) {
+                result.hit = false;
+                if (write)
+                    ++stats_.write_misses;
+                else
+                    ++stats_.read_misses;
+            }
+        }
+        return result;
+    }
 
     /** Invalidate all lines, writing back dirty ones. */
     void flush(TrafficClass cls);
@@ -100,9 +134,51 @@ class SetAssocCache
         std::uint64_t lru = 0; ///< larger = more recently used
     };
 
-    /** Access one whole line; returns latency. */
-    Cycles accessLine(Addr line_addr, bool write, TrafficClass cls,
-                      bool &hit);
+    /** Derive num_sets_ and the shift/mask fast-path index fields. */
+    void initGeometry();
+
+    /**
+     * Access one whole line; returns latency. The hit path — an LRU
+     * bump in a 2..8-way set — is the bulk of all calls, so the index
+     * math uses precomputed shifts/masks (every configured geometry is
+     * a power of two; the division fallback covers any that is not).
+     */
+    Cycles
+    accessLine(Addr line_addr, bool write, TrafficClass cls, bool &hit)
+    {
+        std::uint64_t line_no = line_addr >> line_shift_;
+        unsigned set;
+        std::uint64_t tag;
+        if (sets_pow2_) {
+            set = static_cast<unsigned>(line_no) & (num_sets_ - 1);
+            tag = line_no >> set_shift_;
+        } else {
+            set = static_cast<unsigned>(line_no % num_sets_);
+            tag = line_no / num_sets_;
+        }
+        Line *set_lines =
+            &lines_[static_cast<std::size_t>(set) * config_.ways];
+
+        ++lru_clock_;
+
+        // Lookup.
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            Line &line = set_lines[w];
+            if (line.valid && line.tag == tag) {
+                line.lru = lru_clock_;
+                if (write)
+                    line.dirty = true;
+                hit = true;
+                return config_.hit_latency;
+            }
+        }
+        return missLine(line_addr, set_lines, set, tag, write, cls, hit);
+    }
+
+    /** Miss path of accessLine: victim selection, writeback, fill. */
+    Cycles missLine(Addr line_addr, Line *set_lines, unsigned set,
+                    std::uint64_t tag, bool write, TrafficClass cls,
+                    bool &hit);
 
     /** Forward a whole-line request to the next level. */
     AccessResult forward(Addr line_addr, bool write, TrafficClass cls);
@@ -111,6 +187,9 @@ class SetAssocCache
     SetAssocCache *next_cache_ = nullptr;
     DramModel *dram_ = nullptr;
     unsigned num_sets_ = 0;
+    unsigned line_shift_ = 0; ///< log2(line_bytes)
+    unsigned set_shift_ = 0;  ///< log2(num_sets_) when sets_pow2_
+    bool sets_pow2_ = false;
     std::uint64_t lru_clock_ = 0;
     std::vector<Line> lines_; ///< num_sets_ * ways, set-major
     CacheStats stats_;

@@ -32,47 +32,11 @@ MemorySystem::MemorySystem(const MemorySystemConfig &config)
     }
 }
 
-AccessResult
-MemorySystem::vertexFetch(Addr addr, unsigned size)
-{
-    return vertex_cache_.access(addr, size, false,
-                                TrafficClass::VertexFetch);
-}
 
-AccessResult
-MemorySystem::parameterWrite(Addr addr, unsigned size)
-{
-    return tile_cache_.access(addr, size, true,
-                              TrafficClass::ParameterBuffer);
-}
 
-AccessResult
-MemorySystem::parameterRead(Addr addr, unsigned size)
-{
-    return tile_cache_.access(addr, size, false,
-                              TrafficClass::ParameterBuffer);
-}
 
-AccessResult
-MemorySystem::textureFetch(unsigned unit, Addr addr, unsigned size)
-{
-    EVRSIM_ASSERT(unit < texture_caches_.size());
-    return texture_caches_[unit]->access(addr, size, false,
-                                         TrafficClass::Texture);
-}
 
-AccessResult
-MemorySystem::framebufferWrite(Addr addr, unsigned size)
-{
-    // Streaming store: bypasses the cache hierarchy.
-    return dram_.access(addr, size, true, TrafficClass::Framebuffer);
-}
 
-AccessResult
-MemorySystem::otherAccess(Addr addr, unsigned size, bool write)
-{
-    return dram_.access(addr, size, write, TrafficClass::Other);
-}
 
 MemorySystemStats
 MemorySystem::stats() const

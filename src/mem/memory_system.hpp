@@ -53,26 +53,61 @@ class MemorySystem
   public:
     explicit MemorySystem(const MemorySystemConfig &config = {});
 
+    // The per-access entry points are inline: each is a one-line
+    // dispatch into SetAssocCache::access (itself header-inline) on a
+    // path hit tens of millions of times per sweep, and the build has
+    // no LTO to collapse the calls across translation units.
+
     /** Vertex attribute fetch (Geometry Pipeline). */
-    AccessResult vertexFetch(Addr addr, unsigned size);
+    AccessResult
+    vertexFetch(Addr addr, unsigned size)
+    {
+        return vertex_cache_.access(addr, size, false,
+                                    TrafficClass::VertexFetch);
+    }
 
     /** Parameter Buffer write at binning time. */
-    AccessResult parameterWrite(Addr addr, unsigned size);
+    AccessResult
+    parameterWrite(Addr addr, unsigned size)
+    {
+        return tile_cache_.access(addr, size, true,
+                                  TrafficClass::ParameterBuffer);
+    }
 
     /** Parameter Buffer / Display List read at raster time. */
-    AccessResult parameterRead(Addr addr, unsigned size);
+    AccessResult
+    parameterRead(Addr addr, unsigned size)
+    {
+        return tile_cache_.access(addr, size, false,
+                                  TrafficClass::ParameterBuffer);
+    }
 
     /**
      * Texture fetch from fragment processor @p unit (0..3). Each fragment
      * processor owns one texture cache (Table II: 4 texture caches).
      */
-    AccessResult textureFetch(unsigned unit, Addr addr, unsigned size);
+    AccessResult
+    textureFetch(unsigned unit, Addr addr, unsigned size)
+    {
+        EVRSIM_ASSERT(unit < texture_caches_.size());
+        return texture_caches_[unit]->access(addr, size, false,
+                                             TrafficClass::Texture);
+    }
 
     /** Streaming Color Buffer flush (tile -> framebuffer). */
-    AccessResult framebufferWrite(Addr addr, unsigned size);
+    AccessResult
+    framebufferWrite(Addr addr, unsigned size)
+    {
+        // Streaming store: bypasses the cache hierarchy.
+        return dram_.access(addr, size, true, TrafficClass::Framebuffer);
+    }
 
     /** Miscellaneous DRAM traffic (command lists, state). */
-    AccessResult otherAccess(Addr addr, unsigned size, bool write);
+    AccessResult
+    otherAccess(Addr addr, unsigned size, bool write)
+    {
+        return dram_.access(addr, size, write, TrafficClass::Other);
+    }
 
     /** Aggregate counters of every level. */
     MemorySystemStats stats() const;

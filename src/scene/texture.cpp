@@ -1,31 +1,13 @@
 /**
  * @file
- * Procedural texture implementation.
+ * Procedural texture implementation (cold parts; the per-fragment
+ * sampling path is inline in the header).
  */
 #include "scene/texture.hpp"
-
-#include <cmath>
-
-#include "common/log.hpp"
 
 namespace evrsim {
 
 namespace {
-
-/** 2D integer hash -> [0, 1) float (deterministic value noise). */
-float
-hashNoise(std::uint64_t seed, int x, int y)
-{
-    std::uint64_t h = seed;
-    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) *
-         0x9e3779b97f4a7c15ull;
-    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(y)) *
-         0xd6e8feb86659fd93ull;
-    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
-    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
-    h ^= h >> 31;
-    return static_cast<float>(h >> 40) * (1.0f / 16777216.0f);
-}
 
 bool
 isPowerOfTwo(int v)
@@ -42,61 +24,6 @@ Texture::Texture(TextureKind kind, int size, const Vec4 &a, const Vec4 &b,
 {
     EVRSIM_ASSERT(isPowerOfTwo(size_));
     EVRSIM_ASSERT(cells_ > 0);
-}
-
-void
-Texture::toTexel(float u, float v, int &x, int &y) const
-{
-    // GL_REPEAT wrapping, nearest filtering.
-    float fu = u - std::floor(u);
-    float fv = v - std::floor(v);
-    x = static_cast<int>(fu * size_) & (size_ - 1);
-    y = static_cast<int>(fv * size_) & (size_ - 1);
-}
-
-Vec4
-Texture::texel(int x, int y) const
-{
-    switch (kind_) {
-      case TextureKind::Solid:
-        return color_a_;
-      case TextureKind::Checker: {
-        int cx = x * cells_ / size_;
-        int cy = y * cells_ / size_;
-        return ((cx + cy) & 1) ? color_b_ : color_a_;
-      }
-      case TextureKind::Gradient: {
-        float t = static_cast<float>(y) / (size_ - 1);
-        return lerp(color_a_, color_b_, t);
-      }
-      case TextureKind::Noise: {
-        int cx = x * cells_ / size_;
-        int cy = y * cells_ / size_;
-        float n = hashNoise(seed_, cx, cy);
-        return lerp(color_a_, color_b_, n);
-      }
-      case TextureKind::Stripes: {
-        int cy = y * cells_ / size_;
-        return (cy & 1) ? color_b_ : color_a_;
-      }
-    }
-    panic("invalid texture kind %d", static_cast<int>(kind_));
-}
-
-Vec4
-Texture::sample(float u, float v) const
-{
-    int x, y;
-    toTexel(u, v, x, y);
-    return texel(x, y);
-}
-
-Addr
-Texture::texelAddr(float u, float v) const
-{
-    int x, y;
-    toTexel(u, v, x, y);
-    return base_ + (static_cast<Addr>(y) * size_ + x) * 4;
 }
 
 std::uint64_t

@@ -10,14 +10,38 @@
 #ifndef EVRSIM_SCENE_TEXTURE_HPP
 #define EVRSIM_SCENE_TEXTURE_HPP
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "common/color.hpp"
+#include "common/log.hpp"
 #include "common/vec.hpp"
 #include "mem/mem_types.hpp"
 
 namespace evrsim {
+
+namespace texture_detail {
+
+/**
+ * 2D integer hash -> [0, 1) float (deterministic value noise). Header
+ * visible so Texture::texel can inline into fragment shading.
+ */
+inline float
+hashNoise(std::uint64_t seed, int x, int y)
+{
+    std::uint64_t h = seed;
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) *
+         0x9e3779b97f4a7c15ull;
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(y)) *
+         0xd6e8feb86659fd93ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return static_cast<float>(h >> 40) * (1.0f / 16777216.0f);
+}
+
+} // namespace texture_detail
 
 /** Procedural texture families. */
 enum class TextureKind : std::uint8_t {
@@ -44,11 +68,54 @@ class Texture
     Texture(TextureKind kind, int size, const Vec4 &a, const Vec4 &b,
             std::uint64_t seed = 0, int cells = 8);
 
-    /** Sample with nearest filtering; uv wraps (GL_REPEAT). */
-    Vec4 sample(float u, float v) const;
+    /**
+     * Sample with nearest filtering; uv wraps (GL_REPEAT). Defined in
+     * the header (along with the texel helpers below) because it runs
+     * once per textured fragment and the build has no LTO to inline it
+     * across translation units.
+     */
+    Vec4
+    sample(float u, float v) const
+    {
+        int x, y;
+        toTexel(u, v, x, y);
+        return texel(x, y);
+    }
 
     /** Simulated address of the texel that (u, v) maps to. */
-    Addr texelAddr(float u, float v) const;
+    Addr
+    texelAddr(float u, float v) const
+    {
+        int x, y;
+        toTexel(u, v, x, y);
+        return texelAddrAt(x, y);
+    }
+
+    /**
+     * Map (u, v) to wrapped integer texel coordinates. Public together
+     * with the *At accessors so the shader core can wrap a fragment's
+     * UV once and reuse the coordinates for both the simulated fetch
+     * address and the color lookup.
+     */
+    void
+    toTexel(float u, float v, int &x, int &y) const
+    {
+        // GL_REPEAT wrapping, nearest filtering.
+        float fu = u - std::floor(u);
+        float fv = v - std::floor(v);
+        x = static_cast<int>(fu * size_) & (size_ - 1);
+        y = static_cast<int>(fv * size_) & (size_ - 1);
+    }
+
+    /** Color of the texel at wrapped integer coordinates. */
+    Vec4 texelAt(int x, int y) const { return texel(x, y); }
+
+    /** Simulated address of the texel at wrapped integer coordinates. */
+    Addr
+    texelAddrAt(int x, int y) const
+    {
+        return base_ + (static_cast<Addr>(y) * size_ + x) * 4;
+    }
 
     int size() const { return size_; }
     std::uint64_t byteSize() const
@@ -64,10 +131,34 @@ class Texture
 
   private:
     /** Integer texel lookup (x, y already wrapped). */
-    Vec4 texel(int x, int y) const;
-
-    /** Map (u, v) to wrapped integer texel coordinates. */
-    void toTexel(float u, float v, int &x, int &y) const;
+    Vec4
+    texel(int x, int y) const
+    {
+        switch (kind_) {
+          case TextureKind::Solid:
+            return color_a_;
+          case TextureKind::Checker: {
+            int cx = x * cells_ / size_;
+            int cy = y * cells_ / size_;
+            return ((cx + cy) & 1) ? color_b_ : color_a_;
+          }
+          case TextureKind::Gradient: {
+            float t = static_cast<float>(y) / (size_ - 1);
+            return lerp(color_a_, color_b_, t);
+          }
+          case TextureKind::Noise: {
+            int cx = x * cells_ / size_;
+            int cy = y * cells_ / size_;
+            float n = texture_detail::hashNoise(seed_, cx, cy);
+            return lerp(color_a_, color_b_, n);
+          }
+          case TextureKind::Stripes: {
+            int cy = y * cells_ / size_;
+            return (cy & 1) ? color_b_ : color_a_;
+          }
+        }
+        panic("invalid texture kind %d", static_cast<int>(kind_));
+    }
 
     TextureKind kind_;
     int size_;

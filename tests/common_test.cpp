@@ -181,6 +181,40 @@ TEST(Crc32, CombineWithEmptyBlockIsIdentity)
     EXPECT_EQ(Crc32::combine(crc, 0, 0), crc);
 }
 
+TEST(Crc32, SliceBoundariesMatchByteAtATime)
+{
+    // Exercise every alignment of the 8-byte fast fold against a
+    // bytewise reference, including lengths below, at and above the
+    // slice width.
+    std::vector<unsigned char> data(41);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<unsigned char>(i * 37 + 11);
+    for (std::size_t len = 0; len <= data.size(); ++len) {
+        std::uint32_t ref = 0xffffffffu;
+        for (std::size_t i = 0; i < len; ++i) {
+            ref ^= data[i];
+            for (int k = 0; k < 8; ++k)
+                ref = (ref & 1u) ? (0xedb88320u ^ (ref >> 1)) : (ref >> 1);
+        }
+        ref ^= 0xffffffffu;
+        EXPECT_EQ(Crc32::of(data.data(), len), ref) << "len=" << len;
+    }
+}
+
+TEST(Crc32, CombineOperatorCacheIsStable)
+{
+    // combine() memoizes the zero operator per block length; repeated
+    // combines at the same length (the Signature Buffer's access
+    // pattern) must keep producing the concatenation CRC.
+    std::string a = "first block", b = "second block!";
+    std::string ab = a + b;
+    std::uint32_t want = Crc32::of(ab.data(), ab.size());
+    std::uint32_t crc_a = Crc32::of(a.data(), a.size());
+    std::uint32_t crc_b = Crc32::of(b.data(), b.size());
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(Crc32::combine(crc_a, crc_b, b.size()), want);
+}
+
 /** Property sweep: combine() == concatenation for random block splits. */
 class CrcCombineProperty : public ::testing::TestWithParam<int>
 {

@@ -223,12 +223,12 @@ TEST_F(FvpResolution, Figure3aNwozFvp)
     // visible layer is 3 and it is NWOZ, so FVP = L_far = 3.
     evr.tileStart(0, 4, 1, stats);
     for (int x = 0; x < 4; ++x)
-        evr.onOpaqueWrite(x, 0, 1, false, stats);
+        evr.onOpaqueWrite(0, x, 0, 1, false, stats);
     for (int x = 0; x < 4; ++x)
-        evr.onOpaqueWrite(x, 0, 2, false, stats);
+        evr.onOpaqueWrite(0, x, 0, 2, false, stats);
     for (int x = 0; x < 3; ++x)
-        evr.onOpaqueWrite(x, 0, 3, false, stats);
-    evr.onOpaqueWrite(3, 0, 4, false, stats);
+        evr.onOpaqueWrite(0, x, 0, 3, false, stats);
+    evr.onOpaqueWrite(0, 3, 0, 4, false, stats);
 
     const float depth[4] = {1, 1, 1, 1}; // Z Buffer untouched by NWOZ
     evr.tileEnd(0, depth, 4, stats);
@@ -244,10 +244,10 @@ TEST_F(FvpResolution, Figure3bWozFvp)
     // later NWOZ layer 2 covers pixel 0 only. L_far = 1 belongs to the
     // WOZ batch (ZR == L_far), so the FVP is Z_far = 0.5.
     evr.tileStart(0, 2, 1, stats);
-    evr.onOpaqueWrite(0, 0, 1, true, stats); // z = 1.0 first...
-    evr.onOpaqueWrite(0, 0, 1, true, stats); // ...then z = 0 wins
-    evr.onOpaqueWrite(1, 0, 1, true, stats); // z = 0.5
-    evr.onOpaqueWrite(0, 0, 2, false, stats); // NWOZ cover on pixel 0
+    evr.onOpaqueWrite(0, 0, 0, 1, true, stats); // z = 1.0 first...
+    evr.onOpaqueWrite(0, 0, 0, 1, true, stats); // ...then z = 0 wins
+    evr.onOpaqueWrite(0, 1, 0, 1, true, stats); // z = 0.5
+    evr.onOpaqueWrite(0, 0, 0, 2, false, stats); // NWOZ cover on pixel 0
 
     const float depth[2] = {0.0f, 0.5f};
     evr.tileEnd(0, depth, 2, stats);
@@ -261,10 +261,10 @@ TEST_F(FvpResolution, NwozOnTopMakesFvpNwozEvenWithWozBelow)
     // WOZ batch covered everywhere by a later NWOZ layer: L_far is the
     // NWOZ layer, ZR != L_far, so the FVP must be the layer.
     evr.tileStart(0, 2, 1, stats);
-    evr.onOpaqueWrite(0, 0, 1, true, stats);
-    evr.onOpaqueWrite(1, 0, 1, true, stats);
-    evr.onOpaqueWrite(0, 0, 2, false, stats);
-    evr.onOpaqueWrite(1, 0, 2, false, stats);
+    evr.onOpaqueWrite(0, 0, 0, 1, true, stats);
+    evr.onOpaqueWrite(0, 1, 0, 1, true, stats);
+    evr.onOpaqueWrite(0, 0, 0, 2, false, stats);
+    evr.onOpaqueWrite(0, 1, 0, 2, false, stats);
 
     const float depth[2] = {0.3f, 0.4f};
     evr.tileEnd(0, depth, 2, stats);

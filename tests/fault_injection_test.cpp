@@ -23,7 +23,7 @@
 #include "common/fault_injector.hpp"
 #include "common/status.hpp"
 #include "driver/experiment.hpp"
-#include "driver/job_pool.hpp"
+#include "common/job_pool.hpp"
 #include "driver/json.hpp"
 #include "scene/mesh.hpp"
 #include "support.hpp"

@@ -4,11 +4,18 @@
  * facade: clears, depth-test semantics (early and late), painter's
  * algorithm for NWOZ primitives, alpha blending, shader discard, the
  * Figure 8 oracle mode, per-tile flush accounting and ground-truth
- * visibility statistics.
+ * visibility statistics — plus the tile-parallel/SIMD bit-identity
+ * property over the full workload registry.
  */
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
+#include "driver/run_result.hpp"
+#include "gpu/raster_kernels.hpp"
 #include "support.hpp"
+#include "workloads/registry.hpp"
 
 using namespace evrsim;
 using namespace evrsim::test;
@@ -336,4 +343,76 @@ TEST_F(RasterTest, TimingProducesNonZeroCycles)
     EXPECT_GT(s.raster_cycles, 0u);
     // Raster dominates for fragment-heavy frames.
     EXPECT_GT(s.raster_cycles, s.geometry_cycles);
+}
+
+// ---------------------------------------------------------------------------
+// Tile-parallel + SIMD bit-identity property (DESIGN.md section 12).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Simulate one (workload, config) run and return its RunResult JSON
+ * without host-timing fields. @p reference selects the scalar-serial
+ * leg: reference rasterizer, scalar kernels, serial tiles; otherwise
+ * the production leg renders tiles on a 4-worker pool with the
+ * SoA/SIMD fast path.
+ */
+std::string
+runIdentityLeg(const std::string &alias, const SimConfig &config,
+               bool reference)
+{
+    std::unique_ptr<Workload> workload =
+        workloads::factory()(alias, 608, 384);
+    if (!workload) {
+        ADD_FAILURE() << "unknown workload " << alias;
+        return {};
+    }
+    GpuSimulator sim(config);
+    sim.setReferenceRaster(reference);
+    if (!reference)
+        sim.setTileExecution(nullptr, 4);
+    workload->setup(sim);
+    sim.renderFrame(workload->frame(0)); // warm-up (FVP / signatures)
+    sim.resetTotals();
+    for (int f = 1; f <= 2; ++f)
+        sim.renderFrame(workload->frame(f));
+
+    RunResult r;
+    r.workload = alias;
+    r.config = config.name;
+    r.frames = 2;
+    r.width = 608;
+    r.height = 384;
+    r.totals = sim.totals();
+    r.energy = sim.energyOf(sim.totals());
+    r.image_crc = sim.framebuffer().contentCrc();
+    return r.toJson(false).dump(2);
+}
+
+} // namespace
+
+// Every Table III workload, under both the baseline and the EVR
+// configuration, rendered with EVRSIM_TILE_JOBS=4 and the SIMD fast
+// path must produce a RunResult JSON — pixels, every stat counter,
+// energy, image CRC — byte-identical to the scalar serial reference
+// path. This is the determinism contract of the tile-parallel design:
+// tile compute is pure, memory accesses replay serially in tile order,
+// and the SoA/SIMD kernels are bit-exact against the scalar rasterizer.
+TEST(TileParallelIdentity, AllWorkloadsMatchScalarSerialByteForByte)
+{
+    GpuConfig gpu;
+    gpu.screen_width = 608;
+    gpu.screen_height = 384;
+    for (const std::string &alias : workloads::allAliases()) {
+        for (const SimConfig &config :
+             {SimConfig::baseline(gpu), SimConfig::evr(gpu)}) {
+            forceSimdLevel(SimdLevel::Scalar);
+            std::string ref = runIdentityLeg(alias, config, true);
+            forceSimdLevel(bestSimdLevel());
+            std::string fast = runIdentityLeg(alias, config, false);
+            EXPECT_EQ(ref, fast) << alias << "/" << config.name;
+        }
+    }
+    forceSimdLevel(bestSimdLevel());
 }

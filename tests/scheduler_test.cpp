@@ -16,7 +16,7 @@
 #include <thread>
 
 #include "driver/experiment.hpp"
-#include "driver/job_pool.hpp"
+#include "common/job_pool.hpp"
 #include "scene/mesh.hpp"
 #include "support.hpp"
 
@@ -78,6 +78,88 @@ TEST(JobPool, DestructorDrainsQueue)
 TEST(JobPool, DefaultThreadsIsPositive)
 {
     EXPECT_GE(JobPool::defaultThreads(), 1);
+}
+
+// ------------------------------------------------- nested runBatch() --
+
+TEST(JobPool, RunBatchRunsEveryJobAndReturnsAfterCompletion)
+{
+    JobPool pool(4);
+    std::atomic<int> count{0};
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 32; ++i)
+        jobs.emplace_back([&] { count.fetch_add(1); });
+    pool.runBatch(std::move(jobs));
+    EXPECT_EQ(count.load(), 32);
+    EXPECT_EQ(pool.failureCount(), 0u);
+}
+
+TEST(JobPool, RunBatchSingleThreadRunsInIndexOrderInline)
+{
+    JobPool pool(1);
+    std::vector<int> order;
+    std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 5; ++i)
+        jobs.emplace_back([&, i] {
+            EXPECT_EQ(std::this_thread::get_id(), caller);
+            order.push_back(i);
+        });
+    pool.runBatch(std::move(jobs));
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(JobPool, NestedRunBatchFromInsideJobsDoesNotDeadlock)
+{
+    // The regression this API exists for: more outer jobs than workers,
+    // each submitting a tile batch to the SAME pool from inside its own
+    // job. A submit()+wait() scheme deadlocks here (every worker blocks
+    // waiting for the global pending count, which includes itself); the
+    // helping wait in runBatch() must complete all work instead.
+    JobPool pool(2);
+    std::atomic<int> tiles{0};
+    for (int outer = 0; outer < 8; ++outer)
+        pool.submit([&] {
+            std::vector<std::function<void()>> batch;
+            for (int t = 0; t < 16; ++t)
+                batch.emplace_back([&] { tiles.fetch_add(1); });
+            pool.runBatch(std::move(batch));
+        });
+    pool.wait();
+    EXPECT_EQ(tiles.load(), 8 * 16);
+    EXPECT_EQ(pool.failureCount(), 0u);
+}
+
+TEST(JobPool, RunBatchRethrowsLowestIndexExceptionDeterministically)
+{
+    for (int threads : {1, 4}) {
+        JobPool pool(threads);
+        std::atomic<int> ran{0};
+        std::vector<std::function<void()>> jobs;
+        for (int i = 0; i < 12; ++i)
+            jobs.emplace_back([&, i] {
+                ran.fetch_add(1);
+                if (i == 3 || i == 9)
+                    throw std::runtime_error("job " + std::to_string(i));
+            });
+        try {
+            pool.runBatch(std::move(jobs));
+            FAIL() << "runBatch swallowed the batch exceptions";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "job 3");
+        }
+        // Every job still ran (a failure costs one result, not the
+        // batch), and nothing leaked into the pool's failure channel.
+        EXPECT_EQ(ran.load(), 12);
+        EXPECT_EQ(pool.failureCount(), 0u);
+    }
+}
+
+TEST(JobPool, RunBatchEmptyIsANoOp)
+{
+    JobPool pool(3);
+    pool.runBatch({});
+    EXPECT_EQ(pool.pendingCount(), 0u);
 }
 
 // --------------------------------------------------------- EVRSIM_JOBS --
