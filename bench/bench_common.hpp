@@ -39,6 +39,7 @@
 
 #include "common/crash_handler.hpp"
 #include "common/log.hpp"
+#include "common/shutdown.hpp"
 #include "common/trace.hpp"
 #include "driver/experiment.hpp"
 #include "driver/report.hpp"
@@ -70,6 +71,13 @@ struct BenchContext {
         // A sweep that crashes hours in should at least say which
         // (workload, config, frame, tile) it was simulating.
         installCrashHandler();
+        // Ctrl-C / SIGTERM drains the sweep instead of killing it:
+        // running jobs finish, queued ones are shed (Cancelled), the
+        // journal and telemetry artifacts flush, and exitCode() maps to
+        // 130/143. Workers keep the default disposition so the
+        // supervisor sees a genuine signal death.
+        if (worker_job.empty())
+            installShutdownHandler();
         if (worker_job.empty() && params.isolate == IsolateMode::Process)
             installProcessLauncher();
     }
@@ -172,11 +180,14 @@ struct BenchContext {
         return out;
     }
 
-    /** Process exit status: 0 on a clean sweep, 1 if any run failed. */
+    /** Process exit status: 0 on a clean sweep, 1 if any run failed;
+     *  128+signal (130/143) after a cooperative shutdown, like a
+     *  conventionally signal-terminated process — except the journal
+     *  and telemetry artifacts made it out first. */
     int
     exitCode() const
     {
-        return outcome.ok() ? 0 : 1;
+        return shutdownExitCode(outcome.ok() ? 0 : 1);
     }
 
   private:

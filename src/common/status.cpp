@@ -26,6 +26,10 @@ errorCodeName(ErrorCode code)
         return "INTERNAL";
       case ErrorCode::InvariantViolation:
         return "INVARIANT_VIOLATION";
+      case ErrorCode::Cancelled:
+        return "CANCELLED";
+      case ErrorCode::ResourceExhausted:
+        return "RESOURCE_EXHAUSTED";
     }
     return "UNKNOWN";
 }

@@ -19,6 +19,7 @@
 #include "common/atomic_file.hpp"
 #include "common/crash_handler.hpp"
 #include "common/env.hpp"
+#include "common/shutdown.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
@@ -389,6 +390,12 @@ ExperimentRunner::ExperimentRunner(WorkloadFactory factory,
                     std::move(entry));
                 ++stats_.resumed;
             }
+            stats_.resume_duplicates +=
+                static_cast<std::uint64_t>(rep.duplicates);
+            if (rep.duplicates > 0)
+                warn("EVRSIM_RESUME: %zu duplicate terminal record(s) in "
+                     "%s (resume-of-a-resume); last record wins",
+                     rep.duplicates, jpath.c_str());
             if (rep.damaged > 0)
                 warn("EVRSIM_RESUME: dropped %zu damaged journal "
                      "record(s) from %s (those jobs re-run)",
@@ -943,6 +950,29 @@ ExperimentRunner::runAllChecked(const std::vector<RunRequest> &requests)
         for (std::size_t i = 0; i < requests.size(); ++i) {
             pool.submit([this, &requests, &batch, &failures_mu,
                          &completed, i] {
+                // Cooperative shutdown: a job not yet started when the
+                // signal arrived is shed, not simulated — running jobs
+                // finish, the journal and telemetry flush through the
+                // normal end-of-sweep path, and the binary exits
+                // 128+signal.
+                if (shutdownRequested()) {
+                    {
+                        std::lock_guard<std::mutex> lock(failures_mu);
+                        batch.failures.push_back(
+                            {i, requests[i].alias,
+                             requests[i].config.name,
+                             Status::cancelled(
+                                 "sweep interrupted by signal; job "
+                                 "not started"),
+                             0, false});
+                    }
+                    {
+                        std::lock_guard<std::mutex> lock(mu_);
+                        ++stats_.cancelled;
+                    }
+                    completed.fetch_add(1, std::memory_order_relaxed);
+                    return;
+                }
                 RunOutcome outcome =
                     runMemoized(requests[i].alias, requests[i].config);
                 if (outcome.status.ok()) {
@@ -1043,6 +1073,10 @@ ExperimentRunner::writeMetricsArtifacts()
                     static_cast<double>(s.corrupt_evicted));
     metricsGaugeSet("evrsim_sweep_resumed",
                     static_cast<double>(s.resumed));
+    metricsGaugeSet("evrsim_sweep_resume_duplicates",
+                    static_cast<double>(s.resume_duplicates));
+    metricsGaugeSet("evrsim_sweep_cancelled",
+                    static_cast<double>(s.cancelled));
     metricsGaugeSet("evrsim_sweep_degraded_tiles",
                     static_cast<double>(s.degraded_tiles));
     metricsGaugeSet("evrsim_sweep_validate_violations",

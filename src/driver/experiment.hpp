@@ -205,6 +205,12 @@ struct SweepStats {
     std::uint64_t crash_quarantined = 0; ///< jobs whose workers died every attempt
     std::uint64_t corrupt_evicted = 0;   ///< old .corrupt files evicted by the cap
     std::uint64_t resumed = 0; ///< outcomes replayed from the sweep journal
+    /** Journal records superseded by a later terminal record for the
+     *  same key during replay (resume-of-a-resume; last wins). */
+    std::uint64_t resume_duplicates = 0;
+    /** Jobs shed un-run because a cooperative shutdown (SIGINT/SIGTERM)
+     *  arrived before they started. */
+    std::uint64_t cancelled = 0;
     // Validation / degradation accounting (freshly simulated runs only):
     std::uint64_t degraded_tiles = 0;     ///< tiles repaired or disabled
     std::uint64_t validate_violations = 0; ///< invariant audit failures

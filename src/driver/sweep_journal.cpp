@@ -186,6 +186,8 @@ SweepJournal::replay(const std::string &path)
         }
         ++out.records;
         started.erase(k);
+        if (out.outcomes.count(k))
+            ++out.duplicates;
         out.outcomes[k] = std::move(outcome); // last terminal record wins
     }
     for (const std::string &k : started)

@@ -61,6 +61,12 @@ class SweepJournal
         std::size_t records = 0;   ///< well-formed records read
         std::size_t damaged = 0;   ///< torn/corrupt lines dropped
         std::size_t in_flight = 0; ///< started jobs with no terminal record
+        /** Terminal records that superseded an earlier terminal record
+         *  for the same key. A resume-of-a-resume appends a second
+         *  finish record per re-run job, so duplicates are expected
+         *  there — last record wins, and the count surfaces in the
+         *  sweep stats rather than silently inflating the journal. */
+        std::size_t duplicates = 0;
     };
 
     SweepJournal() = default;

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Client library for the resident sweep service.
+ *
+ * ServiceClient speaks the service_protocol.hpp wire format and owns
+ * the whole client-side reliability policy so callers don't have to:
+ *
+ *  - connect with bounded retries and capped exponential backoff (a
+ *    daemon that is still starting, restarting after a crash, or
+ *    shedding load with ResourceExhausted is retried; an invalid
+ *    request is not);
+ *  - an overall per-call deadline (DeadlineExceeded when it passes,
+ *    however far the request got);
+ *  - reconnect-and-resubmit on a mid-stream connection loss, reusing
+ *    the *same request id* — request ids are idempotent at the daemon
+ *    (results come from the memo, the journal and the result cache),
+ *    so a resubmitted sweep is served byte-identically, not re-run.
+ *
+ * The reply keeps each run's result both decoded (RunResult) and as
+ * the exact JSON text the daemon sent (`result_json`), so callers can
+ * verify byte-identity across daemon crashes and restarts.
+ */
+#ifndef EVRSIM_SERVICE_CLIENT_HPP
+#define EVRSIM_SERVICE_CLIENT_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "driver/json.hpp"
+#include "driver/run_result.hpp"
+
+namespace evrsim {
+
+/** Client-side reliability knobs. */
+struct ClientOptions {
+    std::string socket_path;
+    /** Client id sent with every request (per-client quota key). */
+    std::string client_id = "evrsim-client";
+    /** Overall per-call deadline in ms; 0 = none. */
+    int deadline_ms = 0;
+    /** Retry attempts after the first (connects, shed requests, lost
+     *  connections all draw from the same budget). */
+    int retries = 5;
+    /** First backoff in ms, doubling per retry up to backoff_cap_ms. */
+    int backoff_base_ms = 50;
+    int backoff_cap_ms = 2000;
+    /** Read poll granularity in ms (also the deadline check cadence). */
+    int poll_ms = 100;
+};
+
+/** One run of a sweep request. */
+struct ClientRunSpec {
+    std::string workload;
+    std::string config; ///< wire config name (knownConfigNames())
+};
+
+/** One run's outcome as the daemon reported it. */
+struct ClientRunOutcome {
+    std::string workload;
+    std::string config;
+    Status status; ///< Ok => result/result_json are valid
+    RunResult result;
+    /** Exact serialized RunResult document from the wire (the
+     *  deterministic toJson(false) form) for byte-identity checks. */
+    std::string result_json;
+};
+
+/** Final reply of one sweep call. */
+struct SweepReply {
+    std::vector<ClientRunOutcome> runs; ///< request order
+    double elapsed_s = 0.0; ///< daemon-side wall clock of the request
+    int connect_attempts = 0; ///< connect(2) calls made
+    int resubmits = 0; ///< times the request was re-sent after a loss
+};
+
+/** Called once per daemon progress record (heartbeat semantics). */
+using ProgressFn = std::function<void(const Json &progress)>;
+
+/** A connected-per-call client of one daemon socket. */
+class ServiceClient
+{
+  public:
+    explicit ServiceClient(ClientOptions opts) : opts_(std::move(opts)) {}
+
+    /**
+     * Submit sweep @p runs under idempotent request id @p id and block
+     * for the final reply, retrying per the options. @p progress (may
+     * be empty) observes streamed progress records.
+     */
+    Result<SweepReply> runSweep(const std::string &id,
+                                const std::vector<ClientRunSpec> &runs,
+                                const ProgressFn &progress = {});
+
+    /**
+     * Re-run a request the daemon already knows (journaled or live) by
+     * bare id — the reconnect path after a daemon crash, when the
+     * client no longer holds the spec. NotFound when the daemon has no
+     * record of @p id.
+     */
+    Result<SweepReply> attach(const std::string &id,
+                              const ProgressFn &progress = {});
+
+    /** One liveness probe (single attempt, no retries): the pong
+     *  payload, e.g. {"type":"pong","draining":false}. */
+    Result<Json> ping();
+
+    const ClientOptions &options() const { return opts_; }
+
+  private:
+    /** Shared submit/stream/retry loop; empty @p runs means attach. */
+    Result<SweepReply> execute(const std::string &id,
+                               const std::vector<ClientRunSpec> &runs,
+                               const ProgressFn &progress);
+
+    Result<int> connectOnce();
+
+    ClientOptions opts_;
+};
+
+} // namespace evrsim
+
+#endif // EVRSIM_SERVICE_CLIENT_HPP

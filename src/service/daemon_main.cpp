@@ -1,0 +1,156 @@
+/**
+ * @file
+ * `evrsim-daemon`: the resident sweep service binary.
+ *
+ * Resolves the shared EVRSIM_* bench knobs plus the service knobs
+ * (EVRSIM_SOCKET / EVRSIM_QUEUE_MAX / EVRSIM_CLIENT_QUOTA) through the
+ * strict parsers, serves until SIGINT/SIGTERM, drains, flushes metrics,
+ * and exits 130/143 like a conventionally signal-terminated process.
+ *
+ * Crash recovery is the default: the daemon always starts with
+ * EVRSIM_RESUME semantics, replaying the sweep journal and the request
+ * journal from the cache directory, so a SIGKILLed daemon restarted on
+ * the same cache dir serves reconnecting clients byte-identically.
+ *
+ * Under EVRSIM_ISOLATE=process the binary doubles as its own worker:
+ * the supervisor re-execs it with a hidden
+ * `--evrsim-worker-run=<workload>/<config>` flag, and the re-execed
+ * copy simulates exactly that job in-process, frames the result onto
+ * the response pipe, and exits.
+ */
+#include <cstdlib>
+#include <string>
+
+#include "common/crash_handler.hpp"
+#include "common/log.hpp"
+#include "common/shutdown.hpp"
+#include "driver/supervisor.hpp"
+#include "service/daemon.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace evrsim;
+
+std::string
+workerRunArg(int argc, char **argv)
+{
+    const std::string prefix = "--evrsim-worker-run=";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i] ? argv[i] : "";
+        if (arg.compare(0, prefix.size(), prefix) == 0)
+            return arg.substr(prefix.size());
+    }
+    return {};
+}
+
+[[noreturn]] void
+runWorkerAndExit(const std::string &job, BenchParams params)
+{
+    // The daemon owns the cache, the journals and the retry policy;
+    // the worker is one bare attempt (mirrors the bench worker mode).
+    params.use_cache = false;
+    params.resume = false;
+    params.isolate = IsolateMode::Off;
+    params.jobs = 1;
+    params.heartbeat_ms = 0;
+    params.metrics_dir.clear();
+    params.write_summary = false;
+
+    std::size_t slash = job.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= job.size()) {
+        std::fprintf(stderr,
+                     "evrsim-daemon worker: malformed job '%s' "
+                     "(want <workload>/<config>)\n",
+                     job.c_str());
+        std::exit(2);
+    }
+    std::string alias = job.substr(0, slash);
+    std::string config_name = job.substr(slash + 1);
+    Result<SimConfig> config =
+        configByName(config_name, params.gpuConfig());
+    if (!config.ok()) {
+        std::fprintf(stderr, "evrsim-daemon worker: %s\n",
+                     config.status().message().c_str());
+        std::exit(2);
+    }
+    ExperimentRunner runner(workloads::factory(), params);
+    Result<RunResult> attempt = runner.trySimulate(alias, config.value());
+    bool wrote = writeWorkerResponse(kWorkerResponseFd, attempt);
+    std::exit(wrote ? 0 : 1);
+}
+
+void
+installProcessLauncher(SweepService &service, const BenchParams &params)
+{
+    std::string self = selfExecutablePath();
+    if (self.empty()) {
+        warn("EVRSIM_ISOLATE=process: cannot resolve /proc/self/exe; "
+             "jobs run in-process");
+        return;
+    }
+    WorkerLimits limits;
+    limits.mem_mb = params.job_mem_mb;
+    limits.timeout_ms = params.job_timeout_ms;
+    limits.grace_ms = defaultGraceMs(params.job_timeout_ms);
+    service.runner().setWorkerLauncher(
+        [self, limits](const std::string &alias, const SimConfig &config,
+                       const std::string &) {
+            WorkerOutcome o = superviseWorker(
+                {self, "--evrsim-worker-run=" + alias + "/" + config.name},
+                limits);
+            return WorkerAttempt{o.status, o.result, o.worker_died};
+        });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string worker_job = workerRunArg(argc, argv);
+
+    Result<BenchParams> pr = benchParamsFromEnvChecked();
+    if (!pr.ok())
+        fatal("%s", pr.status().message().c_str());
+    BenchParams params = pr.value();
+    setLogLevel(params.log_level);
+    installCrashHandler();
+
+    if (!worker_job.empty())
+        runWorkerAndExit(worker_job, params);
+
+    // Always resume: a daemon restarted after a crash (or a plain
+    // restart) replays the journals and serves completed work from the
+    // cache instead of re-simulating it.
+    params.resume = true;
+
+    Result<ServiceConfig> sc = serviceConfigFromEnvChecked(params);
+    if (!sc.ok())
+        fatal("%s", sc.status().message().c_str());
+
+    installShutdownHandler();
+
+    SweepService service(workloads::factory(), params, sc.value());
+    if (params.isolate == IsolateMode::Process)
+        installProcessLauncher(service, params);
+
+    if (Status s = service.start(); !s.ok())
+        fatal("%s", s.message().c_str());
+
+    service.serveUntilShutdown();
+
+    SweepService::Stats st = service.stats();
+    inform("service: drained (connections=%llu admitted=%llu "
+           "completed=%llu shed=%llu)",
+           static_cast<unsigned long long>(st.connections),
+           static_cast<unsigned long long>(st.requests_admitted),
+           static_cast<unsigned long long>(st.requests_completed),
+           static_cast<unsigned long long>(
+               st.shed_queue_full + st.shed_quota + st.shed_draining));
+    if (Status s = service.runner().writeMetricsArtifacts(); !s.ok())
+        warn("could not write metrics artifacts: %s",
+             s.message().c_str());
+    return shutdownExitCode(0);
+}

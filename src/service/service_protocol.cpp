@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Service wire protocol implementation.
+ */
+#include "service/service_protocol.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "driver/envelope.hpp"
+
+namespace evrsim {
+
+const std::vector<std::string> &
+knownConfigNames()
+{
+    static const std::vector<std::string> names = {
+        "baseline",   "re",       "evr",      "evr-reorder",
+        "evr-filter", "oracle-z", "z-prepass"};
+    return names;
+}
+
+Result<SimConfig>
+configByName(const std::string &name, const GpuConfig &gpu)
+{
+    if (name == "baseline")
+        return SimConfig::baseline(gpu);
+    if (name == "re")
+        return SimConfig::renderingElimination(gpu);
+    if (name == "evr")
+        return SimConfig::evr(gpu);
+    if (name == "evr-reorder")
+        return SimConfig::evrReorderOnly(gpu);
+    if (name == "evr-filter")
+        return SimConfig::evrFilterOnly(gpu);
+    if (name == "oracle-z")
+        return SimConfig::oracleZ(gpu);
+    if (name == "z-prepass")
+        return SimConfig::zPrepass(gpu);
+
+    std::string accepted;
+    for (const std::string &n : knownConfigNames())
+        accepted += (accepted.empty() ? "" : ", ") + n;
+    return Status::invalidArgument("unknown config '" + name +
+                                   "' (accepted: " + accepted + ")");
+}
+
+Status
+writeServiceMessage(int fd, Json payload)
+{
+    std::string line =
+        wrapEnvelope(std::move(payload), kServiceProtocolVersion).dump(0);
+    line += '\n';
+    std::size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::unavailable(std::string("service write: ") +
+                                       std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return {};
+}
+
+Result<Json>
+MessageReader::next(int timeout_ms)
+{
+    for (;;) {
+        std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            if (line.empty())
+                continue;
+            return parseEnvelope(line, kServiceProtocolVersion);
+        }
+        if (eof_) {
+            if (!buf_.empty()) {
+                // A final unterminated fragment is a torn write.
+                buf_.clear();
+                return Status::dataLoss(
+                    "service read: connection closed mid-message");
+            }
+            return Status::unavailable("service read: connection closed");
+        }
+
+        struct pollfd pfd;
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        int pr = ::poll(&pfd, 1, timeout_ms);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::unavailable(std::string("service poll: ") +
+                                       std::strerror(errno));
+        }
+        if (pr == 0)
+            return Status::deadlineExceeded(
+                "service read: no message within " +
+                std::to_string(timeout_ms) + " ms");
+
+        char chunk[4096];
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::unavailable(std::string("service read: ") +
+                                       std::strerror(errno));
+        }
+        if (n == 0) {
+            eof_ = true;
+            continue;
+        }
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace evrsim

@@ -1,0 +1,646 @@
+/**
+ * @file
+ * Sweep-service suite: wire framing, admission control, per-client
+ * quotas, cross-client single-flight dedup, client retry/backoff,
+ * cooperative shutdown, and the crash-recovery property — kill -9 the
+ * daemon mid-sweep, restart it on the same cache directory, reconnect
+ * by request id, and the completed sweep's RunResult documents are
+ * byte-identical to an uninterrupted run.
+ */
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/shutdown.hpp"
+#include "driver/experiment.hpp"
+#include "driver/sweep_journal.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/request_journal.hpp"
+#include "service/service_protocol.hpp"
+#include "workloads/registry.hpp"
+
+namespace evrsim {
+namespace {
+
+/** Self-deleting scratch directory (kept short: sun_path is 108). */
+struct TempDir {
+    std::string path;
+    TempDir()
+    {
+        char tmpl[] = "/tmp/evrsvcXXXXXX";
+        char *p = ::mkdtemp(tmpl);
+        EXPECT_NE(p, nullptr);
+        path = p ? p : "";
+    }
+    ~TempDir()
+    {
+        if (!path.empty()) {
+            std::error_code ec;
+            std::filesystem::remove_all(path, ec);
+        }
+    }
+};
+
+/** Small, fast, deterministic parameters for service tests. */
+BenchParams
+tinyParams(const std::string &cache_dir)
+{
+    BenchParams p;
+    p.width = 160;
+    p.height = 96;
+    p.frames = 1;
+    p.warmup = 0;
+    p.use_cache = !cache_dir.empty();
+    p.cache_dir = cache_dir;
+    p.jobs = 1;
+    p.heartbeat_ms = 0;
+    p.write_summary = false;
+    p.log_level = LogLevel::Quiet;
+    return p;
+}
+
+ServiceConfig
+serviceConfig(const std::string &socket_path)
+{
+    ServiceConfig sc;
+    sc.socket_path = socket_path;
+    sc.poll_ms = 50;
+    return sc;
+}
+
+ClientOptions
+clientOptions(const std::string &socket_path, const std::string &who)
+{
+    ClientOptions o;
+    o.socket_path = socket_path;
+    o.client_id = who;
+    o.retries = 3;
+    o.backoff_base_ms = 20;
+    o.backoff_cap_ms = 200;
+    o.poll_ms = 50;
+    return o;
+}
+
+bool
+waitForSocket(const std::string &path, int timeout_ms)
+{
+    for (int waited = 0; waited < timeout_ms; waited += 20) {
+        if (::access(path.c_str(), F_OK) == 0)
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+}
+
+TEST(ServiceProtocol, ConfigByNameResolvesEveryKnownName)
+{
+    GpuConfig gpu;
+    for (const std::string &name : knownConfigNames()) {
+        Result<SimConfig> c = configByName(name, gpu);
+        ASSERT_TRUE(c.ok()) << name;
+        EXPECT_EQ(c.value().name, name);
+    }
+    Result<SimConfig> bad = configByName("evrr", gpu);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(bad.status().message().find("accepted"), std::string::npos);
+}
+
+TEST(ServiceProtocol, WireFramingRoundTripDetectsDamage)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    Json msg = Json::object();
+    msg.set("type", "ping");
+    msg.set("n", 42);
+    ASSERT_TRUE(writeServiceMessage(fds[0], msg).ok());
+
+    MessageReader reader(fds[1]);
+    Result<Json> got = reader.next(1000);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value().at("type").asString(), "ping");
+    EXPECT_EQ(got.value().at("n").asU64(), 42u);
+
+    // A damaged line is DataLoss, and the stream keeps working after.
+    std::string garbage = "{\"schema\":999,\"oops\":true}\n";
+    ASSERT_EQ(::send(fds[0], garbage.data(), garbage.size(), 0),
+              static_cast<ssize_t>(garbage.size()));
+    Result<Json> bad = reader.next(1000);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::DataLoss);
+
+    ASSERT_TRUE(writeServiceMessage(fds[0], msg).ok());
+    Result<Json> again = reader.next(1000);
+    ASSERT_TRUE(again.ok());
+
+    // Idle timeout is DeadlineExceeded; peer close is Unavailable.
+    Result<Json> idle = reader.next(30);
+    ASSERT_FALSE(idle.ok());
+    EXPECT_EQ(idle.status().code(), ErrorCode::DeadlineExceeded);
+    ::close(fds[0]);
+    Result<Json> eof = reader.next(1000);
+    ASSERT_FALSE(eof.ok());
+    EXPECT_EQ(eof.status().code(), ErrorCode::Unavailable);
+    ::close(fds[1]);
+}
+
+TEST(RequestJournal, ReplayLastAdmissionWinsAndReopensDoneRequests)
+{
+    TempDir dir;
+    std::string path = dir.path + "/service.journal";
+
+    Json spec1 = Json::object();
+    spec1.set("client", "a");
+    Json spec2 = Json::object();
+    spec2.set("client", "b");
+
+    {
+        RequestJournal j;
+        ASSERT_TRUE(j.open(path).ok());
+        j.recordRequest("r1", spec1);
+        j.recordDone("r1");
+        // Resume-of-a-resume: the same id admitted again supersedes the
+        // earlier spec AND makes the request live again.
+        j.recordRequest("r1", spec2);
+        j.recordRequest("r2", spec1);
+    }
+    Result<RequestJournal::Replay> rep = RequestJournal::replay(path);
+    ASSERT_TRUE(rep.ok());
+    EXPECT_EQ(rep.value().specs.size(), 2u);
+    EXPECT_EQ(rep.value().specs.at("r1").at("client").asString(), "b");
+    EXPECT_EQ(rep.value().duplicates, 1u);
+    EXPECT_EQ(rep.value().done.count("r1"), 0u);
+    EXPECT_EQ(rep.value().damaged, 0u);
+
+    {
+        RequestJournal j;
+        ASSERT_TRUE(j.open(path).ok());
+        j.recordDone("r1");
+    }
+    rep = RequestJournal::replay(path);
+    ASSERT_TRUE(rep.ok());
+    EXPECT_EQ(rep.value().done.count("r1"), 1u);
+    EXPECT_EQ(rep.value().done.count("r2"), 0u);
+}
+
+TEST(SweepJournalReplay, DuplicateTerminalRecordsLastWinsAndCounted)
+{
+    TempDir dir;
+    std::string path = dir.path + "/sweep.journal";
+
+    RunResult r1;
+    r1.workload = "w";
+    r1.config = "baseline";
+    r1.frames = 1;
+    r1.width = 8;
+    r1.height = 8;
+    r1.image_crc = 111;
+    RunResult r2 = r1;
+    r2.image_crc = 222;
+
+    {
+        SweepJournal j;
+        ASSERT_TRUE(j.open(path).ok());
+        j.recordStart("k");
+        j.recordFinish("k", r1, 1);
+        // Resume-of-a-resume: a second terminal record for the same key.
+        j.recordStart("k");
+        j.recordFinish("k", r2, 2);
+    }
+    Result<SweepJournal::Replay> rep = SweepJournal::replay(path);
+    ASSERT_TRUE(rep.ok());
+    ASSERT_EQ(rep.value().outcomes.count("k"), 1u);
+    EXPECT_EQ(rep.value().outcomes.at("k").result.image_crc, 222u);
+    EXPECT_EQ(rep.value().duplicates, 1u);
+    EXPECT_EQ(rep.value().in_flight, 0u);
+}
+
+TEST(SweepJournalReplay, RunnerResumeSurfacesDuplicateCount)
+{
+    TempDir dir;
+    BenchParams params = tinyParams(dir.path);
+
+    // A real result to journal (also gives us the job key).
+    ExperimentRunner first(workloads::factory(), params);
+    SimConfig baseline = SimConfig::baseline(params.gpuConfig());
+    Result<RunResult> real = first.tryRun("ccs", baseline);
+    ASSERT_TRUE(real.ok());
+    std::string key = first.jobKey("ccs", baseline);
+
+    // Forge a journal with two terminal records for that key, as a
+    // resume-of-a-resume leaves behind.
+    std::string jpath = dir.path + "/sweep.journal";
+    std::filesystem::remove(jpath);
+    {
+        SweepJournal j;
+        ASSERT_TRUE(j.open(jpath).ok());
+        j.recordFinish(key, real.value(), 1);
+        j.recordFinish(key, real.value(), 1);
+    }
+
+    BenchParams resumed = params;
+    resumed.resume = true;
+    resumed.use_cache = true;
+    ExperimentRunner second(workloads::factory(), resumed);
+    Result<RunResult> replayed = second.tryRun("ccs", baseline);
+    ASSERT_TRUE(replayed.ok());
+
+    SweepStats stats = second.sweepStats();
+    EXPECT_EQ(stats.resumed, 1u);
+    EXPECT_EQ(stats.resume_duplicates, 1u);
+    EXPECT_EQ(stats.simulated, 0u); // served from the journal, not re-run
+    EXPECT_EQ(replayed.value().toJson(false).dump(0),
+              real.value().toJson(false).dump(0));
+}
+
+TEST(ServiceAdmission, QueueFullShedsWithStructuredStatus)
+{
+    TempDir dir;
+    std::string sock = dir.path + "/s.sock";
+    ServiceConfig sc = serviceConfig(sock);
+    sc.queue_max = 2; // any 3-run request is deterministically shed
+    SweepService service(workloads::factory(), tinyParams(dir.path), sc);
+    ASSERT_TRUE(service.start().ok());
+
+    ClientOptions o = clientOptions(sock, "greedy");
+    o.retries = 1; // shed is retryable; budget of one retry, then fail
+    ServiceClient client(o);
+    Result<SweepReply> r = client.runSweep(
+        "q1", {{"ccs", "baseline"}, {"ccs", "evr"}, {"ccs", "re"}});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::ResourceExhausted);
+    EXPECT_NE(r.status().message().find("EVRSIM_QUEUE_MAX"),
+              std::string::npos);
+
+    SweepService::Stats st = service.stats();
+    EXPECT_EQ(st.shed_queue_full, 2u); // initial attempt + one retry
+    EXPECT_EQ(st.requests_admitted, 0u);
+    EXPECT_EQ(service.runner().sweepStats().requested, 0u);
+
+    // A request that fits still goes through.
+    ServiceClient ok_client(clientOptions(sock, "modest"));
+    Result<SweepReply> ok = ok_client.runSweep("q2", {{"ccs", "baseline"}});
+    ASSERT_TRUE(ok.ok());
+    service.drain();
+}
+
+TEST(ServiceAdmission, PerClientQuotaEnforced)
+{
+    TempDir dir;
+    std::string sock = dir.path + "/s.sock";
+    ServiceConfig sc = serviceConfig(sock);
+    sc.queue_max = 100;
+    sc.client_quota = 1;
+    SweepService service(workloads::factory(), tinyParams(dir.path), sc);
+    ASSERT_TRUE(service.start().ok());
+
+    ClientOptions o = clientOptions(sock, "hog");
+    o.retries = 0;
+    ServiceClient client(o);
+    Result<SweepReply> r =
+        client.runSweep("u1", {{"ccs", "baseline"}, {"ccs", "evr"}});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::ResourceExhausted);
+    EXPECT_NE(r.status().message().find("EVRSIM_CLIENT_QUOTA"),
+              std::string::npos);
+    EXPECT_NE(r.status().message().find("hog"), std::string::npos);
+    EXPECT_EQ(service.stats().shed_quota, 1u);
+
+    // Within quota passes.
+    Result<SweepReply> ok = client.runSweep("u2", {{"ccs", "baseline"}});
+    ASSERT_TRUE(ok.ok());
+    service.drain();
+}
+
+TEST(ServiceSingleFlight, ConcurrentClientsSimulateEachConfigOnce)
+{
+    metricsReset();
+    TempDir dir;
+    std::string sock = dir.path + "/s.sock";
+    SweepService service(workloads::factory(), tinyParams(dir.path),
+                         serviceConfig(sock));
+    ASSERT_TRUE(service.start().ok());
+
+    const std::vector<ClientRunSpec> runs = {{"ccs", "baseline"},
+                                             {"ccs", "evr"}};
+    constexpr int kClients = 4;
+    std::vector<Result<SweepReply>> replies(
+        kClients, Result<SweepReply>(Status::unavailable("unset")));
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i)
+        threads.emplace_back([&, i] {
+            ServiceClient c(
+                clientOptions(sock, "c" + std::to_string(i)));
+            replies[i] =
+                c.runSweep("sf-" + std::to_string(i), runs);
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    for (int i = 0; i < kClients; ++i) {
+        ASSERT_TRUE(replies[i].ok()) << replies[i].status().message();
+        ASSERT_EQ(replies[i].value().runs.size(), runs.size());
+        for (std::size_t j = 0; j < runs.size(); ++j) {
+            const ClientRunOutcome &out = replies[i].value().runs[j];
+            ASSERT_TRUE(out.status.ok());
+            ASSERT_FALSE(out.result_json.empty());
+            // Byte-identical across every client.
+            EXPECT_EQ(out.result_json,
+                      replies[0].value().runs[j].result_json);
+        }
+    }
+
+    // The single-flight property: 8 requested runs, 2 unique configs,
+    // exactly 2 simulations — the rest memo hits (in-flight or done).
+    SweepStats stats = service.runner().sweepStats();
+    EXPECT_EQ(stats.requested, 8u);
+    EXPECT_EQ(stats.simulated, 2u);
+    EXPECT_EQ(stats.memo_hits + stats.disk_hits, 6u);
+
+    // And the service-level counters agree.
+    Result<double> reqs = metricsValue("evrsim_service_requests_total",
+                                       {{"kind", "sweep"}});
+    ASSERT_TRUE(reqs.ok());
+    EXPECT_EQ(reqs.value(), 4.0);
+    Result<double> conns =
+        metricsValue("evrsim_service_connections_total");
+    ASSERT_TRUE(conns.ok());
+    EXPECT_GE(conns.value(), 4.0);
+
+    SweepService::Stats st = service.stats();
+    EXPECT_EQ(st.requests_admitted, 4u);
+    EXPECT_EQ(st.requests_completed, 4u);
+    EXPECT_EQ(st.runs_completed, 8u);
+    EXPECT_EQ(st.runs_failed, 0u);
+    service.drain();
+}
+
+TEST(ServiceClientRetry, BacksOffUntilSlowStartingDaemonArrives)
+{
+    TempDir dir;
+    std::string sock = dir.path + "/s.sock";
+
+    ClientOptions o = clientOptions(sock, "early");
+    o.retries = 30;
+    o.backoff_base_ms = 25;
+    o.backoff_cap_ms = 100;
+    Result<SweepReply> reply = Status::unavailable("unset");
+    std::thread client_thread([&] {
+        ServiceClient c(o);
+        reply = c.runSweep("slow-1", {{"ccs", "baseline"}});
+    });
+
+    // The daemon arrives well after the client's first attempts.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    SweepService service(workloads::factory(), tinyParams(dir.path),
+                         serviceConfig(sock));
+    ASSERT_TRUE(service.start().ok());
+    client_thread.join();
+
+    ASSERT_TRUE(reply.ok()) << reply.status().message();
+    EXPECT_GT(reply.value().connect_attempts, 1);
+    service.drain();
+}
+
+TEST(ServiceDeadline, ExpiresWhenNoDaemonEverArrives)
+{
+    TempDir dir;
+    ClientOptions o = clientOptions(dir.path + "/nobody.sock", "d");
+    o.retries = 1000;
+    o.deadline_ms = 250;
+    o.backoff_base_ms = 20;
+    ServiceClient c(o);
+    auto t0 = std::chrono::steady_clock::now();
+    Result<SweepReply> r = c.runSweep("dl-1", {{"ccs", "baseline"}});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::DeadlineExceeded);
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count(),
+              5000);
+}
+
+TEST(ServiceCrashRecovery, KillNineRestartAttachIsByteIdentical)
+{
+#ifdef EVRSIM_SANITIZED
+    GTEST_SKIP() << "fork + threads in the daemon child is not "
+                    "supported under sanitizers";
+#endif
+    TempDir dir_crash, dir_ref;
+    std::string sock = dir_crash.path + "/s.sock";
+    const std::vector<ClientRunSpec> runs = {{"ccs", "baseline"},
+                                             {"ccs", "evr"}};
+
+    // Daemon in a child process, so SIGKILL is a true crash.
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::alarm(120); // backstop: never outlive the test
+        BenchParams p = tinyParams(dir_crash.path);
+        p.resume = true;
+        SweepService svc(workloads::factory(), p, serviceConfig(sock));
+        if (!svc.start().ok())
+            ::_exit(3);
+        for (;;)
+            ::pause();
+    }
+    ASSERT_TRUE(waitForSocket(sock, 10000));
+
+    // Submit, then SIGKILL the daemon at the first progress record —
+    // mid-sweep, after the request and at least one run are journaled.
+    ClientOptions o = clientOptions(sock, "victim");
+    o.retries = 0;
+    std::atomic<bool> killed{false};
+    ServiceClient c1(o);
+    Result<SweepReply> first = c1.runSweep("crash-1", runs, [&](const Json &) {
+        if (!killed.exchange(true))
+            ::kill(pid, SIGKILL);
+    });
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+    EXPECT_EQ(WTERMSIG(wstatus), SIGKILL);
+    // `first` usually failed mid-stream; on a fast box the reply may
+    // have fully landed before the signal — both are fine here.
+
+    // Restart "the daemon" on the same cache dir (in-process now) and
+    // reconnect by bare request id: the spec comes from the request
+    // journal, completed runs from the sweep journal/result cache.
+    BenchParams p2 = tinyParams(dir_crash.path);
+    p2.resume = true;
+    SweepService restarted(workloads::factory(), p2, serviceConfig(sock));
+    ASSERT_TRUE(restarted.start().ok());
+    EXPECT_GE(restarted.stats().resumed_requests, 1u);
+    ServiceClient c2(clientOptions(sock, "victim"));
+    Result<SweepReply> recovered = c2.attach("crash-1");
+    ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+    ASSERT_EQ(recovered.value().runs.size(), runs.size());
+    restarted.drain();
+
+    // Reference: the same request against a never-crashed daemon.
+    BenchParams pref = tinyParams(dir_ref.path);
+    std::string ref_sock = dir_ref.path + "/s.sock";
+    SweepService reference(workloads::factory(), pref,
+                           serviceConfig(ref_sock));
+    ASSERT_TRUE(reference.start().ok());
+    ServiceClient c3(clientOptions(ref_sock, "victim"));
+    Result<SweepReply> expected = c3.runSweep("crash-1", runs);
+    ASSERT_TRUE(expected.ok());
+    reference.drain();
+
+    ASSERT_EQ(expected.value().runs.size(), recovered.value().runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        ASSERT_TRUE(recovered.value().runs[i].status.ok());
+        ASSERT_FALSE(recovered.value().runs[i].result_json.empty());
+        EXPECT_EQ(recovered.value().runs[i].result_json,
+                  expected.value().runs[i].result_json)
+            << runs[i].workload << "/" << runs[i].config;
+    }
+}
+
+TEST(ServiceDrain, RefusesNewRequestsAndUnknownAttachIsNotFound)
+{
+    TempDir dir;
+    std::string sock = dir.path + "/s.sock";
+    SweepService service(workloads::factory(), tinyParams(dir.path),
+                         serviceConfig(sock));
+    ASSERT_TRUE(service.start().ok());
+
+    ClientOptions o = clientOptions(sock, "late");
+    o.retries = 0;
+    ServiceClient client(o);
+    Result<SweepReply> missing = client.attach("never-submitted");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), ErrorCode::NotFound);
+
+    service.drain();
+    Result<SweepReply> r = client.runSweep("late-1", {{"ccs", "baseline"}});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::Unavailable);
+}
+
+TEST(ServiceSocket, LiveSocketRefusedStaleSocketReplaced)
+{
+    TempDir dir;
+    std::string sock = dir.path + "/s.sock";
+    BenchParams params = tinyParams(dir.path);
+
+    SweepService owner(workloads::factory(), params, serviceConfig(sock));
+    ASSERT_TRUE(owner.start().ok());
+
+    SweepService rival(workloads::factory(), params, serviceConfig(sock));
+    Status second = rival.start();
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(second.code(), ErrorCode::Unavailable);
+    EXPECT_NE(second.message().find("another daemon"), std::string::npos);
+
+    owner.drain(); // unlinks the socket
+
+    // A stale socket file (owner crashed without unlinking) is replaced.
+    {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        struct sockaddr_un addr = {};
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      sock.c_str());
+        ASSERT_EQ(::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        ::close(fd); // not listening: a connect probe now fails
+    }
+    SweepService successor(workloads::factory(), params,
+                           serviceConfig(sock));
+    ASSERT_TRUE(successor.start().ok());
+    ServiceClient probe(clientOptions(sock, "probe"));
+    ASSERT_TRUE(probe.ping().ok());
+    successor.drain();
+}
+
+TEST(CooperativeShutdown, ShedsPendingJobsWithCancelledAndExitCode)
+{
+    resetShutdownForTest();
+    EXPECT_FALSE(shutdownRequested());
+    EXPECT_EQ(shutdownExitCode(0), 0);
+
+    requestShutdown(SIGTERM);
+    EXPECT_TRUE(shutdownRequested());
+    EXPECT_EQ(shutdownSignal(), SIGTERM);
+    EXPECT_EQ(shutdownExitCode(0), 143);
+    EXPECT_EQ(shutdownExitCode(1), 143);
+
+    // Jobs not yet started are shed with Cancelled; the batch reports
+    // them as failures and the stats count them.
+    BenchParams p = tinyParams("");
+    ExperimentRunner runner(workloads::factory(), p);
+    SimConfig baseline = SimConfig::baseline(p.gpuConfig());
+    BatchOutcome out = runner.runAllChecked({{"ccs", baseline}});
+    ASSERT_EQ(out.failures.size(), 1u);
+    EXPECT_EQ(out.failures[0].status.code(), ErrorCode::Cancelled);
+    EXPECT_EQ(runner.sweepStats().cancelled, 1u);
+    EXPECT_EQ(runner.sweepStats().simulated, 0u);
+
+    resetShutdownForTest();
+    EXPECT_EQ(shutdownExitCode(0), 0);
+
+    // SIGINT maps to 130.
+    requestShutdown(SIGINT);
+    EXPECT_EQ(shutdownExitCode(0), 130);
+    resetShutdownForTest();
+}
+
+TEST(ServiceKnobs, TypoedKnobFailsNamingTheVariable)
+{
+    BenchParams params = tinyParams("/tmp/x");
+
+    ::setenv("EVRSIM_QUEUE_MAX", "abc", 1);
+    Result<ServiceConfig> bad = serviceConfigFromEnvChecked(params);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.status().message().find("EVRSIM_QUEUE_MAX"),
+              std::string::npos);
+    ::unsetenv("EVRSIM_QUEUE_MAX");
+
+    ::setenv("EVRSIM_CLIENT_QUOTA", "0", 1); // below the minimum of 1
+    bad = serviceConfigFromEnvChecked(params);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.status().message().find("EVRSIM_CLIENT_QUOTA"),
+              std::string::npos);
+    ::unsetenv("EVRSIM_CLIENT_QUOTA");
+
+    ::setenv("EVRSIM_QUEUE_MAX", "7", 1);
+    ::setenv("EVRSIM_CLIENT_QUOTA", "3", 1);
+    ::setenv("EVRSIM_SOCKET", "/tmp/custom.sock", 1);
+    Result<ServiceConfig> good = serviceConfigFromEnvChecked(params);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value().queue_max, 7);
+    EXPECT_EQ(good.value().client_quota, 3);
+    EXPECT_EQ(good.value().socket_path, "/tmp/custom.sock");
+    ::unsetenv("EVRSIM_QUEUE_MAX");
+    ::unsetenv("EVRSIM_CLIENT_QUOTA");
+    ::unsetenv("EVRSIM_SOCKET");
+
+    // Defaults: socket lands next to the cache.
+    Result<ServiceConfig> defaults = serviceConfigFromEnvChecked(params);
+    ASSERT_TRUE(defaults.ok());
+    EXPECT_EQ(defaults.value().socket_path, "/tmp/x/evrsim.sock");
+    EXPECT_EQ(defaults.value().queue_max, 256);
+    EXPECT_EQ(defaults.value().client_quota, 64);
+}
+
+} // namespace
+} // namespace evrsim
