@@ -16,7 +16,12 @@
  *  3. daemon kill — a forked daemon is SIGKILLed mid-sweep, restarted
  *     on the same cache directory, and a client attaches by request
  *     id: the recovered reply is byte-identical to the uninterrupted
- *     one.
+ *     one;
+ *  4. sharded fleet — the daemon runs with a two-shard worker fleet
+ *     (this binary doubles as the shard program via --evrsim-shard),
+ *     the full sweep is served through the shards, every reply is
+ *     byte-identical to the single-process golden run, and a quiet
+ *     fleet touches none of the failure machinery.
  *
  * Flags: --clients=N (default 64), --requests=M per client in the cold
  * phase (default 2). The ctest entry runs a scaled-down configuration;
@@ -39,8 +44,10 @@
 
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "driver/supervisor.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
+#include "service/fleet.hpp"
 #include "workloads/registry.hpp"
 
 namespace {
@@ -117,6 +124,14 @@ runsTotal(const char *outcome)
 int
 main(int argc, char **argv)
 {
+    // When the fleet phase re-execs this binary as a worker shard, run
+    // the shard loop instead of the bench (mirrors evrsim-daemon).
+    std::string shard_params;
+    int shard_index = shardFlagFromArgv(argc, argv, shard_params);
+    if (shard_index >= 0)
+        runShardAndExit(shard_index, workloads::factory(), BenchParams{},
+                        shard_params);
+
     int clients = 64;
     int requests = 2;
     for (int i = 1; i < argc; ++i) {
@@ -316,6 +331,69 @@ main(int argc, char **argv)
         restarted.drain();
         std::error_code ec;
         std::filesystem::remove_all(cache2, ec);
+    }
+#endif
+
+    // --- Phase 4: sharded worker fleet, quiet run ---
+#ifdef EVRSIM_SANITIZED
+    std::printf("fleet: skipped under sanitizers (fork + threads)\n");
+#else
+    {
+        char tmpl3[] = "/tmp/evrloadXXXXXX";
+        char *dir3 = ::mkdtemp(tmpl3);
+        if (!dir3)
+            fatal("mkdtemp: %s", std::strerror(errno));
+        std::string cache3 = dir3;
+        std::string sock3 = cache3 + "/s.sock";
+
+        ServiceConfig sc = loadServiceConfig(sock3);
+        sc.fleet.shards = 2;
+        sc.fleet.shard_argv = {selfExecutablePath()};
+        if (sc.fleet.shard_argv[0].empty())
+            fatal("fleet: cannot resolve own executable path");
+
+        SweepService fleet_svc(workloads::factory(), loadParams(cache3),
+                               sc);
+        if (Status s = fleet_svc.start(); !s.ok())
+            fatal("fleet: %s", s.message().c_str());
+
+        auto t0 = std::chrono::steady_clock::now();
+        ServiceClient cl(loadClient(sock3, "fleet"));
+        Result<SweepReply> reply = cl.runSweep("fleet-all", pairs);
+        double fleet_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        check(reply.ok() && reply.value().runs.size() == pairs.size(),
+              "fleet: sharded sweep served");
+        if (reply.ok() && reply.value().runs.size() == pairs.size()) {
+            bool identical = true;
+            for (const ClientRunOutcome &run : reply.value().runs)
+                identical =
+                    identical && run.status.ok() &&
+                    run.result_json ==
+                        golden[run.workload + "/" + run.config];
+            check(identical, "fleet: every reply byte-identical to the "
+                             "single-process golden run");
+        }
+        const ShardFleet *fl = fleet_svc.fleet();
+        check(fl != nullptr, "fleet: daemon actually ran sharded");
+        if (fl) {
+            ShardFleet::Stats st = fl->stats();
+            std::printf("fleet: %zu run(s) over %d shard(s) in %.2fs "
+                        "(%.0f run/s), dispatched=%llu completed=%llu\n",
+                        pairs.size(), sc.fleet.shards, fleet_s,
+                        pairs.size() / fleet_s,
+                        static_cast<unsigned long long>(st.dispatched),
+                        static_cast<unsigned long long>(st.completed));
+            check(st.completed >= pairs.size(),
+                  "fleet: every run completed through the fleet");
+            check(st.restarts == 0 && st.breaker_opens == 0 &&
+                      st.degraded == 0 && st.wire_errors == 0,
+                  "fleet: quiet run touched no failure machinery");
+        }
+        fleet_svc.drain();
+        std::error_code ec3;
+        std::filesystem::remove_all(cache3, ec3);
     }
 #endif
 

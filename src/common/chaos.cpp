@@ -1,0 +1,169 @@
+/**
+ * @file
+ * ChaosInjector implementation.
+ */
+#include "common/chaos.hpp"
+
+#include <cstdlib>
+
+#include "common/env.hpp"
+#include "common/fault_injector.hpp" // mix64
+#include "common/log.hpp"
+
+namespace evrsim {
+
+namespace {
+
+Result<ChaosSite>
+siteFromName(const std::string &name)
+{
+    for (int i = 0; i < kNumChaosSites; ++i) {
+        ChaosSite site = static_cast<ChaosSite>(i);
+        if (name == chaosSiteName(site))
+            return site;
+    }
+    return Status::invalidArgument(
+        "unknown chaos site '" + name +
+        "' (expected worker-kill9, worker-stall, wire-corrupt, "
+        "wire-drop or wire-dup)");
+}
+
+/** 53-bit mantissa draw in [0, 1) from one mixed word. */
+double
+unitDraw(std::uint64_t mixed)
+{
+    return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+const char *
+chaosSiteName(ChaosSite site)
+{
+    switch (site) {
+      case ChaosSite::WorkerKill9:
+        return "worker-kill9";
+      case ChaosSite::WorkerStall:
+        return "worker-stall";
+      case ChaosSite::WireCorrupt:
+        return "wire-corrupt";
+      case ChaosSite::WireDrop:
+        return "wire-drop";
+      case ChaosSite::WireDup:
+        return "wire-dup";
+    }
+    return "unknown";
+}
+
+Result<ChaosPlan>
+ChaosInjector::parsePlan(const std::string &text)
+{
+    ChaosPlan plan;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        std::string entry = text.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        std::size_t c1 = entry.find(':');
+        std::size_t c2 =
+            c1 == std::string::npos ? std::string::npos
+                                    : entry.find(':', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos)
+            return Status::invalidArgument(
+                "malformed chaos spec '" + entry +
+                "' (expected <site>:<rate>:<seed>)");
+
+        Result<ChaosSite> site = siteFromName(entry.substr(0, c1));
+        if (!site.ok())
+            return site.status();
+
+        Result<double> rate =
+            parseDoubleStrict(entry.substr(c1 + 1, c2 - c1 - 1));
+        if (!rate.ok() || rate.value() < 0.0 || rate.value() > 1.0)
+            return Status::invalidArgument(
+                "chaos rate in '" + entry +
+                "' must be a number in [0, 1]");
+
+        Result<long long> seed = parseIntStrict(entry.substr(c2 + 1));
+        if (!seed.ok() || seed.value() < 0)
+            return Status::invalidArgument(
+                "chaos seed in '" + entry +
+                "' must be a non-negative integer");
+
+        ChaosSpec &spec = plan[static_cast<int>(site.value())];
+        spec.enabled = true;
+        spec.rate = rate.value();
+        spec.seed = static_cast<std::uint64_t>(seed.value());
+
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return plan;
+}
+
+ChaosPlan
+ChaosInjector::planFromEnv()
+{
+    const char *raw = std::getenv("EVRSIM_CHAOS");
+    if (!raw)
+        return {};
+    Result<ChaosPlan> plan = parsePlan(raw);
+    if (!plan.ok())
+        fatal("EVRSIM_CHAOS: %s", plan.status().message().c_str());
+    return plan.value();
+}
+
+bool
+ChaosInjector::shouldFire(ChaosSite site)
+{
+    const int i = static_cast<int>(site);
+    const ChaosSpec &spec = plan_[i];
+    if (!spec.enabled)
+        return false;
+    std::uint64_t n = draws_[i].fetch_add(1, std::memory_order_relaxed);
+    // [0, 1) draw compared with < rate, so rate 0 never fires and
+    // rate 1 always does.
+    double u = unitDraw(mix64(spec.seed ^ mix64(n)));
+    if (u >= spec.rate)
+        return false;
+    fired_[i].fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+std::uint64_t
+ChaosInjector::fired(ChaosSite site) const
+{
+    return fired_[static_cast<int>(site)].load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+ChaosInjector::draws(ChaosSite site) const
+{
+    return draws_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+std::string
+applyWireChaos(ChaosInjector &chaos, std::string line)
+{
+    if (chaos.shouldFire(ChaosSite::WireCorrupt) && line.size() > 1) {
+        // Flip one byte that is not the terminating newline. The
+        // position rides the corrupt stream's fired counter so
+        // repeated corruption walks the line deterministically.
+        const ChaosSpec &spec = chaos.spec(ChaosSite::WireCorrupt);
+        std::uint64_t n = chaos.fired(ChaosSite::WireCorrupt);
+        std::size_t idx = static_cast<std::size_t>(
+            mix64(spec.seed ^ (n * 0x632be59bd9b4e019ull)) %
+            (line.size() - 1));
+        line[idx] = static_cast<char>(line[idx] ^ 0x20);
+    }
+    if (chaos.shouldFire(ChaosSite::WireDrop))
+        return {};
+    if (chaos.shouldFire(ChaosSite::WireDup))
+        return line + line;
+    return line;
+}
+
+} // namespace evrsim

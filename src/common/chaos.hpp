@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic chaos orchestration for the sharded worker fleet.
+ *
+ * The PR 2 fault injector (fault_injector.hpp) perturbs *logical*
+ * operations — a cache read reports DataLoss, a job attempt reports
+ * Unavailable. Chaos perturbs the *process and wire* layer underneath
+ * the fleet: a worker shard dies on SIGKILL mid-run, stalls past its
+ * ping deadline, or damages the enveloped bytes it writes back to the
+ * daemon. That is the failure vocabulary the ShardFleet supervisor
+ * (service/fleet.hpp) must absorb, and chaos makes each failure
+ * reproducible enough to assert on from ctest.
+ *
+ * Chaos is enabled through EVRSIM_CHAOS, the same comma-separated
+ * `<site>:<rate>:<seed>` grammar as EVRSIM_FAULT:
+ *
+ *   EVRSIM_CHAOS=worker-kill9:0.05:11       5% of runs raise SIGKILL
+ *   EVRSIM_CHAOS=wire-corrupt:1:3,wire-dup:0.2:4
+ *
+ * Sites (all evaluated inside the shard process, which inherits the
+ * daemon's environment):
+ *   worker-kill9   the shard raises SIGKILL at the start of a run —
+ *                  the daemon sees EOF on the pipe with the run
+ *                  in flight (breaker failure, failover, restart)
+ *   worker-stall   the shard sleeps kChaosStallMs before handling a
+ *                  message, so the parent's ping deadline fires
+ *   wire-corrupt   one byte of an outgoing framed line is flipped
+ *                  (the envelope CRC or parse catches it: DataLoss)
+ *   wire-drop      an outgoing framed line is silently discarded
+ *                  (the daemon's run deadline catches it)
+ *   wire-dup       an outgoing framed line is written twice (the
+ *                  daemon must tolerate stray responses; the client
+ *                  must reject non-monotone progress)
+ *
+ * Decisions are a pure function of (site seed, per-site draw counter)
+ * via the shared mix64 primitive, exactly like the fault injector: the
+ * first chaos event of a quiet-start sweep is fully deterministic, and
+ * a restarted shard starts a fresh counter stream (so a kill decision
+ * does not chase a job across restarts the way a keyed draw would —
+ * that would make the injected failure permanent instead of transient).
+ * When EVRSIM_CHAOS is unset every site is one predictable branch.
+ */
+#ifndef EVRSIM_COMMON_CHAOS_HPP
+#define EVRSIM_COMMON_CHAOS_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace evrsim {
+
+/** Process/wire-level chaos sites (EVRSIM_CHAOS names). */
+enum class ChaosSite {
+    WorkerKill9 = 0,
+    WorkerStall = 1,
+    WireCorrupt = 2,
+    WireDrop = 3,
+    WireDup = 4,
+};
+constexpr int kNumChaosSites = 5;
+
+/**
+ * How long a worker-stall sleeps: comfortably past any test ping
+ * deadline, short enough that a soak with a few stalls stays fast
+ * (the parent SIGKILLs the stalled shard at breaker-open anyway).
+ */
+constexpr int kChaosStallMs = 2500;
+
+/** Human name used in EVRSIM_CHAOS specs ("worker-kill9"). */
+const char *chaosSiteName(ChaosSite site);
+
+/** Per-site chaos configuration. */
+struct ChaosSpec {
+    bool enabled = false;
+    double rate = 0.0;      ///< probability of firing per draw, [0, 1]
+    std::uint64_t seed = 0; ///< stream seed for deterministic draws
+};
+
+using ChaosPlan = std::array<ChaosSpec, kNumChaosSites>;
+
+/** Seeded per-site chaos source. Thread-safe. */
+class ChaosInjector
+{
+  public:
+    /** All sites disabled. */
+    ChaosInjector() = default;
+
+    explicit ChaosInjector(const ChaosPlan &plan) : plan_(plan) {}
+
+    /** Parse an EVRSIM_CHAOS spec string ("site:rate:seed[,...]"). */
+    static Result<ChaosPlan> parsePlan(const std::string &text);
+
+    /**
+     * Plan from the EVRSIM_CHAOS environment variable; all-disabled
+     * when unset, fatal (user error) when malformed.
+     */
+    static ChaosPlan planFromEnv();
+
+    /** Whether any site can fire. */
+    bool
+    enabled() const
+    {
+        for (const ChaosSpec &s : plan_)
+            if (s.enabled)
+                return true;
+        return false;
+    }
+
+    /**
+     * Draw the next decision for @p site: true = inject the event.
+     * Deterministic in the number of prior draws for the site.
+     */
+    bool shouldFire(ChaosSite site);
+
+    /** Per-site configuration (tests). */
+    const ChaosSpec &
+    spec(ChaosSite site) const
+    {
+        return plan_[static_cast<int>(site)];
+    }
+
+    /** Events fired at @p site so far. */
+    std::uint64_t fired(ChaosSite site) const;
+
+    /** Decisions drawn at @p site so far. */
+    std::uint64_t draws(ChaosSite site) const;
+
+  private:
+    ChaosPlan plan_;
+    std::array<std::atomic<std::uint64_t>, kNumChaosSites> draws_{};
+    std::array<std::atomic<std::uint64_t>, kNumChaosSites> fired_{};
+};
+
+/**
+ * Apply the wire chaos sites to one outgoing newline-terminated framed
+ * line, drawing (in order) wire-corrupt, wire-drop, wire-dup from
+ * @p chaos. Returns the bytes to actually write:
+ *  - unchanged when nothing fires,
+ *  - with one non-newline byte XOR-flipped (wire-corrupt; the flip
+ *    position is a deterministic function of the corrupt stream),
+ *  - empty (wire-drop),
+ *  - the line twice (wire-dup).
+ * Corrupt composes with dup (both copies damaged); drop wins over dup.
+ */
+std::string applyWireChaos(ChaosInjector &chaos, std::string line);
+
+} // namespace evrsim
+
+#endif // EVRSIM_COMMON_CHAOS_HPP

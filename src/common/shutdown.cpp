@@ -11,7 +11,10 @@
 #include <signal.h>
 #include <string.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 namespace evrsim {
 
@@ -86,6 +89,20 @@ void
 resetShutdownForTest()
 {
     g_shutdown_signal.store(0);
+}
+
+bool
+interruptibleSleepMs(int ms)
+{
+    int left = ms;
+    while (left > 0) {
+        if (shutdownRequested())
+            return false;
+        int slice = std::min(left, 20);
+        std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+        left -= slice;
+    }
+    return !shutdownRequested();
 }
 
 } // namespace evrsim

@@ -54,6 +54,14 @@ void requestShutdown(int signal);
 /** Clear the flag (tests only: isolates cases from each other). */
 void resetShutdownForTest();
 
+/**
+ * Sleep @p ms, waking early if a cooperative shutdown arrives (polled
+ * in <= 20 ms slices). True when the full nap completed, false when it
+ * was interrupted — retry backoffs use this so a Ctrl-C during a long
+ * backoff ends the attempt immediately instead of after the nap.
+ */
+bool interruptibleSleepMs(int ms);
+
 } // namespace evrsim
 
 #endif // EVRSIM_COMMON_SHUTDOWN_HPP

@@ -799,7 +799,13 @@ ExperimentRunner::computeUncached(const std::string &alias,
         warn("run %s/%s attempt %d/%d failed (%s); retrying in %d ms",
              alias.c_str(), config.name.c_str(), attempt, kJobMaxAttempts,
              outcome.status.toString().c_str(), backoff_ms);
-        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        if (!interruptibleSleepMs(backoff_ms)) {
+            outcome.status = Status::cancelled(
+                "retry abandoned: shutdown requested during backoff "
+                "(last failure: " +
+                outcome.status.message() + ")");
+            break;
+        }
     }
     // Every attempt was a hard worker death (crash, deadline SIGKILL,
     // OOM): the job is crash-quarantined — surfaced in the failure

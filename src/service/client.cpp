@@ -14,6 +14,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/fault_injector.hpp" // mix64, fnv1a64
 #include "driver/envelope.hpp"
 #include "service/service_protocol.hpp"
 
@@ -171,7 +172,15 @@ ServiceClient::execute(const std::string &id,
 
     SweepReply reply;
     int attempts_left = std::max(opts_.retries, 0);
-    int backoff = std::max(opts_.backoff_base_ms, 1);
+    const int base = std::max(opts_.backoff_base_ms, 1);
+    const int cap = std::max(opts_.backoff_cap_ms, base);
+    int backoff = base;
+    // Decorrelated jitter (each nap drawn from [base, 3 * previous)):
+    // concurrent clients kicked off the same daemon spread their
+    // retries instead of reconnecting in lockstep. The stream is
+    // seeded from the request id, so a given request's retry schedule
+    // is reproducible.
+    std::uint64_t jitter = mix64(fnv1a64(id));
     int sends = 0;
     Status last = Status::unavailable("no attempt made");
     bool first = true;
@@ -186,7 +195,14 @@ ServiceClient::execute(const std::string &id,
             if (nap > 0)
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(nap));
-            backoff = std::min(backoff * 2, opts_.backoff_cap_ms);
+            jitter = mix64(jitter);
+            double u = static_cast<double>(jitter >> 11) * 0x1.0p-53;
+            int span = std::min(cap, backoff * 3);
+            backoff = span <= base
+                          ? base
+                          : base + static_cast<int>(
+                                       u * static_cast<double>(span -
+                                                               base));
         }
         first = false;
         if (remainingMs(has_deadline, deadline) <= 0)
@@ -227,6 +243,7 @@ ServiceClient::execute(const std::string &id,
 
         MessageReader reader(fd.fd);
         bool resubmit = false;
+        std::uint64_t progress_seen = 0;
         for (;;) {
             int left = remainingMs(has_deadline, deadline);
             if (left <= 0)
@@ -249,6 +266,26 @@ ServiceClient::execute(const std::string &id,
             if (!type || type->type() != Json::Type::String)
                 continue;
             if (type->asString() == "progress") {
+                // The daemon's completed counter is strictly
+                // monotone, so a duplicated or replayed record is
+                // stream damage (e.g. a duplicated wire line):
+                // resubmit under the same id rather than forward a
+                // lying progress sequence.
+                const Json *done = msg.value().find("completed");
+                if (done && done->type() == Json::Type::Number) {
+                    std::uint64_t completed = done->asU64();
+                    if (completed <= progress_seen) {
+                        last = Status::dataLoss(
+                            "request '" + id +
+                            "': non-monotone progress record "
+                            "(completed " +
+                            std::to_string(completed) + " after " +
+                            std::to_string(progress_seen) + ")");
+                        resubmit = true;
+                        break;
+                    }
+                    progress_seen = completed;
+                }
                 if (progress)
                     progress(msg.value());
                 continue;

@@ -5,7 +5,7 @@
  * ServiceClient speaks the service_protocol.hpp wire format and owns
  * the whole client-side reliability policy so callers don't have to:
  *
- *  - connect with bounded retries and capped exponential backoff (a
+ *  - connect with bounded retries and capped, jittered backoff (a
  *    daemon that is still starting, restarting after a crash, or
  *    shedding load with ResourceExhausted is retried; an invalid
  *    request is not);
@@ -43,7 +43,10 @@ struct ClientOptions {
     /** Retry attempts after the first (connects, shed requests, lost
      *  connections all draw from the same budget). */
     int retries = 5;
-    /** First backoff in ms, doubling per retry up to backoff_cap_ms. */
+    /** First backoff in ms. Later naps use decorrelated jitter —
+     *  uniform in [base, min(cap, 3 * previous)), drawn from a stream
+     *  seeded by the request id — so retry storms de-synchronize
+     *  deterministically. */
     int backoff_base_ms = 50;
     int backoff_cap_ms = 2000;
     /** Read poll granularity in ms (also the deadline check cadence). */

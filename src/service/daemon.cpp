@@ -77,15 +77,52 @@ serviceConfigFromEnvChecked(const BenchParams &params)
         return s;
     if (present)
         cfg.client_quota = static_cast<int>(v);
+    if (Status s = readIntKnob("EVRSIM_SHARDS", 0, 1024, v, present);
+        !s.ok())
+        return s;
+    if (present)
+        cfg.fleet.shards = static_cast<int>(v);
     return cfg;
 }
+
+namespace {
+
+/** With a fleet on, every run must leave the daemon process: runs are
+ *  forced onto the isolate path so the runner calls the installed
+ *  launcher (the fleet). The cache key ignores isolate mode, so cached
+ *  results stay valid either way. */
+BenchParams
+fleetAdjustedParams(BenchParams params, const ServiceConfig &config)
+{
+    if (fleetEnabled(config.fleet))
+        params.isolate = IsolateMode::Process;
+    return params;
+}
+
+} // namespace
 
 SweepService::SweepService(WorkloadFactory factory,
                            const BenchParams &params,
                            const ServiceConfig &config)
-    : factory_(std::move(factory)), params_(params), config_(config),
+    : factory_(std::move(factory)),
+      params_(fleetAdjustedParams(params, config)), config_(config),
       runner_(factory_, params_), pool_(params_.resolvedJobs())
 {
+    if (fleetEnabled(config_.fleet)) {
+        if (config_.fleet.shard_params_json.empty())
+            config_.fleet.shard_params_json = shardParamsJson(params_);
+        fleet_ = std::make_unique<ShardFleet>(
+            config_.fleet,
+            [this](const std::string &alias, const SimConfig &config) {
+                return runner_.trySimulate(alias, config);
+            });
+        runner_.setWorkerLauncher(
+            [this](const std::string &alias, const SimConfig &config,
+                   const std::string &key) {
+                return fleet_->execute(alias, config, key);
+            });
+    }
+
     std::string jpath = requestJournalPath();
     if (jpath.empty())
         return;
@@ -178,12 +215,20 @@ SweepService::start()
         return s;
     }
     listen_fd_ = fd;
+    if (fleet_) {
+        if (Status s = fleet_->start(); !s.ok()) {
+            // Degradation, not failure: every run takes the in-daemon
+            // fallback until the monitor heals the fleet.
+            warn("service: fleet start: %s", s.message().c_str());
+        }
+    }
     stop_accept_.store(false);
     accept_thread_ = std::thread([this] { acceptLoop(); });
     inform("service: listening on %s (queue_max=%d client_quota=%d "
-           "jobs=%d)",
+           "jobs=%d shards=%d)",
            config_.socket_path.c_str(), config_.queue_max,
-           config_.client_quota, params_.resolvedJobs());
+           config_.client_quota, params_.resolvedJobs(),
+           fleet_ ? config_.fleet.shards : 0);
     return {};
 }
 
@@ -655,6 +700,10 @@ SweepService::drain()
         std::unique_lock<std::mutex> lk(admit_mu_);
         drained_cv_.wait(lk, [&] { return active_requests_ == 0; });
     }
+
+    // No runs are in flight anymore: retire the shard fleet.
+    if (fleet_)
+        fleet_->stop();
 
     // Wake idle readers (they observe draining_ and exit) and join.
     {

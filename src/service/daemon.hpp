@@ -50,6 +50,7 @@
 
 #include "common/job_pool.hpp"
 #include "driver/experiment.hpp"
+#include "service/fleet.hpp"
 #include "service/request_journal.hpp"
 #include "service/service_protocol.hpp"
 
@@ -69,6 +70,10 @@ struct ServiceConfig {
     /** Internal poll cadence in ms: accept loop wakeups, idle
      *  connection-read timeouts, drain checks. */
     int poll_ms = 100;
+    /** Worker-shard fleet (EVRSIM_SHARDS resolves fleet.shards; the
+     *  daemon binary fills fleet.shard_argv with its own executable).
+     *  fleet.shards == 0 keeps the PR 7 in-daemon execution model. */
+    FleetConfig fleet;
 };
 
 /**
@@ -77,6 +82,9 @@ struct ServiceConfig {
  *   EVRSIM_SOCKET=path        socket path (default <cache_dir>/evrsim.sock)
  *   EVRSIM_QUEUE_MAX=n        admission bound, runs (default 256)
  *   EVRSIM_CLIENT_QUOTA=n     per-client bound, runs (default 64)
+ *   EVRSIM_SHARDS=n           worker-shard fleet width; 0 disables the
+ *                             fleet (daemon binary default: cores/4,
+ *                             min 1)
  */
 Result<ServiceConfig>
 serviceConfigFromEnvChecked(const BenchParams &params);
@@ -144,6 +152,9 @@ class SweepService
     /** The shared runner (tests assert on sweepStats/single-flight). */
     ExperimentRunner &runner() { return runner_; }
 
+    /** The worker-shard fleet; null when EVRSIM_SHARDS=0. */
+    ShardFleet *fleet() { return fleet_.get(); }
+
     const ServiceConfig &config() const { return config_; }
 
     /** Where the request journal lives; empty = not journaling. */
@@ -192,6 +203,7 @@ class SweepService
     ExperimentRunner runner_;
     JobPool pool_;
     RequestJournal journal_;
+    std::unique_ptr<ShardFleet> fleet_;
 
     int listen_fd_ = -1;
     bool bound_ = false;

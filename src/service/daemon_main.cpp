@@ -17,15 +17,25 @@
  * `--evrsim-worker-run=<workload>/<config>` flag, and the re-execed
  * copy simulates exactly that job in-process, frames the result onto
  * the response pipe, and exits.
+ *
+ * It likewise doubles as a fleet shard (service/fleet.hpp): with
+ * EVRSIM_SHARDS > 0 (default cores/4, min 1) the daemon execs itself
+ * with `--evrsim-shard=<i>` and the re-execed copy serves runs from
+ * stdin until EOF. The fleet replaces the per-run worker launcher —
+ * shards are persistent, so the fork/exec cost is paid per shard
+ * lifetime instead of per run.
  */
+#include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "common/crash_handler.hpp"
 #include "common/log.hpp"
 #include "common/shutdown.hpp"
 #include "driver/supervisor.hpp"
 #include "service/daemon.hpp"
+#include "service/fleet.hpp"
 #include "workloads/registry.hpp"
 
 namespace {
@@ -110,6 +120,8 @@ int
 main(int argc, char **argv)
 {
     std::string worker_job = workerRunArg(argc, argv);
+    std::string shard_params;
+    int shard_index = shardFlagFromArgv(argc, argv, shard_params);
 
     Result<BenchParams> pr = benchParamsFromEnvChecked();
     if (!pr.ok())
@@ -118,6 +130,9 @@ main(int argc, char **argv)
     setLogLevel(params.log_level);
     installCrashHandler();
 
+    if (shard_index >= 0)
+        runShardAndExit(shard_index, workloads::factory(), params,
+                        shard_params);
     if (!worker_job.empty())
         runWorkerAndExit(worker_job, params);
 
@@ -129,11 +144,31 @@ main(int argc, char **argv)
     Result<ServiceConfig> sc = serviceConfigFromEnvChecked(params);
     if (!sc.ok())
         fatal("%s", sc.status().message().c_str());
+    ServiceConfig scfg = sc.value();
+
+    // Fleet width defaults to cores/4 (min 1) when EVRSIM_SHARDS is
+    // absent; EVRSIM_SHARDS=0 explicitly keeps in-daemon execution.
+    if (std::getenv("EVRSIM_SHARDS") == nullptr) {
+        unsigned cores = std::thread::hardware_concurrency();
+        scfg.fleet.shards = std::max(1u, cores / 4u);
+    }
+    if (scfg.fleet.shards > 0) {
+        std::string self = selfExecutablePath();
+        if (self.empty()) {
+            warn("fleet: cannot resolve /proc/self/exe; running without "
+                 "worker shards");
+            scfg.fleet.shards = 0;
+        } else {
+            scfg.fleet.shard_argv = {self};
+        }
+    }
 
     installShutdownHandler();
 
-    SweepService service(workloads::factory(), params, sc.value());
-    if (params.isolate == IsolateMode::Process)
+    SweepService service(workloads::factory(), params, scfg);
+    // The fleet is the launcher when it is on; EVRSIM_ISOLATE=process
+    // without a fleet keeps the PR 7 per-run supervised worker.
+    if (!service.fleet() && params.isolate == IsolateMode::Process)
         installProcessLauncher(service, params);
 
     if (Status s = service.start(); !s.ok())

@@ -1,0 +1,1026 @@
+/**
+ * @file
+ * ShardFleet implementation: control-plane supervision on one side,
+ * the shard process's serve loop on the other.
+ */
+#include "service/fleet.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+
+#include "common/chaos.hpp"
+#include "common/fault_injector.hpp" // mix64, fnv1a64
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "driver/envelope.hpp"
+#include "driver/supervisor.hpp" // kWorkerResponseFd
+#include "service/service_protocol.hpp"
+
+namespace evrsim {
+
+// The shard pipe rides the exact service line framing (MessageReader
+// validates against kServiceProtocolVersion), so the two schemas must
+// move together.
+static_assert(kShardProtocolVersion == kServiceProtocolVersion,
+              "shard pipe framing reuses the service envelope schema");
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** 53-bit mantissa draw in [0, 1) from one mixed word. */
+double
+unitDraw(std::uint64_t mixed)
+{
+    return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+/**
+ * The fleet writes to pipes whose reader can vanish at any moment; an
+ * EPIPE must surface as a failed write, not a process-killing SIGPIPE.
+ * Installed once, only over the default disposition.
+ */
+void
+ensureSigpipeIgnored()
+{
+    struct sigaction old;
+    if (::sigaction(SIGPIPE, nullptr, &old) == 0 &&
+        old.sa_handler == SIG_DFL) {
+        struct sigaction sa;
+        memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = SIG_IGN;
+        ::sigaction(SIGPIPE, &sa, nullptr);
+    }
+}
+
+/**
+ * Frame @p payload as one enveloped line and write it whole to @p fd.
+ * When @p chaos is given (shard side) the line passes through the wire
+ * chaos sites first; a dropped line still reports success — that is
+ * the point of the drop site.
+ */
+bool
+writeFramedLine(int fd, Json payload, ChaosInjector *chaos)
+{
+    std::string line =
+        wrapEnvelope(std::move(payload), kShardProtocolVersion).dump(0);
+    line += '\n';
+    if (chaos && chaos->enabled())
+        line = applyWireChaos(*chaos, line);
+    std::size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+breakerStateName(BreakerState s)
+{
+    switch (s) {
+      case BreakerState::Closed:
+        return "closed";
+      case BreakerState::Open:
+        return "open";
+      case BreakerState::HalfOpen:
+        return "half-open";
+    }
+    return "unknown";
+}
+
+bool
+CircuitBreaker::recordFailure()
+{
+    ++consecutive_failures;
+    if (state == BreakerState::Open)
+        return false;
+    // A half-open probe failure reopens immediately; a closed breaker
+    // opens once the consecutive streak reaches the threshold.
+    if (state == BreakerState::HalfOpen ||
+        consecutive_failures >= std::max(threshold, 1)) {
+        state = BreakerState::Open;
+        return true;
+    }
+    return false;
+}
+
+void
+CircuitBreaker::recordSuccess()
+{
+    consecutive_failures = 0;
+    state = BreakerState::Closed;
+}
+
+void
+CircuitBreaker::onRestart()
+{
+    consecutive_failures = 0;
+    if (state == BreakerState::Open)
+        state = BreakerState::HalfOpen;
+}
+
+bool
+CircuitBreaker::forceOpen()
+{
+    if (state == BreakerState::Open)
+        return false;
+    state = BreakerState::Open;
+    return true;
+}
+
+int
+restartBackoffMs(const FleetConfig &c, int shard_index, int restarts)
+{
+    const long long base = std::max(c.restart_backoff_base_ms, 1);
+    const long long cap =
+        std::max<long long>(c.restart_backoff_cap_ms, base);
+    const long long window =
+        std::min(base << std::min(std::max(restarts, 0), 16), cap);
+    // Deterministic jitter over the upper half of the window: shards
+    // killed together restart spread out, and the same (shard,
+    // restart) pair always picks the same delay.
+    std::uint64_t m =
+        mix64((static_cast<std::uint64_t>(shard_index) << 32) ^
+              static_cast<std::uint64_t>(restarts) ^
+              0x7f1e9ab3c44d1057ull);
+    long long lo = window / 2;
+    return static_cast<int>(
+        lo + static_cast<long long>(unitDraw(m) *
+                                    static_cast<double>(window - lo)));
+}
+
+int
+shardIndexForKey(const std::string &key, int shards)
+{
+    if (shards <= 1)
+        return 0;
+    return static_cast<int>(fnv1a64(key) %
+                            static_cast<std::uint64_t>(shards));
+}
+
+ShardFleet::ShardFleet(const FleetConfig &config, DegradedRunFn degraded)
+    : config_(config), degraded_(std::move(degraded))
+{
+}
+
+ShardFleet::~ShardFleet() { stop(); }
+
+Status
+ShardFleet::start()
+{
+    if (!fleetEnabled(config_))
+        return Status::invalidArgument(
+            "fleet: need shards > 0 and a shard argv");
+    if (started_)
+        return {};
+    ensureSigpipeIgnored();
+    stopping_.store(false);
+    shards_.clear();
+    for (int i = 0; i < config_.shards; ++i) {
+        auto s = std::make_unique<Shard>();
+        s->index = i;
+        s->breaker.threshold = config_.breaker_threshold;
+        shards_.push_back(std::move(s));
+    }
+    for (auto &s : shards_) {
+        if (Status st = spawnShard(*s); !st.ok()) {
+            // The monitor keeps retrying on the backoff schedule; a
+            // fleet that cannot spawn anything degrades per-run.
+            warn("fleet: shard %d spawn failed: %s", s->index,
+                 st.message().c_str());
+            std::lock_guard<std::mutex> lock(mu_);
+            s->restart_at =
+                Clock::now() +
+                std::chrono::milliseconds(
+                    restartBackoffMs(config_, s->index, s->restarts));
+        }
+    }
+    metricsGaugeSet("evrsim_fleet_shards",
+                    static_cast<double>(config_.shards));
+    started_ = true;
+    monitor_ = std::thread([this] { monitorLoop(); });
+    return {};
+}
+
+Status
+ShardFleet::spawnShard(Shard &s)
+{
+    int in[2], out[2];
+    if (::pipe2(in, O_CLOEXEC) != 0)
+        return Status::unavailable(std::string("fleet pipe: ") +
+                                   ::strerror(errno));
+    if (::pipe2(out, O_CLOEXEC) != 0) {
+        Status st = Status::unavailable(std::string("fleet pipe: ") +
+                                        ::strerror(errno));
+        ::close(in[0]);
+        ::close(in[1]);
+        return st;
+    }
+
+    std::vector<std::string> args = config_.shard_argv;
+    args.push_back("--evrsim-shard=" + std::to_string(s.index));
+    if (!config_.shard_params_json.empty())
+        args.push_back("--evrsim-shard-params=" +
+                       config_.shard_params_json);
+    std::vector<char *> cargv;
+    cargv.reserve(args.size() + 1);
+    for (std::string &a : args)
+        cargv.push_back(a.data());
+    cargv.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        Status st = Status::unavailable(std::string("fleet fork: ") +
+                                        ::strerror(errno));
+        ::close(in[0]);
+        ::close(in[1]);
+        ::close(out[0]);
+        ::close(out[1]);
+        return st;
+    }
+    if (pid == 0) {
+        // Async-signal-safe child setup only: the parent is threaded.
+        // dup2 clears FD_CLOEXEC on the target; when source == target
+        // the flag must be cleared explicitly instead.
+        auto install = [](int from, int to) -> int {
+            if (from == to) {
+                int fl = ::fcntl(from, F_GETFD);
+                return fl < 0
+                           ? -1
+                           : ::fcntl(from, F_SETFD, fl & ~FD_CLOEXEC);
+            }
+            return ::dup2(from, to);
+        };
+        if (install(in[0], STDIN_FILENO) < 0)
+            ::_exit(127);
+        if (install(out[1], kWorkerResponseFd) < 0)
+            ::_exit(127);
+        int devnull = ::open("/dev/null", O_WRONLY);
+        if (devnull >= 0) {
+            ::dup2(devnull, STDOUT_FILENO);
+            if (devnull != STDOUT_FILENO)
+                ::close(devnull);
+        }
+        ::execv(cargv[0], cargv.data());
+        ::_exit(127);
+    }
+    ::close(in[0]);
+    ::close(out[1]);
+    {
+        std::lock_guard<std::mutex> wl(s.write_mu);
+        s.in_fd = in[1];
+    }
+    s.out_fd = out[0];
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        s.pid = pid;
+        s.alive = true;
+        s.needs_reap = false;
+        s.ping_outstanding = false;
+        s.last_ping = Clock::now();
+    }
+    s.reader = std::thread([this, &s, fd = out[0]] { readerLoop(s, fd); });
+    return {};
+}
+
+bool
+ShardFleet::writeToShard(Shard &s, Json payload)
+{
+    std::lock_guard<std::mutex> lock(s.write_mu);
+    if (s.in_fd < 0)
+        return false;
+    return writeFramedLine(s.in_fd, std::move(payload), nullptr);
+}
+
+void
+ShardFleet::markShardHealthy(Shard &s)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (s.breaker.state != BreakerState::Closed)
+        inform("fleet: shard %d healthy again (breaker %s -> closed)",
+               s.index, breakerStateName(s.breaker.state));
+    s.breaker.recordSuccess();
+}
+
+void
+ShardFleet::recordShardFailure(Shard &s, const char *why)
+{
+    bool kill = false;
+    pid_t pid = -1;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (s.breaker.recordFailure()) {
+            ++stats_.breaker_opens;
+            metricsCounterAdd("evrsim_fleet_breaker_opens_total", 1.0);
+            warn("fleet: shard %d breaker opened (%s)", s.index, why);
+            if (s.alive && s.pid > 0) {
+                kill = true;
+                pid = s.pid;
+            }
+        }
+    }
+    // An open breaker on a live shard means it is misbehaving, not
+    // dead (stalled, flaky wire): replace it. The reader observes the
+    // EOF and runs the normal down path.
+    if (kill)
+        ::kill(pid, SIGKILL);
+}
+
+void
+ShardFleet::handleShardDown(Shard &s, const char *why)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!s.alive)
+            return; // another path got here first
+        s.alive = false;
+        s.needs_reap = true;
+        s.ping_outstanding = false;
+        if (!stopping_.load()) {
+            // During stop() the EOF is the *expected* way shards exit;
+            // counting it as a failure would make every clean shutdown
+            // look like an incident.
+            if (s.breaker.forceOpen()) {
+                ++stats_.breaker_opens;
+                metricsCounterAdd("evrsim_fleet_breaker_opens_total",
+                                  1.0);
+            }
+            warn("fleet: shard %d down (%s)", s.index, why);
+        } else {
+            s.breaker.forceOpen();
+        }
+    }
+    // Fail the shard's in-flight dispatches now so their owners fail
+    // over immediately instead of riding out the run deadline.
+    std::vector<std::shared_ptr<Waiter>> doomed;
+    {
+        std::lock_guard<std::mutex> lock(waiters_mu_);
+        for (auto &kv : waiters_)
+            if (kv.second->shard == s.index)
+                doomed.push_back(kv.second);
+    }
+    for (auto &w : doomed) {
+        std::lock_guard<std::mutex> lock(w->mu);
+        if (!w->done) {
+            w->done = true;
+            w->attempt.status = Status::unavailable(
+                std::string("fleet: shard died with the run in flight "
+                            "(") +
+                why + ")");
+            w->attempt.worker_died = true;
+            w->cv.notify_all();
+        }
+    }
+}
+
+void
+ShardFleet::readerLoop(Shard &s, int out_fd)
+{
+    MessageReader reader(out_fd);
+    for (;;) {
+        Result<Json> msg = reader.next(config_.poll_ms);
+        if (!msg.ok()) {
+            if (msg.status().code() == ErrorCode::DeadlineExceeded) {
+                if (stopping_.load())
+                    return;
+                continue;
+            }
+            if (msg.status().code() == ErrorCode::DataLoss) {
+                // A damaged response line: the run it carried (if any)
+                // will fail over at its deadline; the damage itself is
+                // a health strike against the shard.
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ++stats_.wire_errors;
+                }
+                metricsCounterAdd("evrsim_fleet_wire_errors_total", 1.0);
+                recordShardFailure(s, "damaged response line");
+                continue;
+            }
+            handleShardDown(s, msg.status().message().c_str());
+            return;
+        }
+
+        const Json *type = msg.value().find("type");
+        if (!type || type->type() != Json::Type::String)
+            continue;
+        if (type->asString() == "pong") {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                s.ping_outstanding = false;
+            }
+            markShardHealthy(s);
+            continue;
+        }
+        if (type->asString() != "result")
+            continue;
+
+        const Json *seqj = msg.value().find("seq");
+        const Json *okj = msg.value().find("ok");
+        WorkerAttempt a;
+        bool parsed = false;
+        if (seqj && seqj->type() == Json::Type::Number && okj &&
+            okj->type() == Json::Type::Bool) {
+            if (okj->asBool()) {
+                if (const Json *res = msg.value().find("result")) {
+                    Result<RunResult> rr = RunResult::tryFromJson(*res);
+                    if (rr.ok()) {
+                        a.result = rr.value();
+                        parsed = true;
+                    }
+                }
+            } else if (const Json *st = msg.value().find("status")) {
+                Status reported;
+                if (statusFromJson(*st, reported).ok() &&
+                    !reported.ok()) {
+                    a.status = reported; // shard's verdict, code intact
+                    parsed = true;
+                }
+            }
+        }
+        if (!parsed) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.wire_errors;
+            }
+            metricsCounterAdd("evrsim_fleet_wire_errors_total", 1.0);
+            recordShardFailure(s, "unusable result payload");
+            continue;
+        }
+
+        std::shared_ptr<Waiter> w;
+        {
+            std::lock_guard<std::mutex> lock(waiters_mu_);
+            auto it = waiters_.find(seqj->asU64());
+            if (it != waiters_.end())
+                w = it->second;
+        }
+        if (!w) {
+            // Duplicate or long-abandoned response (wire-dup, a run
+            // that already failed over): tolerated, counted.
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.stray_responses;
+        } else {
+            std::lock_guard<std::mutex> lock(w->mu);
+            if (!w->done) {
+                w->done = true;
+                w->attempt = a;
+                w->cv.notify_all();
+            }
+        }
+        markShardHealthy(s);
+    }
+}
+
+void
+ShardFleet::monitorLoop()
+{
+    while (!stopping_.load()) {
+        for (auto &sp : shards_) {
+            Shard &s = *sp;
+
+            // Reap a dead shard once its reader has drained, then put
+            // it on the restart schedule.
+            bool reap = false;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                reap = s.needs_reap;
+            }
+            if (reap) {
+                int wstatus = 0;
+                pid_t r = ::waitpid(s.pid, &wstatus, WNOHANG);
+                if (r == s.pid || (r < 0 && errno == ECHILD)) {
+                    if (s.reader.joinable())
+                        s.reader.join();
+                    {
+                        std::lock_guard<std::mutex> wl(s.write_mu);
+                        if (s.in_fd >= 0) {
+                            ::close(s.in_fd);
+                            s.in_fd = -1;
+                        }
+                    }
+                    if (s.out_fd >= 0) {
+                        ::close(s.out_fd);
+                        s.out_fd = -1;
+                    }
+                    std::lock_guard<std::mutex> lock(mu_);
+                    s.needs_reap = false;
+                    s.pid = -1;
+                    s.restart_at =
+                        Clock::now() +
+                        std::chrono::milliseconds(restartBackoffMs(
+                            config_, s.index, s.restarts));
+                }
+            }
+
+            // Restart when the backoff expires.
+            bool want_restart = false;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                want_restart = !s.alive && !s.needs_reap && s.pid < 0 &&
+                               Clock::now() >= s.restart_at;
+            }
+            if (want_restart && !stopping_.load()) {
+                if (spawnShard(s).ok()) {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ++s.restarts;
+                    ++stats_.restarts;
+                    metricsCounterAdd("evrsim_fleet_restarts_total", 1.0);
+                    s.breaker.onRestart(); // open -> half-open probe
+                    inform("fleet: shard %d restarted (restart %d, "
+                           "breaker %s)",
+                           s.index, s.restarts,
+                           breakerStateName(s.breaker.state));
+                } else {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ++s.restarts;
+                    s.restart_at =
+                        Clock::now() +
+                        std::chrono::milliseconds(restartBackoffMs(
+                            config_, s.index, s.restarts));
+                }
+            }
+
+            // Liveness pings with a hard pong deadline.
+            bool need_ping = false, deadline_missed = false;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (s.alive) {
+                    Clock::time_point now = Clock::now();
+                    if (s.ping_outstanding &&
+                        now - s.ping_sent >
+                            std::chrono::milliseconds(
+                                config_.ping_deadline_ms)) {
+                        s.ping_outstanding = false;
+                        ++stats_.ping_timeouts;
+                        deadline_missed = true;
+                    } else if (!s.ping_outstanding &&
+                               now - s.last_ping >=
+                                   std::chrono::milliseconds(
+                                       config_.ping_interval_ms)) {
+                        s.ping_outstanding = true;
+                        s.ping_sent = s.last_ping = now;
+                        need_ping = true;
+                    }
+                }
+            }
+            if (deadline_missed) {
+                metricsCounterAdd("evrsim_fleet_ping_timeouts_total",
+                                  1.0);
+                recordShardFailure(s, "ping deadline exceeded");
+            }
+            if (need_ping) {
+                Json ping = Json::object();
+                ping.set("type", "ping");
+                ping.set("seq", seq_.fetch_add(1));
+                if (!writeToShard(s, std::move(ping)))
+                    handleShardDown(s, "ping write failed");
+            }
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::max(config_.poll_ms, 1)));
+    }
+}
+
+WorkerAttempt
+ShardFleet::execute(const std::string &alias, const SimConfig &config,
+                    const std::string &key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.dispatched;
+    }
+    metricsCounterAdd("evrsim_fleet_dispatched_total", 1.0);
+
+    const int n = std::max(config_.shards, 1);
+    const int primary = shardIndexForKey(key, n);
+    Status last =
+        Status::unavailable("fleet: no healthy shard admitted the run");
+
+    for (int off = 0; off < n && !stopping_.load() &&
+                      static_cast<std::size_t>(n) <= shards_.size();
+         ++off) {
+        Shard &s = *shards_[static_cast<std::size_t>((primary + off) % n)];
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!s.alive || !s.breaker.admits())
+                continue;
+        }
+        std::uint64_t seq = seq_.fetch_add(1);
+        auto w = std::make_shared<Waiter>();
+        w->shard = s.index;
+        {
+            std::lock_guard<std::mutex> lock(waiters_mu_);
+            waiters_[seq] = w;
+        }
+        Json req = Json::object();
+        req.set("type", "run");
+        req.set("seq", seq);
+        req.set("workload", alias);
+        req.set("config", config.name);
+        if (!writeToShard(s, std::move(req))) {
+            {
+                std::lock_guard<std::mutex> lock(waiters_mu_);
+                waiters_.erase(seq);
+            }
+            handleShardDown(s, "run dispatch write failed");
+            last = Status::unavailable("fleet: dispatch to shard " +
+                                       std::to_string(s.index) +
+                                       " failed");
+            continue;
+        }
+        bool done = false;
+        {
+            std::unique_lock<std::mutex> lk(w->mu);
+            done = w->cv.wait_for(
+                lk,
+                std::chrono::milliseconds(
+                    std::max(config_.run_deadline_ms, 1)),
+                [&] { return w->done; });
+        }
+        {
+            std::lock_guard<std::mutex> lock(waiters_mu_);
+            waiters_.erase(seq);
+        }
+        if (!done) {
+            // No response at all: a dropped wire line or a wedged
+            // shard. Strike it and fail over.
+            last = Status::unavailable(
+                "fleet: run " + key + " exceeded the " +
+                std::to_string(config_.run_deadline_ms) +
+                " ms dispatch deadline on shard " +
+                std::to_string(s.index));
+            recordShardFailure(s, "run deadline exceeded");
+            continue;
+        }
+        WorkerAttempt a = w->attempt;
+        if (a.worker_died) {
+            last = a.status; // shard died under the run: fail over
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.completed;
+            if (off > 0)
+                ++stats_.failovers;
+        }
+        metricsCounterAdd("evrsim_fleet_completed_total", 1.0);
+        if (off > 0)
+            metricsCounterAdd("evrsim_fleet_failovers_total", 1.0);
+        return a; // the shard's verdict (result or Status), verbatim
+    }
+
+    // Chain exhausted: degrade to in-daemon execution rather than
+    // failing the run while the fleet heals.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.degraded;
+    }
+    metricsCounterAdd("evrsim_fleet_degraded_total", 1.0);
+    if (!degraded_) {
+        WorkerAttempt a;
+        a.status = last;
+        a.worker_died = true;
+        return a;
+    }
+    warn("fleet: no healthy shard for %s; running degraded in-daemon",
+         key.c_str());
+    Result<RunResult> r = degraded_(alias, config);
+    WorkerAttempt a;
+    if (r.ok())
+        a.result = r.value();
+    else
+        a.status = r.status();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.completed;
+    }
+    metricsCounterAdd("evrsim_fleet_completed_total", 1.0);
+    return a;
+}
+
+void
+ShardFleet::stop()
+{
+    if (!started_)
+        return;
+    stopping_.store(true);
+    if (monitor_.joinable())
+        monitor_.join();
+
+    // EOF every shard's stdin: a healthy shard drains and exits 0.
+    for (auto &sp : shards_) {
+        std::lock_guard<std::mutex> wl(sp->write_mu);
+        if (sp->in_fd >= 0) {
+            ::close(sp->in_fd);
+            sp->in_fd = -1;
+        }
+    }
+    // Bounded wait for clean exits, then SIGKILL the stragglers.
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(2000);
+    for (auto &sp : shards_) {
+        pid_t pid;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            pid = sp->pid;
+        }
+        if (pid <= 0)
+            continue;
+        for (;;) {
+            int wstatus = 0;
+            pid_t r = ::waitpid(pid, &wstatus, WNOHANG);
+            if (r == pid || (r < 0 && errno == ECHILD))
+                break;
+            if (Clock::now() >= deadline) {
+                ::kill(pid, SIGKILL);
+                while (::waitpid(pid, &wstatus, 0) < 0 &&
+                       errno == EINTR) {
+                }
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        sp->pid = -1;
+    }
+    for (auto &sp : shards_) {
+        if (sp->reader.joinable())
+            sp->reader.join();
+        if (sp->out_fd >= 0) {
+            ::close(sp->out_fd);
+            sp->out_fd = -1;
+        }
+    }
+    // Anything still parked on a waiter unblocks with Unavailable.
+    std::vector<std::shared_ptr<Waiter>> left;
+    {
+        std::lock_guard<std::mutex> lock(waiters_mu_);
+        for (auto &kv : waiters_)
+            left.push_back(kv.second);
+    }
+    for (auto &w : left) {
+        std::lock_guard<std::mutex> lock(w->mu);
+        if (!w->done) {
+            w->done = true;
+            w->attempt.status =
+                Status::unavailable("fleet: stopped with run in flight");
+            w->attempt.worker_died = true;
+            w->cv.notify_all();
+        }
+    }
+    metricsGaugeSet("evrsim_fleet_shards", 0.0);
+    started_ = false;
+}
+
+ShardFleet::Stats
+ShardFleet::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+BreakerState
+ShardFleet::breakerState(int index) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index < 0 || static_cast<std::size_t>(index) >= shards_.size())
+        return BreakerState::Open;
+    return shards_[static_cast<std::size_t>(index)]->breaker.state;
+}
+
+// --- shard-process side ---------------------------------------------
+
+std::string
+shardParamsJson(const BenchParams &params)
+{
+    Json j = Json::object();
+    j.set("width", params.width);
+    j.set("height", params.height);
+    j.set("frames", params.frames);
+    j.set("warmup", params.warmup);
+    j.set("tile_jobs", params.tile_jobs);
+    j.set("job_timeout_ms", params.job_timeout_ms);
+    j.set("log_level", static_cast<int>(params.log_level));
+    Json v = Json::object();
+    v.set("mode", static_cast<int>(params.validation.mode));
+    v.set("sample", params.validation.tile_sample_rate);
+    v.set("seed", params.validation.seed);
+    j.set("validation", std::move(v));
+    return j.dump(0);
+}
+
+Status
+applyShardParams(const std::string &text, BenchParams &params)
+{
+    Result<Json> doc = Json::tryParse(text);
+    if (!doc.ok())
+        return Status::invalidArgument("shard params unusable: " +
+                                       doc.status().message());
+    const Json &j = doc.value();
+    auto readInt = [&j](const char *key, int &out) {
+        if (const Json *f = j.find(key);
+            f && f->type() == Json::Type::Number)
+            out = static_cast<int>(f->asDouble());
+    };
+    readInt("width", params.width);
+    readInt("height", params.height);
+    readInt("frames", params.frames);
+    readInt("warmup", params.warmup);
+    readInt("tile_jobs", params.tile_jobs);
+    readInt("job_timeout_ms", params.job_timeout_ms);
+    if (const Json *f = j.find("log_level");
+        f && f->type() == Json::Type::Number)
+        params.log_level =
+            static_cast<LogLevel>(static_cast<int>(f->asDouble()));
+    if (const Json *v = j.find("validation");
+        v && v->type() == Json::Type::Object) {
+        if (const Json *f = v->find("mode");
+            f && f->type() == Json::Type::Number)
+            params.validation.mode = static_cast<ValidateMode>(
+                static_cast<int>(f->asDouble()));
+        if (const Json *f = v->find("sample");
+            f && f->type() == Json::Type::Number)
+            params.validation.tile_sample_rate = f->asDouble();
+        if (const Json *f = v->find("seed");
+            f && f->type() == Json::Type::Number)
+            params.validation.seed = f->asU64();
+    }
+    return {};
+}
+
+int
+shardFlagFromArgv(int argc, char **argv, std::string &params_json)
+{
+    const std::string shard_prefix = "--evrsim-shard=";
+    const std::string params_prefix = "--evrsim-shard-params=";
+    int index = -1;
+    params_json.clear();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i] ? argv[i] : "";
+        if (arg.compare(0, shard_prefix.size(), shard_prefix) == 0)
+            index = std::atoi(arg.c_str() + shard_prefix.size());
+        else if (arg.compare(0, params_prefix.size(), params_prefix) == 0)
+            params_json = arg.substr(params_prefix.size());
+    }
+    return index;
+}
+
+namespace {
+
+/** One queued run inside a shard process. */
+struct PendingRun {
+    std::uint64_t seq = 0;
+    std::string workload;
+    std::string config;
+};
+
+} // namespace
+
+void
+runShardAndExit(int shard_index, WorkloadFactory factory,
+                BenchParams params, const std::string &params_json)
+{
+    if (!params_json.empty()) {
+        if (Status s = applyShardParams(params_json, params); !s.ok()) {
+            std::fprintf(stderr, "evrsim shard %d: %s\n", shard_index,
+                         s.message().c_str());
+            std::exit(2);
+        }
+    }
+    // The daemon owns the cache, the journals and the retry policy;
+    // a shard is a stream of bare attempts (the PR 4 worker
+    // philosophy), so its death never loses durable state.
+    params.use_cache = false;
+    params.resume = false;
+    params.isolate = IsolateMode::Off;
+    params.jobs = 1;
+    params.heartbeat_ms = 0;
+    params.metrics_dir.clear();
+    params.write_summary = false;
+    setLogLevel(params.log_level);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    ChaosInjector chaos(ChaosInjector::planFromEnv());
+    ExperimentRunner runner(factory, params);
+
+    // The reader thread stays glued to stdin so pings are answered
+    // mid-run; simulations execute on this one worker thread.
+    std::mutex q_mu, write_mu;
+    std::condition_variable q_cv;
+    std::deque<PendingRun> queue;
+    bool closed = false;
+
+    auto respond = [&](Json payload) {
+        std::lock_guard<std::mutex> lock(write_mu);
+        writeFramedLine(kWorkerResponseFd, std::move(payload), &chaos);
+    };
+
+    std::thread worker([&] {
+        for (;;) {
+            PendingRun run;
+            {
+                std::unique_lock<std::mutex> lk(q_mu);
+                q_cv.wait(lk, [&] { return closed || !queue.empty(); });
+                if (queue.empty())
+                    return;
+                run = std::move(queue.front());
+                queue.pop_front();
+            }
+            // worker-kill9 chaos: die exactly where a real crash
+            // would hurt most — after accepting the run, before
+            // responding. Counter-based, so the respawned shard does
+            // not re-kill the same job forever.
+            if (chaos.shouldFire(ChaosSite::WorkerKill9))
+                ::raise(SIGKILL);
+
+            Result<RunResult> attempt = [&]() -> Result<RunResult> {
+                Result<SimConfig> cfg =
+                    configByName(run.config, params.gpuConfig());
+                if (!cfg.ok())
+                    return cfg.status();
+                return runner.trySimulate(run.workload, cfg.value());
+            }();
+
+            Json payload = Json::object();
+            payload.set("type", "result");
+            payload.set("seq", run.seq);
+            payload.set("ok", attempt.ok());
+            if (attempt.ok())
+                payload.set("result", attempt.value().toJson());
+            else
+                payload.set("status", statusToJson(attempt.status()));
+            respond(std::move(payload));
+        }
+    });
+
+    MessageReader reader(STDIN_FILENO);
+    for (;;) {
+        Result<Json> msg = reader.next(250);
+        if (!msg.ok()) {
+            if (msg.status().code() == ErrorCode::DeadlineExceeded)
+                continue;
+            if (msg.status().code() == ErrorCode::DataLoss)
+                continue; // damaged inbound line: skip, keep serving
+            break;        // EOF: the daemon is gone — exit cleanly
+        }
+        if (chaos.shouldFire(ChaosSite::WorkerStall))
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(kChaosStallMs));
+        const Json *type = msg.value().find("type");
+        if (!type || type->type() != Json::Type::String)
+            continue;
+        if (type->asString() == "ping") {
+            Json pong = Json::object();
+            pong.set("type", "pong");
+            pong.set("seq", msg.value().get("seq", Json(0)));
+            respond(std::move(pong));
+            continue;
+        }
+        if (type->asString() != "run")
+            continue;
+        PendingRun run;
+        if (const Json *f = msg.value().find("seq");
+            f && f->type() == Json::Type::Number)
+            run.seq = f->asU64();
+        if (const Json *f = msg.value().find("workload");
+            f && f->type() == Json::Type::String)
+            run.workload = f->asString();
+        if (const Json *f = msg.value().find("config");
+            f && f->type() == Json::Type::String)
+            run.config = f->asString();
+        {
+            std::lock_guard<std::mutex> lock(q_mu);
+            queue.push_back(std::move(run));
+        }
+        q_cv.notify_one();
+    }
+    {
+        std::lock_guard<std::mutex> lock(q_mu);
+        closed = true;
+    }
+    q_cv.notify_all();
+    worker.join();
+    std::exit(0);
+}
+
+} // namespace evrsim

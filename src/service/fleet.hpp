@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Self-healing sharded worker fleet for the sweep service.
+ *
+ * PR 7 made the daemon resident, but every simulation still executed
+ * inside the daemon process: one runaway run was a whole-service blast
+ * radius. The fleet splits that domain — the daemon becomes a control
+ * plane (cache, journals, memo, retry policy, admission) and N
+ * persistent shard processes (EVRSIM_SHARDS) do the actual simulating.
+ * Each run is routed by content-key hash to its primary shard over the
+ * same checksummed-envelope line protocol the cache, journal and
+ * worker pipe already use (driver/envelope.hpp): requests go down the
+ * shard's stdin, framed responses come back on fd 3.
+ *
+ * Health model, per shard:
+ *  - periodic ping with a hard pong deadline;
+ *  - a consecutive-failure circuit breaker (closed -> open on the Nth
+ *    consecutive failure -> half-open probe after restart -> closed on
+ *    the first success), so a flapping shard stops receiving work
+ *    instead of timing out every run routed to it;
+ *  - automatic restart with capped + deterministically jittered
+ *    backoff (a fleet of shards killed together does not restart in
+ *    lockstep);
+ *  - failover: a dead or open shard's runs re-route to the next shard
+ *    in ring order, and when the whole fleet is unhealthy the run
+ *    degrades to in-daemon execution — counted, never dropped.
+ *
+ * Shards are one bare attempt per run, exactly like PR 4's isolate
+ * workers: no cache, no journal, no retry — the daemon owns those, so
+ * a shard death is always recoverable state-free. Results are
+ * byte-identical wherever they execute (the simulation is
+ * deterministic), which is what the chaos soak asserts end to end.
+ *
+ * Everything here is observable: evrsim_fleet_* counters (restarts,
+ * breaker opens, failovers, degraded runs, wire errors, ping timeouts)
+ * plus an evrsim_fleet_shards gauge.
+ */
+#ifndef EVRSIM_SERVICE_FLEET_HPP
+#define EVRSIM_SERVICE_FLEET_HPP
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "driver/experiment.hpp"
+#include "driver/workload.hpp"
+
+namespace evrsim {
+
+/** Envelope schema of the parent<->shard line protocol. */
+constexpr int kShardProtocolVersion = 1;
+
+/** Fleet knobs. Tests set these directly; the daemon binary resolves
+ *  EVRSIM_SHARDS and fills shard_argv with its own executable. */
+struct FleetConfig {
+    /** Worker-shard process count; 0 disables the fleet. */
+    int shards = 0;
+    /** Base argv of a shard process (argv[0] = program path); the
+     *  fleet appends --evrsim-shard=<i> and --evrsim-shard-params=. */
+    std::vector<std::string> shard_argv;
+    /** Simulation-relevant BenchParams subset forwarded to each shard
+     *  (shardParamsJson()); filled from the service params when empty. */
+    std::string shard_params_json;
+    int ping_interval_ms = 500;  ///< cadence of liveness pings
+    int ping_deadline_ms = 2000; ///< pong deadline = one health failure
+    /** Consecutive failures that open a shard's circuit breaker. */
+    int breaker_threshold = 3;
+    int restart_backoff_base_ms = 100;
+    int restart_backoff_cap_ms = 5000;
+    /** Per-dispatch deadline: a run whose response never arrives (a
+     *  dropped wire line, a fully wedged shard) fails over after this
+     *  long instead of waiting forever. */
+    int run_deadline_ms = 120000;
+    int poll_ms = 50; ///< monitor/reader wakeup cadence
+};
+
+/** A fleet is on when it has both a width and a program to exec. */
+inline bool
+fleetEnabled(const FleetConfig &c)
+{
+    return c.shards > 0 && !c.shard_argv.empty();
+}
+
+/** Circuit breaker state (DESIGN.md §14). */
+enum class BreakerState { Closed, Open, HalfOpen };
+
+/** Stable name for logs/tests ("closed"). */
+const char *breakerStateName(BreakerState s);
+
+/**
+ * Pure consecutive-failure circuit breaker, factored out of the fleet
+ * so the transition table is unit-testable without processes. Not
+ * thread-safe; the fleet guards each instance with its own mutex.
+ */
+struct CircuitBreaker {
+    BreakerState state = BreakerState::Closed;
+    int threshold = 3;
+    int consecutive_failures = 0;
+
+    /** One failure. True when this call *transitioned* to Open (a
+     *  half-open probe failure reopens immediately; closed opens at
+     *  the threshold). */
+    bool recordFailure();
+
+    /** One success: close and forget the failure streak. */
+    void recordSuccess();
+
+    /** The guarded resource was replaced (shard restarted): admit one
+     *  probe stream. */
+    void onRestart();
+
+    /** Hard-open regardless of the streak (the shard died). True on
+     *  transition. */
+    bool forceOpen();
+
+    /** Whether new work may be routed here (Closed or HalfOpen). */
+    bool
+    admits() const
+    {
+        return state != BreakerState::Open;
+    }
+};
+
+/**
+ * Deterministic capped + jittered restart delay for @p restarts-th
+ * restart of shard @p shard_index: exponential from the base, capped,
+ * with the upper half jittered by a mix64 stream of (shard, restart)
+ * so simultaneous deaths de-synchronize reproducibly.
+ */
+int restartBackoffMs(const FleetConfig &c, int shard_index, int restarts);
+
+/** Primary shard for a content key: fnv1a64(key) % shards. */
+int shardIndexForKey(const std::string &key, int shards);
+
+/** The control-plane side: supervises the shard processes. */
+class ShardFleet
+{
+  public:
+    /** Monotonic fleet accounting (also evrsim_fleet_* counters). */
+    struct Stats {
+        std::uint64_t dispatched = 0; ///< execute() calls
+        std::uint64_t completed = 0;  ///< runs that returned a verdict
+        std::uint64_t failovers = 0;  ///< completions off the primary
+        std::uint64_t restarts = 0;   ///< shard processes respawned
+        std::uint64_t breaker_opens = 0;
+        std::uint64_t degraded = 0; ///< in-daemon fallback executions
+        std::uint64_t wire_errors = 0;   ///< damaged response lines
+        std::uint64_t ping_timeouts = 0; ///< pongs past the deadline
+        std::uint64_t stray_responses = 0; ///< no waiter (wire-dup)
+    };
+
+    /** In-daemon fallback when no shard is healthy. */
+    using DegradedRunFn = std::function<Result<RunResult>(
+        const std::string &alias, const SimConfig &config)>;
+
+    ShardFleet(const FleetConfig &config, DegradedRunFn degraded);
+
+    /** stop()s if running. */
+    ~ShardFleet();
+
+    ShardFleet(const ShardFleet &) = delete;
+    ShardFleet &operator=(const ShardFleet &) = delete;
+
+    /** Spawn the shards and the health monitor. InvalidArgument when
+     *  the config is not fleetEnabled(). */
+    Status start();
+
+    /** Close every shard's stdin (clean EOF exit), SIGKILL stragglers,
+     *  join every thread. Idempotent. */
+    void stop();
+
+    /**
+     * Execute one run on the fleet: dispatch to the key's primary
+     * shard, failing over around the ring on death/timeout, degrading
+     * to the in-daemon fallback when no shard admits work. The
+     * returned attempt mirrors the supervisor contract: worker_died
+     * only when every shard AND the fallback were unavailable.
+     */
+    WorkerAttempt execute(const std::string &alias,
+                          const SimConfig &config,
+                          const std::string &key);
+
+    Stats stats() const;
+
+    /** Breaker state of shard @p index (tests/telemetry). */
+    BreakerState breakerState(int index) const;
+
+    const FleetConfig &config() const { return config_; }
+
+  private:
+    /** One pending dispatch, keyed by wire seq. */
+    struct Waiter {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        WorkerAttempt attempt;
+        int shard = -1; ///< dispatch target (failover bookkeeping)
+    };
+
+    struct Shard {
+        int index = 0;
+        pid_t pid = -1;
+        int in_fd = -1;  ///< parent writes requests (shard stdin)
+        int out_fd = -1; ///< parent reads responses (shard fd 3)
+        std::thread reader;
+        /** Serializes writes to in_fd AND its close, so a dispatch
+         *  can never write through a recycled descriptor. */
+        std::mutex write_mu;
+        // Everything below is guarded by the fleet mu_.
+        bool alive = false;
+        bool needs_reap = false;
+        CircuitBreaker breaker;
+        int restarts = 0;
+        std::chrono::steady_clock::time_point restart_at{};
+        bool ping_outstanding = false;
+        std::chrono::steady_clock::time_point ping_sent{};
+        std::chrono::steady_clock::time_point last_ping{};
+    };
+
+    Status spawnShard(Shard &s);
+    void monitorLoop();
+    void readerLoop(Shard &s, int out_fd);
+
+    /** Reader/write-failure path: mark dead, open the breaker, fail
+     *  the shard's in-flight waiters with Unavailable. */
+    void handleShardDown(Shard &s, const char *why);
+
+    /** Health failure (ping timeout, wire damage, run deadline);
+     *  SIGKILLs the shard when the breaker opens. */
+    void recordShardFailure(Shard &s, const char *why);
+
+    /** Pong/result received: close the breaker. */
+    void markShardHealthy(Shard &s);
+
+    bool writeToShard(Shard &s, Json payload);
+
+    FleetConfig config_;
+    DegradedRunFn degraded_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    mutable std::mutex mu_; ///< shard health + stats
+    Stats stats_;
+
+    std::mutex waiters_mu_;
+    std::map<std::uint64_t, std::shared_ptr<Waiter>> waiters_;
+
+    std::atomic<std::uint64_t> seq_{1};
+    std::atomic<bool> stopping_{false};
+    std::thread monitor_;
+    bool started_ = false;
+};
+
+// --- shard-process side ---------------------------------------------
+
+/** Serialize the simulation-relevant subset of @p params (dimensions,
+ *  frames, warmup, tile jobs, timeout, validation, log level) for the
+ *  --evrsim-shard-params argv flag. */
+std::string shardParamsJson(const BenchParams &params);
+
+/** Overlay a shardParamsJson() document onto @p params. */
+Status applyShardParams(const std::string &text, BenchParams &params);
+
+/**
+ * Detect shard mode in an embedding binary's argv: the shard index
+ * from --evrsim-shard=<i> (else -1), with any --evrsim-shard-params=
+ * payload copied to @p params_json. Call before normal flag parsing,
+ * like the --evrsim-worker-run probe.
+ */
+int shardFlagFromArgv(int argc, char **argv, std::string &params_json);
+
+/**
+ * Serve as shard @p shard_index until stdin EOF, then exit: parse the
+ * params overlay, force the bare-attempt worker philosophy (no cache,
+ * no journal, no isolation, quiet), answer pings, execute runs on a
+ * dedicated thread (the reader stays responsive to pings mid-run),
+ * and frame every response through the chaos injector's wire sites.
+ */
+[[noreturn]] void runShardAndExit(int shard_index,
+                                  WorkloadFactory factory,
+                                  BenchParams params,
+                                  const std::string &params_json);
+
+} // namespace evrsim
+
+#endif // EVRSIM_SERVICE_FLEET_HPP

@@ -18,13 +18,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.hpp"
 #include "common/shutdown.hpp"
+#include "driver/envelope.hpp"
 #include "driver/experiment.hpp"
 #include "driver/sweep_journal.hpp"
 #include "service/client.hpp"
@@ -634,12 +637,232 @@ TEST(ServiceKnobs, TypoedKnobFailsNamingTheVariable)
     ::unsetenv("EVRSIM_CLIENT_QUOTA");
     ::unsetenv("EVRSIM_SOCKET");
 
+    ::setenv("EVRSIM_SHARDS", "-1", 1); // below the minimum of 0
+    bad = serviceConfigFromEnvChecked(params);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.status().message().find("EVRSIM_SHARDS"),
+              std::string::npos);
+
+    ::setenv("EVRSIM_SHARDS", "3", 1);
+    Result<ServiceConfig> sharded = serviceConfigFromEnvChecked(params);
+    ASSERT_TRUE(sharded.ok());
+    EXPECT_EQ(sharded.value().fleet.shards, 3);
+    ::unsetenv("EVRSIM_SHARDS");
+
     // Defaults: socket lands next to the cache.
     Result<ServiceConfig> defaults = serviceConfigFromEnvChecked(params);
     ASSERT_TRUE(defaults.ok());
     EXPECT_EQ(defaults.value().socket_path, "/tmp/x/evrsim.sock");
     EXPECT_EQ(defaults.value().queue_max, 256);
     EXPECT_EQ(defaults.value().client_quota, 64);
+    // The library default is fleet-off; the daemon binary supplies
+    // the cores/4 default on top.
+    EXPECT_EQ(defaults.value().fleet.shards, 0);
+}
+
+// --- mid-stream progress damage ------------------------------------
+//
+// A fake daemon that serves each accepted connection with a scripted
+// handler, so tests can damage the progress stream in ways the real
+// daemon never would: duplicate a record, corrupt a line's bytes, or
+// cut a line in half and vanish. The client contract under every kind
+// of damage is the same — surface a structured error and resubmit
+// under the idempotent id, never hang and never return a partial
+// table.
+
+struct ScriptedServer {
+    int listen_fd = -1;
+    std::thread thread;
+
+    ScriptedServer(const std::string &path,
+                   std::vector<std::function<void(int fd)>> scripts)
+    {
+        listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        EXPECT_GE(listen_fd, 0);
+        struct sockaddr_un addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        EXPECT_EQ(::bind(listen_fd,
+                         reinterpret_cast<struct sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        EXPECT_EQ(::listen(listen_fd, 8), 0);
+        thread = std::thread([this, scripts = std::move(scripts)] {
+            for (const auto &script : scripts) {
+                int fd = ::accept(listen_fd, nullptr, nullptr);
+                if (fd < 0)
+                    return;
+                script(fd);
+                ::close(fd);
+            }
+        });
+    }
+
+    ~ScriptedServer()
+    {
+        if (listen_fd >= 0) {
+            ::shutdown(listen_fd, SHUT_RDWR);
+            ::close(listen_fd);
+        }
+        if (thread.joinable())
+            thread.join();
+    }
+};
+
+std::string
+framedLine(Json payload)
+{
+    return wrapEnvelope(std::move(payload), kServiceProtocolVersion)
+               .dump(0) +
+           "\n";
+}
+
+void
+sendRaw(int fd, const std::string &bytes)
+{
+    ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+}
+
+Json
+progressMsg(const std::string &id, std::uint64_t completed,
+            std::uint64_t total)
+{
+    Json p = Json::object();
+    p.set("type", "progress");
+    p.set("id", id);
+    p.set("completed", completed);
+    p.set("total", total);
+    p.set("workload", "w");
+    p.set("config", "base");
+    p.set("ok", false);
+    p.set("final", false);
+    return p;
+}
+
+/** Drain the client's request, then send `accepted`. */
+void
+acceptRequest(int fd, const std::string &id)
+{
+    MessageReader reader(fd);
+    Result<Json> req = reader.next(2000);
+    EXPECT_TRUE(req.ok());
+    Json acc = Json::object();
+    acc.set("type", "accepted");
+    acc.set("id", id);
+    sendRaw(fd, framedLine(std::move(acc)));
+}
+
+/** A complete (failed-run) result message: enough for parseResult. */
+void
+serveResult(int fd, const std::string &id)
+{
+    acceptRequest(fd, id);
+    Json run = Json::object();
+    run.set("workload", "w");
+    run.set("config", "base");
+    run.set("ok", false);
+    run.set("status", statusToJson(Status::internal("scripted run")));
+    Json runs = Json::array();
+    runs.push(std::move(run));
+    Json res = Json::object();
+    res.set("type", "result");
+    res.set("id", id);
+    res.set("runs", std::move(runs));
+    res.set("elapsed_s", 0.0);
+    sendRaw(fd, framedLine(std::move(res)));
+}
+
+ClientOptions
+damageClientOptions(const std::string &socket_path)
+{
+    ClientOptions o = clientOptions(socket_path, "damage-client");
+    o.deadline_ms = 10000; // damage must never hang the client
+    return o;
+}
+
+TEST(ServiceClientStreamDamage, DuplicatedProgressRecordResubmits)
+{
+    TempDir tmp;
+    std::string sock = tmp.path + "/scripted.sock";
+    const std::string id = "dup-progress";
+
+    ScriptedServer server(
+        sock, {[&](int fd) {
+                   acceptRequest(fd, id);
+                   std::string p = framedLine(progressMsg(id, 1, 2));
+                   sendRaw(fd, p);
+                   sendRaw(fd, p); // wire-dup: completed=1 twice
+                   // Hold the connection open; the client must give
+                   // up on its own, not because we hung up.
+                   std::this_thread::sleep_for(
+                       std::chrono::milliseconds(500));
+               },
+               [&](int fd) { serveResult(fd, id); }});
+
+    std::vector<std::uint64_t> seen;
+    ServiceClient client(damageClientOptions(sock));
+    Result<SweepReply> reply = client.runSweep(
+        id, {{"w", "base"}}, [&](const Json &p) {
+            if (const Json *c = p.find("completed"))
+                seen.push_back(c->asU64());
+        });
+    ASSERT_TRUE(reply.ok()) << reply.status().toString();
+    EXPECT_EQ(reply.value().resubmits, 1);
+    ASSERT_EQ(reply.value().runs.size(), 1u);
+    // The duplicated record was never forwarded to the callback.
+    for (std::size_t i = 1; i < seen.size(); ++i)
+        EXPECT_GT(seen[i], seen[i - 1]);
+}
+
+TEST(ServiceClientStreamDamage, CorruptedProgressLineResubmits)
+{
+    TempDir tmp;
+    std::string sock = tmp.path + "/scripted.sock";
+    const std::string id = "corrupt-progress";
+
+    ScriptedServer server(
+        sock, {[&](int fd) {
+                   acceptRequest(fd, id);
+                   std::string p = framedLine(progressMsg(id, 1, 2));
+                   p[p.size() / 2] ^= 0x20; // CRC now lies
+                   sendRaw(fd, p);
+                   std::this_thread::sleep_for(
+                       std::chrono::milliseconds(500));
+               },
+               [&](int fd) { serveResult(fd, id); }});
+
+    ServiceClient client(damageClientOptions(sock));
+    Result<SweepReply> reply =
+        client.runSweep(id, {{"w", "base"}}, nullptr);
+    ASSERT_TRUE(reply.ok()) << reply.status().toString();
+    EXPECT_EQ(reply.value().resubmits, 1);
+    ASSERT_EQ(reply.value().runs.size(), 1u);
+}
+
+TEST(ServiceClientStreamDamage, TruncatedProgressLineResubmits)
+{
+    TempDir tmp;
+    std::string sock = tmp.path + "/scripted.sock";
+    const std::string id = "torn-progress";
+
+    ScriptedServer server(
+        sock, {[&](int fd) {
+                   acceptRequest(fd, id);
+                   std::string p = framedLine(progressMsg(id, 1, 2));
+                   // Half a line, then vanish: the client sees a torn
+                   // fragment at EOF, not a parseable record.
+                   sendRaw(fd, p.substr(0, p.size() / 2));
+               },
+               [&](int fd) { serveResult(fd, id); }});
+
+    ServiceClient client(damageClientOptions(sock));
+    Result<SweepReply> reply =
+        client.runSweep(id, {{"w", "base"}}, nullptr);
+    ASSERT_TRUE(reply.ok()) << reply.status().toString();
+    EXPECT_EQ(reply.value().resubmits, 1);
+    ASSERT_EQ(reply.value().runs.size(), 1u);
 }
 
 } // namespace
