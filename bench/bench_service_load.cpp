@@ -21,7 +21,11 @@
  *     (this binary doubles as the shard program via --evrsim-shard),
  *     the full sweep is served through the shards, every reply is
  *     byte-identical to the single-process golden run, and a quiet
- *     fleet touches none of the failure machinery.
+ *     fleet touches none of the failure machinery;
+ *  5. remote TCP fleet — the control plane listens on loopback and two
+ *     forked copies of this binary dial in as remote shards
+ *     (--evrsim-remote-shard); the sweep is byte-identical again and a
+ *     quiet fleet touches none of the fencing machinery.
  *
  * Flags: --clients=N (default 64), --requests=M per client in the cold
  * phase (default 2). The ctest entry runs a scaled-down configuration;
@@ -48,6 +52,7 @@
 #include "service/client.hpp"
 #include "service/daemon.hpp"
 #include "service/fleet.hpp"
+#include "service/tcp_transport.hpp"
 #include "workloads/registry.hpp"
 
 namespace {
@@ -131,6 +136,10 @@ main(int argc, char **argv)
     if (shard_index >= 0)
         runShardAndExit(shard_index, workloads::factory(), BenchParams{},
                         shard_params);
+    std::string remote_plane = remoteShardFlagFromArgv(argc, argv);
+    if (!remote_plane.empty())
+        runRemoteShardAndExit(remote_plane, workloads::factory(),
+                              BenchParams{});
 
     int clients = 64;
     int requests = 2;
@@ -394,6 +403,97 @@ main(int argc, char **argv)
         fleet_svc.drain();
         std::error_code ec3;
         std::filesystem::remove_all(cache3, ec3);
+    }
+
+    // --- Phase 5: remote TCP fleet over loopback, quiet run ---
+    {
+        char tmpl4[] = "/tmp/evrloadXXXXXX";
+        char *dir4 = ::mkdtemp(tmpl4);
+        if (!dir4)
+            fatal("mkdtemp: %s", std::strerror(errno));
+        std::string cache4 = dir4;
+        std::string sock4 = cache4 + "/s.sock";
+
+        ServiceConfig sc = loadServiceConfig(sock4);
+        sc.fleet.shards = 2;
+        sc.fleet.listen = "127.0.0.1:0"; // slots filled by dial-in
+        std::string self = selfExecutablePath();
+        if (self.empty())
+            fatal("remote: cannot resolve own executable path");
+
+        SweepService remote_svc(workloads::factory(), loadParams(cache4),
+                                sc);
+        if (Status s = remote_svc.start(); !s.ok())
+            fatal("remote: %s", s.message().c_str());
+        const ShardFleet *fl = remote_svc.fleet();
+        if (!fl || fl->listenAddress().empty())
+            fatal("remote: control plane is not listening");
+        std::string addr = fl->listenAddress();
+
+        std::vector<pid_t> kids;
+        std::string flag = "--evrsim-remote-shard=" + addr;
+        for (int i = 0; i < sc.fleet.shards; ++i) {
+            pid_t pid = ::fork();
+            if (pid == 0) {
+                ::execl(self.c_str(), self.c_str(), flag.c_str(),
+                        static_cast<char *>(nullptr));
+                _exit(127);
+            }
+            if (pid > 0)
+                kids.push_back(pid);
+        }
+
+        auto reg_deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(15);
+        while (fl->stats().registrations <
+                   static_cast<std::uint64_t>(sc.fleet.shards) &&
+               std::chrono::steady_clock::now() < reg_deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        check(fl->stats().registrations ==
+                  static_cast<std::uint64_t>(sc.fleet.shards),
+              "remote: both shards dialed in and registered");
+
+        auto t0 = std::chrono::steady_clock::now();
+        ServiceClient cl(loadClient(sock4, "remote"));
+        Result<SweepReply> reply = cl.runSweep("remote-all", pairs);
+        double remote_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        check(reply.ok() && reply.value().runs.size() == pairs.size(),
+              "remote: sweep served through the TCP fleet");
+        if (reply.ok() && reply.value().runs.size() == pairs.size()) {
+            bool identical = true;
+            for (const ClientRunOutcome &run : reply.value().runs)
+                identical =
+                    identical && run.status.ok() &&
+                    run.result_json ==
+                        golden[run.workload + "/" + run.config];
+            check(identical, "remote: every reply byte-identical to "
+                             "the single-process golden run");
+        }
+        ShardFleet::Stats st = fl->stats();
+        std::printf("remote: %zu run(s) over %d TCP shard(s) in %.2fs "
+                    "(%.0f run/s), dispatched=%llu completed=%llu\n",
+                    pairs.size(), sc.fleet.shards, remote_s,
+                    pairs.size() / remote_s,
+                    static_cast<unsigned long long>(st.dispatched),
+                    static_cast<unsigned long long>(st.completed));
+        check(st.completed >= pairs.size(),
+              "remote: every run completed through the fleet");
+        check(st.fences == 0 && st.reconnects == 0 &&
+                  st.partitions == 0 && st.stale_epochs == 0 &&
+                  st.failovers == 0 && st.degraded == 0,
+              "remote: quiet run touched no fencing machinery");
+
+        remote_svc.drain();
+        for (pid_t pid : kids) {
+            ::kill(pid, SIGTERM);
+            int ws = 0;
+            while (::waitpid(pid, &ws, 0) < 0 && errno == EINTR) {
+            }
+        }
+        std::error_code ec4;
+        std::filesystem::remove_all(cache4, ec4);
     }
 #endif
 

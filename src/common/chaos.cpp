@@ -25,7 +25,8 @@ siteFromName(const std::string &name)
     return Status::invalidArgument(
         "unknown chaos site '" + name +
         "' (expected worker-kill9, worker-stall, wire-corrupt, "
-        "wire-drop or wire-dup)");
+        "wire-drop, wire-dup, net-partition, net-delay, net-reset "
+        "or net-reconnect-storm)");
 }
 
 /** 53-bit mantissa draw in [0, 1) from one mixed word. */
@@ -51,6 +52,14 @@ chaosSiteName(ChaosSite site)
         return "wire-drop";
       case ChaosSite::WireDup:
         return "wire-dup";
+      case ChaosSite::NetPartition:
+        return "net-partition";
+      case ChaosSite::NetDelay:
+        return "net-delay";
+      case ChaosSite::NetReset:
+        return "net-reset";
+      case ChaosSite::NetReconnectStorm:
+        return "net-reconnect-storm";
     }
     return "unknown";
 }

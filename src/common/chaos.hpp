@@ -32,6 +32,22 @@
  *                  daemon must tolerate stray responses; the client
  *                  must reject non-monotone progress)
  *
+ * Network sites (evaluated at the TCP transport's framed writes — the
+ * control plane's sends apply net sites only; a remote shard's sends
+ * apply wire sites then net sites):
+ *   net-partition  the connection is blackholed for kChaosPartitionMs:
+ *                  outgoing frames silently vanish, so the peer's
+ *                  lease/run deadline fires and the shard is fenced
+ *   net-delay      an outgoing frame is held kChaosNetDelayMs before
+ *                  the write (reordering pressure on deadlines)
+ *   net-reset      the connection is torn down mid-frame (half the
+ *                  frame is written, then the socket is shut down),
+ *                  modelling an RST: the reader sees a torn tail
+ *   net-reconnect-storm
+ *                  a remote shard voluntarily drops its control-plane
+ *                  connection and immediately re-dials, exercising
+ *                  the register/reject/re-register path under load
+ *
  * Decisions are a pure function of (site seed, per-site draw counter)
  * via the shared mix64 primitive, exactly like the fault injector: the
  * first chaos event of a quiet-start sweep is fully deterministic, and
@@ -59,8 +75,12 @@ enum class ChaosSite {
     WireCorrupt = 2,
     WireDrop = 3,
     WireDup = 4,
+    NetPartition = 5,
+    NetDelay = 6,
+    NetReset = 7,
+    NetReconnectStorm = 8,
 };
-constexpr int kNumChaosSites = 5;
+constexpr int kNumChaosSites = 9;
 
 /**
  * How long a worker-stall sleeps: comfortably past any test ping
@@ -68,6 +88,17 @@ constexpr int kNumChaosSites = 5;
  * (the parent SIGKILLs the stalled shard at breaker-open anyway).
  */
 constexpr int kChaosStallMs = 2500;
+
+/**
+ * How long a net-partition blackholes a connection: past any test
+ * lease deadline (so the fence fires) but bounded, so a soaked
+ * connection heals and the shard can re-register within the soak's
+ * wall-clock budget.
+ */
+constexpr int kChaosPartitionMs = 2500;
+
+/** How long a net-delay holds a frame: deadline pressure, not a fence. */
+constexpr int kChaosNetDelayMs = 150;
 
 /** Human name used in EVRSIM_CHAOS specs ("worker-kill9"). */
 const char *chaosSiteName(ChaosSite site);

@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "common/fault_injector.hpp" // mix64, fnv1a64
+#include "common/net.hpp"
 #include "driver/envelope.hpp"
 #include "service/service_protocol.hpp"
 
@@ -102,28 +103,12 @@ parseResult(const Json &msg)
 } // namespace
 
 Result<int>
-ServiceClient::connectOnce()
+ServiceClient::connectOnce(int deadline_ms)
 {
-    struct sockaddr_un addr;
-    if (opts_.socket_path.size() >= sizeof(addr.sun_path))
-        return Status::invalidArgument("socket path too long: " +
-                                       opts_.socket_path);
-    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0)
-        return Status::unavailable(std::string("socket: ") +
-                                   std::strerror(errno));
-    std::memset(&addr, 0, sizeof(addr));
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        Status s = Status::unavailable("connect " + opts_.socket_path +
-                                       ": " + std::strerror(errno));
-        ::close(fd);
-        return s;
-    }
-    return fd;
+    // A write against a daemon that died mid-reply must surface as
+    // EPIPE, not kill the client process.
+    ignoreSigpipe();
+    return unixConnect(opts_.socket_path, std::max(deadline_ms, 1));
 }
 
 Result<SweepReply>
@@ -149,7 +134,7 @@ ServiceClient::attach(const std::string &id, const ProgressFn &progress)
 Result<Json>
 ServiceClient::ping()
 {
-    Result<int> cfd = connectOnce();
+    Result<int> cfd = connectOnce(opts_.connect_timeout_ms);
     if (!cfd.ok())
         return cfd.status();
     ScopedFd fd(cfd.value());
@@ -211,7 +196,9 @@ ServiceClient::execute(const std::string &id,
                 std::to_string(opts_.deadline_ms) + " ms exceeded (" +
                 last.message() + ")");
 
-        Result<int> cfd = connectOnce();
+        Result<int> cfd = connectOnce(
+            std::min(std::max(opts_.connect_timeout_ms, 1),
+                     remainingMs(has_deadline, deadline)));
         ++reply.connect_attempts;
         if (!cfd.ok()) {
             last = cfd.status();

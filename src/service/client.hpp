@@ -51,6 +51,11 @@ struct ClientOptions {
     int backoff_cap_ms = 2000;
     /** Read poll granularity in ms (also the deadline check cadence). */
     int poll_ms = 100;
+    /** Per-attempt connect deadline in ms (nonblocking connect +
+     *  poll, common/net.hpp), additionally capped by whatever is left
+     *  of deadline_ms. Bounds the hang when the daemon's accept loop
+     *  is wedged or its listen backlog is full. */
+    int connect_timeout_ms = 2000;
 };
 
 /** One run of a sweep request. */
@@ -117,7 +122,9 @@ class ServiceClient
                                const std::vector<ClientRunSpec> &runs,
                                const ProgressFn &progress);
 
-    Result<int> connectOnce();
+    /** One bounded connect attempt: at most @p deadline_ms before
+     *  giving up with DeadlineExceeded/Unavailable. */
+    Result<int> connectOnce(int deadline_ms);
 
     ClientOptions opts_;
 };

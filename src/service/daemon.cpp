@@ -4,7 +4,9 @@
  */
 #include "service/daemon.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
+#include <sys/file.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -18,6 +20,7 @@
 #include "common/env.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/net.hpp"
 #include "common/shutdown.hpp"
 #include "driver/envelope.hpp"
 
@@ -82,6 +85,20 @@ serviceConfigFromEnvChecked(const BenchParams &params)
         return s;
     if (present)
         cfg.fleet.shards = static_cast<int>(v);
+    if (const char *listen = std::getenv("EVRSIM_FLEET_LISTEN");
+        listen && *listen != '\0') {
+        std::string host;
+        int port = 0;
+        if (Status s = splitHostPort(listen, &host, &port); !s.ok())
+            return s.withContext("EVRSIM_FLEET_LISTEN");
+        cfg.fleet.listen = listen;
+    }
+    if (Status s = readIntKnob("EVRSIM_LEASE_MS", 100, 3600000, v,
+                               present);
+        !s.ok())
+        return s;
+    if (present)
+        cfg.fleet.lease_ms = static_cast<int>(v);
     return cfg;
 }
 
@@ -172,6 +189,11 @@ SweepService::start()
     if (listen_fd_ >= 0)
         return {};
 
+    // A client vanishing mid-progress-stream (or a shard pipe/socket
+    // breaking) must surface as a write Status, never a
+    // process-killing SIGPIPE.
+    ignoreSigpipe();
+
     struct sockaddr_un addr;
     if (config_.socket_path.size() >= sizeof(addr.sun_path))
         return Status::invalidArgument(
@@ -180,10 +202,41 @@ SweepService::start()
             std::to_string(sizeof(addr.sun_path) - 1) + " bytes): " +
             config_.socket_path);
 
+    // Socket ownership is decided by an flock'd sidecar, not by the
+    // probe: two daemons racing the probe->unlink->bind sequence on
+    // one path would otherwise both "win" (one binds, the other
+    // unlinks the winner's socket out from under it). The lock is
+    // held for the daemon's lifetime and the lock file is never
+    // unlinked — see lock_fd_.
+    std::string lock_path = config_.socket_path + ".lock";
+    int lock_fd = ::open(lock_path.c_str(),
+                         O_CREAT | O_RDWR | O_CLOEXEC, 0600);
+    if (lock_fd < 0)
+        return Status::unavailable("open " + lock_path + ": " +
+                                   std::strerror(errno));
+    if (::flock(lock_fd, LOCK_EX | LOCK_NB) != 0) {
+        ::close(lock_fd);
+        return Status::unavailable("another daemon owns " +
+                                   config_.socket_path +
+                                   " (lock held on " + lock_path + ")");
+    }
+    lock_fd_ = lock_fd;
+    auto release_lock = [this] {
+        if (lock_fd_ >= 0) {
+            ::close(lock_fd_); // releases the flock; never unlink
+            lock_fd_ = -1;
+        }
+    };
+
     if (::access(config_.socket_path.c_str(), F_OK) == 0) {
-        if (socketIsLive(config_.socket_path))
+        // With the lock held this is belt-and-braces (a live daemon
+        // would be holding the lock), but it still catches a daemon
+        // from before the sidecar existed.
+        if (socketIsLive(config_.socket_path)) {
+            release_lock();
             return Status::unavailable("another daemon is serving on " +
                                        config_.socket_path);
+        }
         // Stale socket file left behind by a crashed daemon.
         warn("service: replacing stale socket %s",
              config_.socket_path.c_str());
@@ -191,9 +244,11 @@ SweepService::start()
     }
 
     int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0)
+    if (fd < 0) {
+        release_lock();
         return Status::unavailable(std::string("socket: ") +
                                    std::strerror(errno));
+    }
     std::memset(&addr, 0, sizeof(addr));
     addr.sun_family = AF_UNIX;
     std::strncpy(addr.sun_path, config_.socket_path.c_str(),
@@ -203,6 +258,7 @@ SweepService::start()
         Status s = Status::unavailable("bind " + config_.socket_path +
                                        ": " + std::strerror(errno));
         ::close(fd);
+        release_lock();
         return s;
     }
     bound_ = true;
@@ -212,6 +268,7 @@ SweepService::start()
         ::close(fd);
         ::unlink(config_.socket_path.c_str());
         bound_ = false;
+        release_lock();
         return s;
     }
     listen_fd_ = fd;
@@ -614,13 +671,14 @@ SweepService::admit(const std::string &client, std::size_t nruns)
     }
     std::size_t &mine = per_client_[client];
     if (mine + nruns > static_cast<std::size_t>(config_.client_quota)) {
-        if (mine == 0)
+        std::size_t in_flight = mine; // erase below frees `mine`
+        if (in_flight == 0)
             per_client_.erase(client);
         ++stats_.shed_quota;
         metricsCounterAdd("evrsim_service_shed_total", 1.0,
                           {{"reason", "quota"}});
         return Status::resourceExhausted(
-            "client '" + client + "' has " + std::to_string(mine) +
+            "client '" + client + "' has " + std::to_string(in_flight) +
             " run(s) in flight + " + std::to_string(nruns) +
             " requested exceeds EVRSIM_CLIENT_QUOTA=" +
             std::to_string(config_.client_quota) + "; back off and retry");
@@ -691,6 +749,11 @@ SweepService::drain()
         std::lock_guard<std::mutex> lock(admit_mu_);
         draining_ = true;
     }
+    // Shed remote-shard registrations first so a shard dialing in
+    // mid-drain gets a clean "draining" reject instead of a slot that
+    // is about to be torn down.
+    if (fleet_)
+        fleet_->setRegistrationDraining(true);
     stop_accept_.store(true);
     if (accept_thread_.joinable())
         accept_thread_.join();
@@ -729,6 +792,12 @@ SweepService::drain()
     if (bound_) {
         ::unlink(config_.socket_path.c_str());
         bound_ = false;
+    }
+    // Release ownership of the socket path. Close only — never unlink
+    // the lock file (see lock_fd_ in daemon.hpp).
+    if (lock_fd_ >= 0) {
+        ::close(lock_fd_);
+        lock_fd_ = -1;
     }
 }
 

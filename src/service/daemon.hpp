@@ -85,6 +85,12 @@ struct ServiceConfig {
  *   EVRSIM_SHARDS=n           worker-shard fleet width; 0 disables the
  *                             fleet (daemon binary default: cores/4,
  *                             min 1)
+ *   EVRSIM_FLEET_LISTEN=h:p   accept remote shards over TCP on h:p
+ *                             instead of forking local ones (port 0 =
+ *                             kernel-assigned); EVRSIM_SHARDS slots
+ *   EVRSIM_LEASE_MS=n         remote-shard lease: a registered shard
+ *                             missing a pong for this long is fenced
+ *                             (default 5000)
  */
 Result<ServiceConfig>
 serviceConfigFromEnvChecked(const BenchParams &params);
@@ -206,6 +212,12 @@ class SweepService
     std::unique_ptr<ShardFleet> fleet_;
 
     int listen_fd_ = -1;
+    /** flock'd sidecar (<socket>.lock) serializing socket ownership:
+     *  two daemons racing the probe->unlink->bind sequence resolve to
+     *  exactly one owner. Held for the daemon's lifetime; the file is
+     *  never unlinked (unlinking would let a third daemon lock a
+     *  fresh inode while we hold the old one). */
+    int lock_fd_ = -1;
     bool bound_ = false;
     std::atomic<bool> stop_accept_{false};
     std::thread accept_thread_;

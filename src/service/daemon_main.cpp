@@ -36,6 +36,7 @@
 #include "driver/supervisor.hpp"
 #include "service/daemon.hpp"
 #include "service/fleet.hpp"
+#include "service/tcp_transport.hpp"
 #include "workloads/registry.hpp"
 
 namespace {
@@ -122,6 +123,7 @@ main(int argc, char **argv)
     std::string worker_job = workerRunArg(argc, argv);
     std::string shard_params;
     int shard_index = shardFlagFromArgv(argc, argv, shard_params);
+    std::string remote_plane = remoteShardFlagFromArgv(argc, argv);
 
     Result<BenchParams> pr = benchParamsFromEnvChecked();
     if (!pr.ok())
@@ -133,6 +135,8 @@ main(int argc, char **argv)
     if (shard_index >= 0)
         runShardAndExit(shard_index, workloads::factory(), params,
                         shard_params);
+    if (!remote_plane.empty())
+        runRemoteShardAndExit(remote_plane, workloads::factory(), params);
     if (!worker_job.empty())
         runWorkerAndExit(worker_job, params);
 
@@ -153,8 +157,12 @@ main(int argc, char **argv)
         scfg.fleet.shards = std::max(1u, cores / 4u);
     }
     if (scfg.fleet.shards > 0) {
-        std::string self = selfExecutablePath();
-        if (self.empty()) {
+        if (!scfg.fleet.listen.empty()) {
+            // EVRSIM_FLEET_LISTEN: slots are filled by remote shards
+            // dialing in, not by forked children — leave shard_argv
+            // empty so the TCP transport is chosen.
+        } else if (std::string self = selfExecutablePath();
+                   self.empty()) {
             warn("fleet: cannot resolve /proc/self/exe; running without "
                  "worker shards");
             scfg.fleet.shards = 0;

@@ -1,7 +1,9 @@
 /**
  * @file
- * ShardFleet implementation: control-plane supervision on one side,
- * the shard process's serve loop on the other.
+ * ShardFleet implementation: control-plane policy (routing, breakers,
+ * pings, failover) on one side, the pipe transport and the shard
+ * process's serve loop on the other. The TCP transport lives in
+ * tcp_transport.cpp behind the same ShardTransport seam.
  */
 #include "service/fleet.hpp"
 
@@ -23,9 +25,11 @@
 #include "common/fault_injector.hpp" // mix64, fnv1a64
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/net.hpp"
 #include "driver/envelope.hpp"
 #include "driver/supervisor.hpp" // kWorkerResponseFd
 #include "service/service_protocol.hpp"
+#include "service/tcp_transport.hpp"
 
 namespace evrsim {
 
@@ -44,24 +48,6 @@ double
 unitDraw(std::uint64_t mixed)
 {
     return static_cast<double>(mixed >> 11) * 0x1.0p-53;
-}
-
-/**
- * The fleet writes to pipes whose reader can vanish at any moment; an
- * EPIPE must surface as a failed write, not a process-killing SIGPIPE.
- * Installed once, only over the default disposition.
- */
-void
-ensureSigpipeIgnored()
-{
-    struct sigaction old;
-    if (::sigaction(SIGPIPE, nullptr, &old) == 0 &&
-        old.sa_handler == SIG_DFL) {
-        struct sigaction sa;
-        memset(&sa, 0, sizeof(sa));
-        sa.sa_handler = SIG_IGN;
-        ::sigaction(SIGPIPE, &sa, nullptr);
-    }
 }
 
 /**
@@ -177,6 +163,368 @@ shardIndexForKey(const std::string &key, int shards)
                             static_cast<std::uint64_t>(shards));
 }
 
+// --- pipe transport -------------------------------------------------
+
+namespace {
+
+/**
+ * PR 8's fork/exec transport: each slot is a supervised child wired
+ * over stdin (requests) and fd 3 (responses), reaped and respawned
+ * with capped jittered backoff from maintain().
+ */
+class PipeShardTransport final : public ShardTransport
+{
+  public:
+    explicit PipeShardTransport(FleetConfig config)
+        : config_(std::move(config))
+    {
+    }
+
+    ~PipeShardTransport() override { stop(); }
+
+    const char *name() const override { return "pipe"; }
+
+    Status
+    start(TransportHooks hooks) override
+    {
+        hooks_ = std::move(hooks);
+        stopping_.store(false);
+        eps_.clear();
+        for (int i = 0; i < config_.shards; ++i) {
+            auto e = std::make_unique<Endpoint>();
+            e->index = i;
+            eps_.push_back(std::move(e));
+        }
+        for (auto &e : eps_) {
+            if (Status st = spawn(*e); !st.ok()) {
+                // maintain() keeps retrying on the backoff schedule; a
+                // fleet that cannot spawn anything degrades per-run.
+                warn("fleet: shard %d spawn failed: %s", e->index,
+                     st.message().c_str());
+                std::lock_guard<std::mutex> lock(mu_);
+                e->restart_at =
+                    Clock::now() +
+                    std::chrono::milliseconds(restartBackoffMs(
+                        config_, e->index, e->restarts));
+            } else if (hooks_.on_up) {
+                hooks_.on_up(e->index);
+            }
+        }
+        started_ = true;
+        return {};
+    }
+
+    void
+    stop() override
+    {
+        if (!started_)
+            return;
+        stopping_.store(true);
+        // EOF every shard's stdin: a healthy shard drains and exits 0.
+        for (auto &e : eps_) {
+            std::lock_guard<std::mutex> wl(e->write_mu);
+            if (e->in_fd >= 0) {
+                ::close(e->in_fd);
+                e->in_fd = -1;
+            }
+        }
+        // Bounded wait for clean exits, then SIGKILL the stragglers.
+        Clock::time_point deadline =
+            Clock::now() + std::chrono::milliseconds(2000);
+        for (auto &e : eps_) {
+            pid_t pid;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                pid = e->pid;
+            }
+            if (pid <= 0)
+                continue;
+            for (;;) {
+                int wstatus = 0;
+                pid_t r = ::waitpid(pid, &wstatus, WNOHANG);
+                if (r == pid || (r < 0 && errno == ECHILD))
+                    break;
+                if (Clock::now() >= deadline) {
+                    ::kill(pid, SIGKILL);
+                    while (::waitpid(pid, &wstatus, 0) < 0 &&
+                           errno == EINTR) {
+                    }
+                    break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            }
+            std::lock_guard<std::mutex> lock(mu_);
+            e->pid = -1;
+        }
+        for (auto &e : eps_) {
+            if (e->reader.joinable())
+                e->reader.join();
+            if (e->out_fd >= 0) {
+                ::close(e->out_fd);
+                e->out_fd = -1;
+            }
+        }
+        started_ = false;
+    }
+
+    bool
+    writeFrame(int slot, Json payload) override
+    {
+        Endpoint &e = *eps_[static_cast<std::size_t>(slot)];
+        std::lock_guard<std::mutex> lock(e.write_mu);
+        if (e.in_fd < 0)
+            return false;
+        return writeFramedLine(e.in_fd, std::move(payload), nullptr);
+    }
+
+    void
+    condemn(int slot, const std::string &why) override
+    {
+        (void)why;
+        Endpoint &e = *eps_[static_cast<std::size_t>(slot)];
+        pid_t pid = -1;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (e.alive && e.pid > 0)
+                pid = e.pid;
+        }
+        if (pid > 0)
+            ::kill(pid, SIGKILL);
+    }
+
+    void
+    maintain() override
+    {
+        for (auto &ep : eps_) {
+            Endpoint &e = *ep;
+
+            // Reap a dead shard once its reader has drained, then put
+            // it on the restart schedule.
+            bool reap = false;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                reap = e.needs_reap;
+            }
+            if (reap) {
+                int wstatus = 0;
+                pid_t r = ::waitpid(e.pid, &wstatus, WNOHANG);
+                if (r == e.pid || (r < 0 && errno == ECHILD)) {
+                    if (e.reader.joinable())
+                        e.reader.join();
+                    {
+                        std::lock_guard<std::mutex> wl(e.write_mu);
+                        if (e.in_fd >= 0) {
+                            ::close(e.in_fd);
+                            e.in_fd = -1;
+                        }
+                    }
+                    if (e.out_fd >= 0) {
+                        ::close(e.out_fd);
+                        e.out_fd = -1;
+                    }
+                    std::lock_guard<std::mutex> lock(mu_);
+                    e.needs_reap = false;
+                    e.pid = -1;
+                    e.restart_at =
+                        Clock::now() +
+                        std::chrono::milliseconds(restartBackoffMs(
+                            config_, e.index, e.restarts));
+                }
+            }
+
+            // Restart when the backoff expires.
+            bool want_restart = false;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                want_restart = !e.alive && !e.needs_reap &&
+                               e.pid < 0 &&
+                               Clock::now() >= e.restart_at;
+            }
+            if (want_restart && !stopping_.load()) {
+                if (spawn(e).ok()) {
+                    {
+                        std::lock_guard<std::mutex> lock(mu_);
+                        ++e.restarts;
+                        ++stats_.restarts;
+                    }
+                    metricsCounterAdd("evrsim_fleet_restarts_total",
+                                      1.0);
+                    inform("fleet: shard %d restarted (restart %d)",
+                           e.index, e.restarts);
+                    if (hooks_.on_up)
+                        hooks_.on_up(e.index);
+                } else {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ++e.restarts;
+                    e.restart_at =
+                        Clock::now() +
+                        std::chrono::milliseconds(restartBackoffMs(
+                            config_, e.index, e.restarts));
+                }
+            }
+        }
+    }
+
+    TransportStats
+    stats() const override
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return stats_;
+    }
+
+  private:
+    struct Endpoint {
+        int index = 0;
+        pid_t pid = -1;
+        int in_fd = -1;  ///< parent writes requests (shard stdin)
+        int out_fd = -1; ///< parent reads responses (shard fd 3)
+        std::thread reader;
+        /** Serializes writes to in_fd AND its close, so a dispatch
+         *  can never write through a recycled descriptor. */
+        std::mutex write_mu;
+        // Everything below is guarded by the transport mu_.
+        bool alive = false;
+        bool needs_reap = false;
+        int restarts = 0;
+        Clock::time_point restart_at{};
+    };
+
+    Status
+    spawn(Endpoint &e)
+    {
+        int in[2], out[2];
+        if (::pipe2(in, O_CLOEXEC) != 0)
+            return Status::unavailable(std::string("fleet pipe: ") +
+                                       ::strerror(errno));
+        if (::pipe2(out, O_CLOEXEC) != 0) {
+            Status st = Status::unavailable(
+                std::string("fleet pipe: ") + ::strerror(errno));
+            ::close(in[0]);
+            ::close(in[1]);
+            return st;
+        }
+
+        std::vector<std::string> args = config_.shard_argv;
+        args.push_back("--evrsim-shard=" + std::to_string(e.index));
+        if (!config_.shard_params_json.empty())
+            args.push_back("--evrsim-shard-params=" +
+                           config_.shard_params_json);
+        std::vector<char *> cargv;
+        cargv.reserve(args.size() + 1);
+        for (std::string &a : args)
+            cargv.push_back(a.data());
+        cargv.push_back(nullptr);
+
+        pid_t pid = ::fork();
+        if (pid < 0) {
+            Status st = Status::unavailable(
+                std::string("fleet fork: ") + ::strerror(errno));
+            ::close(in[0]);
+            ::close(in[1]);
+            ::close(out[0]);
+            ::close(out[1]);
+            return st;
+        }
+        if (pid == 0) {
+            // Async-signal-safe child setup only: the parent is
+            // threaded. dup2 clears FD_CLOEXEC on the target; when
+            // source == target the flag must be cleared explicitly.
+            auto install = [](int from, int to) -> int {
+                if (from == to) {
+                    int fl = ::fcntl(from, F_GETFD);
+                    return fl < 0 ? -1
+                                  : ::fcntl(from, F_SETFD,
+                                            fl & ~FD_CLOEXEC);
+                }
+                return ::dup2(from, to);
+            };
+            if (install(in[0], STDIN_FILENO) < 0)
+                ::_exit(127);
+            if (install(out[1], kWorkerResponseFd) < 0)
+                ::_exit(127);
+            int devnull = ::open("/dev/null", O_WRONLY);
+            if (devnull >= 0) {
+                ::dup2(devnull, STDOUT_FILENO);
+                if (devnull != STDOUT_FILENO)
+                    ::close(devnull);
+            }
+            ::execv(cargv[0], cargv.data());
+            ::_exit(127);
+        }
+        ::close(in[0]);
+        ::close(out[1]);
+        {
+            std::lock_guard<std::mutex> wl(e.write_mu);
+            e.in_fd = in[1];
+        }
+        e.out_fd = out[0];
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            e.pid = pid;
+            e.alive = true;
+            e.needs_reap = false;
+        }
+        e.reader = std::thread(
+            [this, &e, fd = out[0]] { readerLoop(e, fd); });
+        return {};
+    }
+
+    void
+    readerLoop(Endpoint &e, int fd)
+    {
+        MessageReader reader(fd);
+        for (;;) {
+            Result<Json> msg = reader.next(config_.poll_ms);
+            if (!msg.ok()) {
+                if (msg.status().code() ==
+                    ErrorCode::DeadlineExceeded) {
+                    if (stopping_.load())
+                        return;
+                    continue;
+                }
+                if (msg.status().code() == ErrorCode::DataLoss) {
+                    // A damaged response line: the run it carried (if
+                    // any) will fail over at its deadline; the damage
+                    // itself is a health strike against the shard.
+                    if (hooks_.on_strike)
+                        hooks_.on_strike(e.index,
+                                         "damaged response line");
+                    continue;
+                }
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    e.alive = false;
+                    e.needs_reap = true;
+                }
+                if (hooks_.on_down)
+                    hooks_.on_down(e.index, msg.status().message());
+                return;
+            }
+            if (hooks_.on_frame)
+                hooks_.on_frame(e.index, msg.value());
+        }
+    }
+
+    FleetConfig config_;
+    TransportHooks hooks_;
+    std::vector<std::unique_ptr<Endpoint>> eps_;
+    mutable std::mutex mu_;
+    TransportStats stats_;
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+};
+
+} // namespace
+
+std::unique_ptr<ShardTransport>
+makePipeShardTransport(const FleetConfig &config)
+{
+    return std::make_unique<PipeShardTransport>(config);
+}
+
+// --- fleet policy ---------------------------------------------------
+
 ShardFleet::ShardFleet(const FleetConfig &config, DegradedRunFn degraded)
     : config_(config), degraded_(std::move(degraded))
 {
@@ -189,31 +537,55 @@ ShardFleet::start()
 {
     if (!fleetEnabled(config_))
         return Status::invalidArgument(
-            "fleet: need shards > 0 and a shard argv");
+            "fleet: need shards > 0 and a shard argv or listen "
+            "address");
     if (started_)
         return {};
-    ensureSigpipeIgnored();
+    ignoreSigpipe();
     stopping_.store(false);
     shards_.clear();
     for (int i = 0; i < config_.shards; ++i) {
         auto s = std::make_unique<Shard>();
         s->index = i;
         s->breaker.threshold = config_.breaker_threshold;
+        // A TCP slot starts with no endpoint at all: hold it Open so
+        // routing skips it until a shard registers (handleUp probes
+        // it half-open, exactly like a pipe respawn).
+        if (fleetListens(config_))
+            s->breaker.forceOpen();
         shards_.push_back(std::move(s));
     }
-    for (auto &s : shards_) {
-        if (Status st = spawnShard(*s); !st.ok()) {
-            // The monitor keeps retrying on the backoff schedule; a
-            // fleet that cannot spawn anything degrades per-run.
-            warn("fleet: shard %d spawn failed: %s", s->index,
-                 st.message().c_str());
+
+    transport_ = fleetListens(config_)
+                     ? makeTcpShardTransport(config_)
+                     : makePipeShardTransport(config_);
+    TransportHooks hooks;
+    hooks.on_frame = [this](int slot, const Json &msg) {
+        handleFrame(slot, msg);
+    };
+    hooks.on_up = [this](int slot) { handleUp(slot); };
+    hooks.on_down = [this](int slot, const std::string &why) {
+        if (slot >= 0 &&
+            static_cast<std::size_t>(slot) < shards_.size())
+            handleShardDown(*shards_[static_cast<std::size_t>(slot)],
+                            why);
+    };
+    hooks.on_strike = [this](int slot, const std::string &why) {
+        if (slot < 0 || static_cast<std::size_t>(slot) >= shards_.size())
+            return;
+        {
             std::lock_guard<std::mutex> lock(mu_);
-            s->restart_at =
-                Clock::now() +
-                std::chrono::milliseconds(
-                    restartBackoffMs(config_, s->index, s->restarts));
+            ++stats_.wire_errors;
         }
+        metricsCounterAdd("evrsim_fleet_wire_errors_total", 1.0);
+        recordShardFailure(*shards_[static_cast<std::size_t>(slot)],
+                           why);
+    };
+    if (Status st = transport_->start(std::move(hooks)); !st.ok()) {
+        transport_.reset();
+        return st;
     }
+
     metricsGaugeSet("evrsim_fleet_shards",
                     static_cast<double>(config_.shards));
     started_ = true;
@@ -221,94 +593,17 @@ ShardFleet::start()
     return {};
 }
 
-Status
-ShardFleet::spawnShard(Shard &s)
+void
+ShardFleet::handleUp(int slot)
 {
-    int in[2], out[2];
-    if (::pipe2(in, O_CLOEXEC) != 0)
-        return Status::unavailable(std::string("fleet pipe: ") +
-                                   ::strerror(errno));
-    if (::pipe2(out, O_CLOEXEC) != 0) {
-        Status st = Status::unavailable(std::string("fleet pipe: ") +
-                                        ::strerror(errno));
-        ::close(in[0]);
-        ::close(in[1]);
-        return st;
-    }
-
-    std::vector<std::string> args = config_.shard_argv;
-    args.push_back("--evrsim-shard=" + std::to_string(s.index));
-    if (!config_.shard_params_json.empty())
-        args.push_back("--evrsim-shard-params=" +
-                       config_.shard_params_json);
-    std::vector<char *> cargv;
-    cargv.reserve(args.size() + 1);
-    for (std::string &a : args)
-        cargv.push_back(a.data());
-    cargv.push_back(nullptr);
-
-    pid_t pid = ::fork();
-    if (pid < 0) {
-        Status st = Status::unavailable(std::string("fleet fork: ") +
-                                        ::strerror(errno));
-        ::close(in[0]);
-        ::close(in[1]);
-        ::close(out[0]);
-        ::close(out[1]);
-        return st;
-    }
-    if (pid == 0) {
-        // Async-signal-safe child setup only: the parent is threaded.
-        // dup2 clears FD_CLOEXEC on the target; when source == target
-        // the flag must be cleared explicitly instead.
-        auto install = [](int from, int to) -> int {
-            if (from == to) {
-                int fl = ::fcntl(from, F_GETFD);
-                return fl < 0
-                           ? -1
-                           : ::fcntl(from, F_SETFD, fl & ~FD_CLOEXEC);
-            }
-            return ::dup2(from, to);
-        };
-        if (install(in[0], STDIN_FILENO) < 0)
-            ::_exit(127);
-        if (install(out[1], kWorkerResponseFd) < 0)
-            ::_exit(127);
-        int devnull = ::open("/dev/null", O_WRONLY);
-        if (devnull >= 0) {
-            ::dup2(devnull, STDOUT_FILENO);
-            if (devnull != STDOUT_FILENO)
-                ::close(devnull);
-        }
-        ::execv(cargv[0], cargv.data());
-        ::_exit(127);
-    }
-    ::close(in[0]);
-    ::close(out[1]);
-    {
-        std::lock_guard<std::mutex> wl(s.write_mu);
-        s.in_fd = in[1];
-    }
-    s.out_fd = out[0];
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        s.pid = pid;
-        s.alive = true;
-        s.needs_reap = false;
-        s.ping_outstanding = false;
-        s.last_ping = Clock::now();
-    }
-    s.reader = std::thread([this, &s, fd = out[0]] { readerLoop(s, fd); });
-    return {};
-}
-
-bool
-ShardFleet::writeToShard(Shard &s, Json payload)
-{
-    std::lock_guard<std::mutex> lock(s.write_mu);
-    if (s.in_fd < 0)
-        return false;
-    return writeFramedLine(s.in_fd, std::move(payload), nullptr);
+    if (slot < 0 || static_cast<std::size_t>(slot) >= shards_.size())
+        return;
+    Shard &s = *shards_[static_cast<std::size_t>(slot)];
+    std::lock_guard<std::mutex> lock(mu_);
+    s.alive = true;
+    s.ping_outstanding = false;
+    s.last_ping = Clock::now();
+    s.breaker.onRestart(); // open -> half-open probe
 }
 
 void
@@ -322,38 +617,52 @@ ShardFleet::markShardHealthy(Shard &s)
 }
 
 void
-ShardFleet::recordShardFailure(Shard &s, const char *why)
+ShardFleet::recordShardFailure(Shard &s, const std::string &why)
 {
     bool kill = false;
-    pid_t pid = -1;
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (s.breaker.recordFailure()) {
             ++stats_.breaker_opens;
             metricsCounterAdd("evrsim_fleet_breaker_opens_total", 1.0);
-            warn("fleet: shard %d breaker opened (%s)", s.index, why);
-            if (s.alive && s.pid > 0) {
-                kill = true;
-                pid = s.pid;
-            }
+            warn("fleet: shard %d breaker opened (%s)", s.index,
+                 why.c_str());
+            kill = s.alive;
         }
     }
     // An open breaker on a live shard means it is misbehaving, not
-    // dead (stalled, flaky wire): replace it. The reader observes the
-    // EOF and runs the normal down path.
-    if (kill)
-        ::kill(pid, SIGKILL);
+    // dead (stalled, flaky wire): replace it. The transport's reader
+    // observes the loss and runs the normal down path.
+    if (kill && transport_)
+        transport_->condemn(s.index, why);
 }
 
 void
-ShardFleet::handleShardDown(Shard &s, const char *why)
+ShardFleet::fenceShard(Shard &s, const std::string &why)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!s.alive)
+            return; // already gone; nothing to fence
+    }
+    warn("fleet: shard %d fenced (%s)", s.index, why.c_str());
+    // Fail its in-flight runs over *now* (exactly once — the
+    // transport's later on_down finds the shard already down), then
+    // terminate the endpoint so a zombie holding the old epoch can
+    // never answer into the ring again.
+    handleShardDown(s, why);
+    if (transport_)
+        transport_->condemn(s.index, why);
+}
+
+void
+ShardFleet::handleShardDown(Shard &s, const std::string &why)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (!s.alive)
             return; // another path got here first
         s.alive = false;
-        s.needs_reap = true;
         s.ping_outstanding = false;
         if (!stopping_.load()) {
             // During stop() the EOF is the *expected* way shards exit;
@@ -364,7 +673,7 @@ ShardFleet::handleShardDown(Shard &s, const char *why)
                 metricsCounterAdd("evrsim_fleet_breaker_opens_total",
                                   1.0);
             }
-            warn("fleet: shard %d down (%s)", s.index, why);
+            warn("fleet: shard %d down (%s)", s.index, why.c_str());
         } else {
             s.breaker.forceOpen();
         }
@@ -383,9 +692,8 @@ ShardFleet::handleShardDown(Shard &s, const char *why)
         if (!w->done) {
             w->done = true;
             w->attempt.status = Status::unavailable(
-                std::string("fleet: shard died with the run in flight "
-                            "(") +
-                why + ")");
+                "fleet: shard died with the run in flight (" + why +
+                ")");
             w->attempt.worker_died = true;
             w->cv.notify_all();
         }
@@ -393,174 +701,98 @@ ShardFleet::handleShardDown(Shard &s, const char *why)
 }
 
 void
-ShardFleet::readerLoop(Shard &s, int out_fd)
+ShardFleet::handleFrame(int slot, const Json &msg)
 {
-    MessageReader reader(out_fd);
-    for (;;) {
-        Result<Json> msg = reader.next(config_.poll_ms);
-        if (!msg.ok()) {
-            if (msg.status().code() == ErrorCode::DeadlineExceeded) {
-                if (stopping_.load())
-                    return;
-                continue;
-            }
-            if (msg.status().code() == ErrorCode::DataLoss) {
-                // A damaged response line: the run it carried (if any)
-                // will fail over at its deadline; the damage itself is
-                // a health strike against the shard.
-                {
-                    std::lock_guard<std::mutex> lock(mu_);
-                    ++stats_.wire_errors;
-                }
-                metricsCounterAdd("evrsim_fleet_wire_errors_total", 1.0);
-                recordShardFailure(s, "damaged response line");
-                continue;
-            }
-            handleShardDown(s, msg.status().message().c_str());
-            return;
-        }
+    if (slot < 0 || static_cast<std::size_t>(slot) >= shards_.size())
+        return;
+    Shard &s = *shards_[static_cast<std::size_t>(slot)];
 
-        const Json *type = msg.value().find("type");
-        if (!type || type->type() != Json::Type::String)
-            continue;
-        if (type->asString() == "pong") {
-            {
-                std::lock_guard<std::mutex> lock(mu_);
-                s.ping_outstanding = false;
-            }
-            markShardHealthy(s);
-            continue;
+    const Json *type = msg.find("type");
+    if (!type || type->type() != Json::Type::String)
+        return;
+    if (type->asString() == "pong") {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            s.ping_outstanding = false;
         }
-        if (type->asString() != "result")
-            continue;
+        markShardHealthy(s);
+        return;
+    }
+    if (type->asString() != "result")
+        return;
 
-        const Json *seqj = msg.value().find("seq");
-        const Json *okj = msg.value().find("ok");
-        WorkerAttempt a;
-        bool parsed = false;
-        if (seqj && seqj->type() == Json::Type::Number && okj &&
-            okj->type() == Json::Type::Bool) {
-            if (okj->asBool()) {
-                if (const Json *res = msg.value().find("result")) {
-                    Result<RunResult> rr = RunResult::tryFromJson(*res);
-                    if (rr.ok()) {
-                        a.result = rr.value();
-                        parsed = true;
-                    }
-                }
-            } else if (const Json *st = msg.value().find("status")) {
-                Status reported;
-                if (statusFromJson(*st, reported).ok() &&
-                    !reported.ok()) {
-                    a.status = reported; // shard's verdict, code intact
+    const Json *seqj = msg.find("seq");
+    const Json *okj = msg.find("ok");
+    WorkerAttempt a;
+    bool parsed = false;
+    if (seqj && seqj->type() == Json::Type::Number && okj &&
+        okj->type() == Json::Type::Bool) {
+        if (okj->asBool()) {
+            if (const Json *res = msg.find("result")) {
+                Result<RunResult> rr = RunResult::tryFromJson(*res);
+                if (rr.ok()) {
+                    a.result = rr.value();
                     parsed = true;
                 }
             }
-        }
-        if (!parsed) {
-            {
-                std::lock_guard<std::mutex> lock(mu_);
-                ++stats_.wire_errors;
-            }
-            metricsCounterAdd("evrsim_fleet_wire_errors_total", 1.0);
-            recordShardFailure(s, "unusable result payload");
-            continue;
-        }
-
-        std::shared_ptr<Waiter> w;
-        {
-            std::lock_guard<std::mutex> lock(waiters_mu_);
-            auto it = waiters_.find(seqj->asU64());
-            if (it != waiters_.end())
-                w = it->second;
-        }
-        if (!w) {
-            // Duplicate or long-abandoned response (wire-dup, a run
-            // that already failed over): tolerated, counted.
-            std::lock_guard<std::mutex> lock(mu_);
-            ++stats_.stray_responses;
-        } else {
-            std::lock_guard<std::mutex> lock(w->mu);
-            if (!w->done) {
-                w->done = true;
-                w->attempt = a;
-                w->cv.notify_all();
+        } else if (const Json *st = msg.find("status")) {
+            Status reported;
+            if (statusFromJson(*st, reported).ok() && !reported.ok()) {
+                a.status = reported; // shard's verdict, code intact
+                parsed = true;
             }
         }
-        markShardHealthy(s);
     }
+    if (!parsed) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.wire_errors;
+        }
+        metricsCounterAdd("evrsim_fleet_wire_errors_total", 1.0);
+        recordShardFailure(s, "unusable result payload");
+        return;
+    }
+
+    std::shared_ptr<Waiter> w;
+    {
+        std::lock_guard<std::mutex> lock(waiters_mu_);
+        auto it = waiters_.find(seqj->asU64());
+        if (it != waiters_.end())
+            w = it->second;
+    }
+    if (!w) {
+        // Duplicate or long-abandoned response (wire-dup, a run that
+        // already failed over): tolerated, counted.
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.stray_responses;
+    } else {
+        std::lock_guard<std::mutex> lock(w->mu);
+        if (!w->done) {
+            w->done = true;
+            w->attempt = a;
+            w->cv.notify_all();
+        }
+    }
+    markShardHealthy(s);
 }
 
 void
 ShardFleet::monitorLoop()
 {
+    // Under the TCP transport the pong deadline IS the lease: missing
+    // it fences the shard immediately (its epoch is dead; the
+    // connection is condemned) instead of striking toward the breaker
+    // threshold — a partitioned shard must lose ownership of its
+    // content-key range in one lease, not three.
+    const bool hard_lease = fleetListens(config_);
+    const int pong_deadline_ms =
+        hard_lease ? std::max(config_.lease_ms, 1)
+                   : config_.ping_deadline_ms;
+
     while (!stopping_.load()) {
+        transport_->maintain();
         for (auto &sp : shards_) {
             Shard &s = *sp;
-
-            // Reap a dead shard once its reader has drained, then put
-            // it on the restart schedule.
-            bool reap = false;
-            {
-                std::lock_guard<std::mutex> lock(mu_);
-                reap = s.needs_reap;
-            }
-            if (reap) {
-                int wstatus = 0;
-                pid_t r = ::waitpid(s.pid, &wstatus, WNOHANG);
-                if (r == s.pid || (r < 0 && errno == ECHILD)) {
-                    if (s.reader.joinable())
-                        s.reader.join();
-                    {
-                        std::lock_guard<std::mutex> wl(s.write_mu);
-                        if (s.in_fd >= 0) {
-                            ::close(s.in_fd);
-                            s.in_fd = -1;
-                        }
-                    }
-                    if (s.out_fd >= 0) {
-                        ::close(s.out_fd);
-                        s.out_fd = -1;
-                    }
-                    std::lock_guard<std::mutex> lock(mu_);
-                    s.needs_reap = false;
-                    s.pid = -1;
-                    s.restart_at =
-                        Clock::now() +
-                        std::chrono::milliseconds(restartBackoffMs(
-                            config_, s.index, s.restarts));
-                }
-            }
-
-            // Restart when the backoff expires.
-            bool want_restart = false;
-            {
-                std::lock_guard<std::mutex> lock(mu_);
-                want_restart = !s.alive && !s.needs_reap && s.pid < 0 &&
-                               Clock::now() >= s.restart_at;
-            }
-            if (want_restart && !stopping_.load()) {
-                if (spawnShard(s).ok()) {
-                    std::lock_guard<std::mutex> lock(mu_);
-                    ++s.restarts;
-                    ++stats_.restarts;
-                    metricsCounterAdd("evrsim_fleet_restarts_total", 1.0);
-                    s.breaker.onRestart(); // open -> half-open probe
-                    inform("fleet: shard %d restarted (restart %d, "
-                           "breaker %s)",
-                           s.index, s.restarts,
-                           breakerStateName(s.breaker.state));
-                } else {
-                    std::lock_guard<std::mutex> lock(mu_);
-                    ++s.restarts;
-                    s.restart_at =
-                        Clock::now() +
-                        std::chrono::milliseconds(restartBackoffMs(
-                            config_, s.index, s.restarts));
-                }
-            }
-
-            // Liveness pings with a hard pong deadline.
             bool need_ping = false, deadline_missed = false;
             {
                 std::lock_guard<std::mutex> lock(mu_);
@@ -569,7 +801,7 @@ ShardFleet::monitorLoop()
                     if (s.ping_outstanding &&
                         now - s.ping_sent >
                             std::chrono::milliseconds(
-                                config_.ping_deadline_ms)) {
+                                pong_deadline_ms)) {
                         s.ping_outstanding = false;
                         ++stats_.ping_timeouts;
                         deadline_missed = true;
@@ -586,13 +818,16 @@ ShardFleet::monitorLoop()
             if (deadline_missed) {
                 metricsCounterAdd("evrsim_fleet_ping_timeouts_total",
                                   1.0);
-                recordShardFailure(s, "ping deadline exceeded");
+                if (hard_lease)
+                    fenceShard(s, "lease missed");
+                else
+                    recordShardFailure(s, "ping deadline exceeded");
             }
             if (need_ping) {
                 Json ping = Json::object();
                 ping.set("type", "ping");
                 ping.set("seq", seq_.fetch_add(1));
-                if (!writeToShard(s, std::move(ping)))
+                if (!transport_->writeFrame(s.index, std::move(ping)))
                     handleShardDown(s, "ping write failed");
             }
         }
@@ -637,12 +872,13 @@ ShardFleet::execute(const std::string &alias, const SimConfig &config,
         req.set("seq", seq);
         req.set("workload", alias);
         req.set("config", config.name);
-        if (!writeToShard(s, std::move(req))) {
+        if (!transport_->writeFrame(s.index, std::move(req))) {
             {
                 std::lock_guard<std::mutex> lock(waiters_mu_);
                 waiters_.erase(seq);
             }
             handleShardDown(s, "run dispatch write failed");
+            transport_->condemn(s.index, "run dispatch write failed");
             last = Status::unavailable("fleet: dispatch to shard " +
                                        std::to_string(s.index) +
                                        " failed");
@@ -726,51 +962,9 @@ ShardFleet::stop()
     stopping_.store(true);
     if (monitor_.joinable())
         monitor_.join();
+    if (transport_)
+        transport_->stop();
 
-    // EOF every shard's stdin: a healthy shard drains and exits 0.
-    for (auto &sp : shards_) {
-        std::lock_guard<std::mutex> wl(sp->write_mu);
-        if (sp->in_fd >= 0) {
-            ::close(sp->in_fd);
-            sp->in_fd = -1;
-        }
-    }
-    // Bounded wait for clean exits, then SIGKILL the stragglers.
-    Clock::time_point deadline =
-        Clock::now() + std::chrono::milliseconds(2000);
-    for (auto &sp : shards_) {
-        pid_t pid;
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            pid = sp->pid;
-        }
-        if (pid <= 0)
-            continue;
-        for (;;) {
-            int wstatus = 0;
-            pid_t r = ::waitpid(pid, &wstatus, WNOHANG);
-            if (r == pid || (r < 0 && errno == ECHILD))
-                break;
-            if (Clock::now() >= deadline) {
-                ::kill(pid, SIGKILL);
-                while (::waitpid(pid, &wstatus, 0) < 0 &&
-                       errno == EINTR) {
-                }
-                break;
-            }
-            std::this_thread::sleep_for(std::chrono::milliseconds(10));
-        }
-        std::lock_guard<std::mutex> lock(mu_);
-        sp->pid = -1;
-    }
-    for (auto &sp : shards_) {
-        if (sp->reader.joinable())
-            sp->reader.join();
-        if (sp->out_fd >= 0) {
-            ::close(sp->out_fd);
-            sp->out_fd = -1;
-        }
-    }
     // Anything still parked on a waiter unblocks with Unavailable.
     std::vector<std::shared_ptr<Waiter>> left;
     {
@@ -795,8 +989,22 @@ ShardFleet::stop()
 ShardFleet::Stats
 ShardFleet::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    Stats s;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        s = stats_;
+    }
+    if (transport_) {
+        TransportStats t = transport_->stats();
+        s.restarts += t.restarts;
+        s.fences += t.fences;
+        s.reconnects += t.reconnects;
+        s.partitions += t.partitions;
+        s.stale_epochs += t.stale_epochs;
+        s.registrations += t.registrations;
+        s.shed_registrations += t.shed_registrations;
+    }
+    return s;
 }
 
 BreakerState
@@ -806,6 +1014,19 @@ ShardFleet::breakerState(int index) const
     if (index < 0 || static_cast<std::size_t>(index) >= shards_.size())
         return BreakerState::Open;
     return shards_[static_cast<std::size_t>(index)]->breaker.state;
+}
+
+std::string
+ShardFleet::listenAddress() const
+{
+    return transport_ ? transport_->listenAddress() : std::string();
+}
+
+void
+ShardFleet::setRegistrationDraining(bool draining)
+{
+    if (transport_)
+        transport_->setDraining(draining);
 }
 
 // --- shard-process side ---------------------------------------------
@@ -885,6 +1106,44 @@ shardFlagFromArgv(int argc, char **argv, std::string &params_json)
     return index;
 }
 
+void
+applyShardRuntimePolicy(BenchParams &params)
+{
+    // The daemon owns the cache, the journals and the retry policy;
+    // a shard is a stream of bare attempts (the PR 4 worker
+    // philosophy), so its death never loses durable state.
+    params.use_cache = false;
+    params.resume = false;
+    params.isolate = IsolateMode::Off;
+    params.jobs = 1;
+    params.heartbeat_ms = 0;
+    params.metrics_dir.clear();
+    params.write_summary = false;
+}
+
+Json
+shardRunResponse(ExperimentRunner &runner, const BenchParams &params,
+                 std::uint64_t seq, const std::string &workload,
+                 const std::string &config)
+{
+    Result<RunResult> attempt = [&]() -> Result<RunResult> {
+        Result<SimConfig> cfg = configByName(config, params.gpuConfig());
+        if (!cfg.ok())
+            return cfg.status();
+        return runner.trySimulate(workload, cfg.value());
+    }();
+
+    Json payload = Json::object();
+    payload.set("type", "result");
+    payload.set("seq", seq);
+    payload.set("ok", attempt.ok());
+    if (attempt.ok())
+        payload.set("result", attempt.value().toJson());
+    else
+        payload.set("status", statusToJson(attempt.status()));
+    return payload;
+}
+
 namespace {
 
 /** One queued run inside a shard process. */
@@ -907,18 +1166,9 @@ runShardAndExit(int shard_index, WorkloadFactory factory,
             std::exit(2);
         }
     }
-    // The daemon owns the cache, the journals and the retry policy;
-    // a shard is a stream of bare attempts (the PR 4 worker
-    // philosophy), so its death never loses durable state.
-    params.use_cache = false;
-    params.resume = false;
-    params.isolate = IsolateMode::Off;
-    params.jobs = 1;
-    params.heartbeat_ms = 0;
-    params.metrics_dir.clear();
-    params.write_summary = false;
+    applyShardRuntimePolicy(params);
     setLogLevel(params.log_level);
-    ::signal(SIGPIPE, SIG_IGN);
+    ignoreSigpipe();
 
     ChaosInjector chaos(ChaosInjector::planFromEnv());
     ExperimentRunner runner(factory, params);
@@ -953,23 +1203,8 @@ runShardAndExit(int shard_index, WorkloadFactory factory,
             if (chaos.shouldFire(ChaosSite::WorkerKill9))
                 ::raise(SIGKILL);
 
-            Result<RunResult> attempt = [&]() -> Result<RunResult> {
-                Result<SimConfig> cfg =
-                    configByName(run.config, params.gpuConfig());
-                if (!cfg.ok())
-                    return cfg.status();
-                return runner.trySimulate(run.workload, cfg.value());
-            }();
-
-            Json payload = Json::object();
-            payload.set("type", "result");
-            payload.set("seq", run.seq);
-            payload.set("ok", attempt.ok());
-            if (attempt.ok())
-                payload.set("result", attempt.value().toJson());
-            else
-                payload.set("status", statusToJson(attempt.status()));
-            respond(std::move(payload));
+            respond(shardRunResponse(runner, params, run.seq,
+                                     run.workload, run.config));
         }
     });
 

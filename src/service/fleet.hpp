@@ -32,8 +32,27 @@
  * deterministic), which is what the chaos soak asserts end to end.
  *
  * Everything here is observable: evrsim_fleet_* counters (restarts,
- * breaker opens, failovers, degraded runs, wire errors, ping timeouts)
+ * breaker opens, failovers, degraded runs, wire errors, ping timeouts,
+ * fences, reconnects, partitions, stale epochs, registrations)
  * plus an evrsim_fleet_shards gauge.
+ *
+ * PR 9 splits the fleet along a ShardTransport seam: the fleet keeps
+ * everything about *policy* (routing, breakers, pings, failover,
+ * degradation, waiter bookkeeping) while a transport owns everything
+ * about *endpoints* (spawning or accepting them, framing bytes to
+ * them, detecting their loss). Two transports exist:
+ *
+ *  - PipeShardTransport (in fleet.cpp): PR 8's fork/exec children on
+ *    stdin/fd-3 pipes, with reap + jittered-backoff respawn.
+ *  - TcpShardTransport (tcp_transport.hpp): remote shards dial in
+ *    over TCP (EVRSIM_FLEET_LISTEN), register with a hello/welcome
+ *    handshake, and hold a slot under an epoch lease. A shard that
+ *    misses its lease (EVRSIM_LEASE_MS, riding the ping machinery
+ *    with a hard deadline) is *fenced*: its connection is condemned,
+ *    its in-flight runs fail over exactly once, and any frame or
+ *    reconnect carrying the old epoch is rejected — a partition can
+ *    never yield two owners of one content-key range or a duplicate
+ *    seq stream.
  */
 #ifndef EVRSIM_SERVICE_FLEET_HPP
 #define EVRSIM_SERVICE_FLEET_HPP
@@ -52,6 +71,7 @@
 
 #include "common/status.hpp"
 #include "driver/experiment.hpp"
+#include "driver/json.hpp"
 #include "driver/workload.hpp"
 
 namespace evrsim {
@@ -70,6 +90,14 @@ struct FleetConfig {
     /** Simulation-relevant BenchParams subset forwarded to each shard
      *  (shardParamsJson()); filled from the service params when empty. */
     std::string shard_params_json;
+    /** Non-empty ("host:port", port 0 = kernel-assigned) selects the
+     *  TCP transport: remote shards dial in and register instead of
+     *  being fork/exec'd. EVRSIM_FLEET_LISTEN. */
+    std::string listen;
+    /** TCP lease: a registered shard whose pong misses this hard
+     *  deadline is fenced (condemned + failed over), not merely
+     *  struck. EVRSIM_LEASE_MS. */
+    int lease_ms = 5000;
     int ping_interval_ms = 500;  ///< cadence of liveness pings
     int ping_deadline_ms = 2000; ///< pong deadline = one health failure
     /** Consecutive failures that open a shard's circuit breaker. */
@@ -83,11 +111,19 @@ struct FleetConfig {
     int poll_ms = 50; ///< monitor/reader wakeup cadence
 };
 
-/** A fleet is on when it has both a width and a program to exec. */
+/** A fleet is on when it has a width and either a program to exec
+ *  (pipe transport) or an address to listen on (TCP transport). */
 inline bool
 fleetEnabled(const FleetConfig &c)
 {
-    return c.shards > 0 && !c.shard_argv.empty();
+    return c.shards > 0 && (!c.shard_argv.empty() || !c.listen.empty());
+}
+
+/** Whether the config selects the TCP (remote-shard) transport. */
+inline bool
+fleetListens(const FleetConfig &c)
+{
+    return !c.listen.empty();
 }
 
 /** Circuit breaker state (DESIGN.md §14). */
@@ -141,6 +177,99 @@ int restartBackoffMs(const FleetConfig &c, int shard_index, int restarts);
 /** Primary shard for a content key: fnv1a64(key) % shards. */
 int shardIndexForKey(const std::string &key, int shards);
 
+// --- transport seam -------------------------------------------------
+
+/**
+ * Endpoint-lifecycle accounting a transport keeps for itself; the
+ * fleet merges it into ShardFleet::Stats. The pipe transport only
+ * moves `restarts`; the TCP transport moves the rest.
+ */
+struct TransportStats {
+    std::uint64_t restarts = 0; ///< endpoints respawned (pipe)
+    std::uint64_t fences = 0;   ///< live connections condemned (TCP)
+    std::uint64_t reconnects = 0; ///< re-registrations beyond a
+                                  ///< slot's first (TCP)
+    std::uint64_t partitions = 0; ///< net-partition blackholes engaged
+    std::uint64_t stale_epochs = 0; ///< frames/hellos with an old
+                                    ///< epoch, rejected (TCP)
+    std::uint64_t registrations = 0; ///< hellos admitted (TCP)
+    std::uint64_t shed_registrations = 0; ///< hellos rejected:
+                                          ///< draining/full/version
+};
+
+/**
+ * Callbacks a transport raises into the fleet. All may be invoked
+ * from transport-owned threads; the fleet's handlers are thread-safe
+ * and must not call back into the transport while holding locks the
+ * transport's stop() path could need.
+ */
+struct TransportHooks {
+    /** A well-framed, epoch-valid message arrived from @p slot. */
+    std::function<void(int slot, const Json &msg)> on_frame;
+    /** Slot @p slot gained a live endpoint (spawn, respawn, or an
+     *  admitted registration). */
+    std::function<void(int slot)> on_up;
+    /** Slot @p slot lost its endpoint (EOF, reset, condemned). */
+    std::function<void(int slot, const std::string &why)> on_down;
+    /** A health strike against a live endpoint (damaged frame). */
+    std::function<void(int slot, const std::string &why)> on_strike;
+};
+
+/**
+ * How the fleet reaches its shards. A transport owns endpoint
+ * lifetime (processes or sockets), framing, and loss detection; the
+ * fleet owns routing, health policy, and failover. Implementations:
+ * the in-process pipe transport (fleet.cpp) and TcpShardTransport
+ * (tcp_transport.hpp).
+ */
+class ShardTransport
+{
+  public:
+    virtual ~ShardTransport() = default;
+
+    /** Transport name for logs ("pipe", "tcp"). */
+    virtual const char *name() const = 0;
+
+    /** Bring up endpoints (or start listening for them). */
+    virtual Status start(TransportHooks hooks) = 0;
+
+    /** Tear down every endpoint and join every thread. Idempotent. */
+    virtual void stop() = 0;
+
+    /**
+     * Frame @p payload to slot @p slot's endpoint. False when the
+     * endpoint is gone or the write failed (the caller fails over);
+     * a chaos-dropped or blackholed frame still reports true — the
+     * run deadline is the detector for silence.
+     */
+    virtual bool writeFrame(int slot, Json payload) = 0;
+
+    /**
+     * Terminate slot @p slot's current endpoint (SIGKILL the child /
+     * fence the connection). The endpoint's reader observes the loss
+     * and raises on_down as usual.
+     */
+    virtual void condemn(int slot, const std::string &why) = 0;
+
+    /** Periodic upkeep from the fleet's monitor thread (reap +
+     *  respawn for pipes; nothing for TCP — its acceptor is a
+     *  thread). */
+    virtual void maintain() = 0;
+
+    /** Stop admitting new registrations (drain). Pipe: no-op. */
+    virtual void setDraining(bool draining) { (void)draining; }
+
+    /** Resolved listen address ("127.0.0.1:43211") for transports
+     *  that listen; empty otherwise. */
+    virtual std::string listenAddress() const { return {}; }
+
+    virtual TransportStats stats() const = 0;
+};
+
+/** The PR 8 fork/exec pipe transport (defined in fleet.cpp). */
+std::unique_ptr<ShardTransport>
+makePipeShardTransport(const FleetConfig &config);
+
 /** The control-plane side: supervises the shard processes. */
 class ShardFleet
 {
@@ -156,6 +285,13 @@ class ShardFleet
         std::uint64_t wire_errors = 0;   ///< damaged response lines
         std::uint64_t ping_timeouts = 0; ///< pongs past the deadline
         std::uint64_t stray_responses = 0; ///< no waiter (wire-dup)
+        // Transport-side accounting, merged in stats():
+        std::uint64_t fences = 0;     ///< lease losses condemned (TCP)
+        std::uint64_t reconnects = 0; ///< slot re-registrations (TCP)
+        std::uint64_t partitions = 0; ///< net-partition blackholes
+        std::uint64_t stale_epochs = 0;  ///< old-epoch frames dropped
+        std::uint64_t registrations = 0; ///< hellos admitted (TCP)
+        std::uint64_t shed_registrations = 0; ///< hellos rejected
     };
 
     /** In-daemon fallback when no shard is healthy. */
@@ -196,6 +332,13 @@ class ShardFleet
 
     const FleetConfig &config() const { return config_; }
 
+    /** Resolved transport listen address (TCP transport; empty for
+     *  pipes). Lets tests bind port 0 and discover the real port. */
+    std::string listenAddress() const;
+
+    /** Shed new shard registrations (daemon drain). */
+    void setRegistrationDraining(bool draining);
+
   private:
     /** One pending dispatch, keyed by wire seq. */
     struct Waiter {
@@ -206,45 +349,41 @@ class ShardFleet
         int shard = -1; ///< dispatch target (failover bookkeeping)
     };
 
+    /** Per-slot health policy state, all guarded by the fleet mu_.
+     *  The endpoint itself (process/socket) lives in the transport. */
     struct Shard {
         int index = 0;
-        pid_t pid = -1;
-        int in_fd = -1;  ///< parent writes requests (shard stdin)
-        int out_fd = -1; ///< parent reads responses (shard fd 3)
-        std::thread reader;
-        /** Serializes writes to in_fd AND its close, so a dispatch
-         *  can never write through a recycled descriptor. */
-        std::mutex write_mu;
-        // Everything below is guarded by the fleet mu_.
         bool alive = false;
-        bool needs_reap = false;
         CircuitBreaker breaker;
-        int restarts = 0;
-        std::chrono::steady_clock::time_point restart_at{};
         bool ping_outstanding = false;
         std::chrono::steady_clock::time_point ping_sent{};
         std::chrono::steady_clock::time_point last_ping{};
     };
 
-    Status spawnShard(Shard &s);
     void monitorLoop();
-    void readerLoop(Shard &s, int out_fd);
 
-    /** Reader/write-failure path: mark dead, open the breaker, fail
-     *  the shard's in-flight waiters with Unavailable. */
-    void handleShardDown(Shard &s, const char *why);
+    // Transport hook handlers.
+    void handleFrame(int slot, const Json &msg);
+    void handleUp(int slot);
+
+    /** Endpoint-loss path: mark dead, open the breaker, fail the
+     *  shard's in-flight waiters with Unavailable. */
+    void handleShardDown(Shard &s, const std::string &why);
 
     /** Health failure (ping timeout, wire damage, run deadline);
-     *  SIGKILLs the shard when the breaker opens. */
-    void recordShardFailure(Shard &s, const char *why);
+     *  condemns the shard's endpoint when the breaker opens. */
+    void recordShardFailure(Shard &s, const std::string &why);
+
+    /** Fence: condemn the endpoint now and fail over its in-flight
+     *  runs (TCP lease miss — harder than a strike). */
+    void fenceShard(Shard &s, const std::string &why);
 
     /** Pong/result received: close the breaker. */
     void markShardHealthy(Shard &s);
 
-    bool writeToShard(Shard &s, Json payload);
-
     FleetConfig config_;
     DegradedRunFn degraded_;
+    std::unique_ptr<ShardTransport> transport_;
     std::vector<std::unique_ptr<Shard>> shards_;
 
     mutable std::mutex mu_; ///< shard health + stats
@@ -276,6 +415,18 @@ Status applyShardParams(const std::string &text, BenchParams &params);
  * like the --evrsim-worker-run probe.
  */
 int shardFlagFromArgv(int argc, char **argv, std::string &params_json);
+
+/** Force the bare-attempt worker philosophy onto shard params: no
+ *  cache, no journal, no isolation, one job, quiet telemetry. Shared
+ *  by the pipe and remote serve loops. */
+void applyShardRuntimePolicy(BenchParams &params);
+
+/** Execute one shard run request (@p workload under @p config) and
+ *  build the framed "result" payload for @p seq. */
+Json shardRunResponse(ExperimentRunner &runner,
+                      const BenchParams &params, std::uint64_t seq,
+                      const std::string &workload,
+                      const std::string &config);
 
 /**
  * Serve as shard @p shard_index until stdin EOF, then exit: parse the

@@ -660,6 +660,151 @@ TEST(ServiceKnobs, TypoedKnobFailsNamingTheVariable)
     EXPECT_EQ(defaults.value().fleet.shards, 0);
 }
 
+TEST(ServiceKnobs, FleetListenAndLeaseKnobsParse)
+{
+    BenchParams params = tinyParams("/tmp/x");
+
+    // A listen address that cannot be split into host:port fails
+    // naming the variable, not at bind time.
+    ::setenv("EVRSIM_FLEET_LISTEN", "no-port-here", 1);
+    Result<ServiceConfig> bad = serviceConfigFromEnvChecked(params);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.status().message().find("EVRSIM_FLEET_LISTEN"),
+              std::string::npos);
+
+    ::setenv("EVRSIM_FLEET_LISTEN", "127.0.0.1:70000", 1);
+    bad = serviceConfigFromEnvChecked(params);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.status().message().find("EVRSIM_FLEET_LISTEN"),
+              std::string::npos);
+
+    ::setenv("EVRSIM_FLEET_LISTEN", "127.0.0.1:0", 1);
+    ::setenv("EVRSIM_LEASE_MS", "2500", 1);
+    Result<ServiceConfig> good = serviceConfigFromEnvChecked(params);
+    ASSERT_TRUE(good.ok()) << good.status().toString();
+    EXPECT_EQ(good.value().fleet.listen, "127.0.0.1:0");
+    EXPECT_EQ(good.value().fleet.lease_ms, 2500);
+
+    ::setenv("EVRSIM_LEASE_MS", "50", 1); // below the 100 ms floor
+    bad = serviceConfigFromEnvChecked(params);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.status().message().find("EVRSIM_LEASE_MS"),
+              std::string::npos);
+
+    ::unsetenv("EVRSIM_FLEET_LISTEN");
+    ::unsetenv("EVRSIM_LEASE_MS");
+    Result<ServiceConfig> defaults = serviceConfigFromEnvChecked(params);
+    ASSERT_TRUE(defaults.ok());
+    EXPECT_TRUE(defaults.value().fleet.listen.empty());
+    EXPECT_EQ(defaults.value().fleet.lease_ms, 5000);
+}
+
+TEST(ServiceSocket, RacingDaemonsResolveToExactlyOneOwner)
+{
+    // Two daemons racing the probe -> unlink -> bind sequence on the
+    // same socket path: the flock sidecar must pick exactly one owner
+    // every round, never zero and never two.
+    TempDir dir;
+    std::string sock = dir.path + "/race.sock";
+    BenchParams params = tinyParams(dir.path);
+
+    for (int round = 0; round < 3; ++round) {
+        SweepService a(workloads::factory(), params,
+                       serviceConfig(sock));
+        SweepService b(workloads::factory(), params,
+                       serviceConfig(sock));
+        Status sa, sb;
+        std::atomic<int> ready{0};
+        std::thread ta([&] {
+            ++ready;
+            while (ready.load() < 2) {
+            }
+            sa = a.start();
+        });
+        std::thread tb([&] {
+            ++ready;
+            while (ready.load() < 2) {
+            }
+            sb = b.start();
+        });
+        ta.join();
+        tb.join();
+
+        ASSERT_NE(sa.ok(), sb.ok())
+            << "round " << round << ": exactly one owner, got "
+            << sa.toString() << " / " << sb.toString();
+        const Status &loser = sa.ok() ? sb : sa;
+        EXPECT_EQ(loser.code(), ErrorCode::Unavailable);
+
+        SweepService &winner = sa.ok() ? a : b;
+        ServiceClient probe(clientOptions(sock, "probe"));
+        EXPECT_TRUE(probe.ping().ok()) << "round " << round;
+        winner.drain(); // releases the lock for the next round
+    }
+}
+
+TEST(ServiceSigpipe, ClientVanishingMidStreamDoesNotKillTheDaemon)
+{
+    // A client that submits a sweep and disappears before the reply:
+    // every subsequent daemon write lands on a dead socket. The
+    // request must still run to completion (cache + journal serve a
+    // later attach) and the daemon must survive to serve the next
+    // client — an unhandled SIGPIPE would kill the whole process and
+    // fail this test binary outright.
+    TempDir dir;
+    std::string sock = dir.path + "/s.sock";
+    BenchParams params = tinyParams(dir.path);
+
+    SweepService service(workloads::factory(), params,
+                         serviceConfig(sock));
+    ASSERT_TRUE(service.start().ok());
+
+    {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        struct sockaddr_un addr = {};
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      sock.c_str());
+        ASSERT_EQ(
+            ::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                      sizeof(addr)),
+            0);
+        Json req = Json::object();
+        req.set("type", "sweep");
+        req.set("id", "vanishing-client");
+        req.set("client", "ghost");
+        Json runs = Json::array();
+        Json run = Json::object();
+        run.set("workload", workloads::allAliases().front());
+        run.set("config", "baseline");
+        runs.push(std::move(run));
+        req.set("runs", std::move(runs));
+        ASSERT_TRUE(writeServiceMessage(fd, std::move(req)).ok());
+        // Vanish mid-stream: the accepted/progress/result frames all
+        // hit a closed peer.
+        ::close(fd);
+    }
+
+    // The orphaned request still completes...
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (service.stats().requests_completed < 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(service.stats().requests_completed, 1u);
+
+    // ...and the daemon is alive and serving afterwards: a reconnect
+    // by the same idempotent id gets the full reply.
+    ServiceClient client(clientOptions(sock, "ghost"));
+    Result<SweepReply> attached = client.attach("vanishing-client");
+    ASSERT_TRUE(attached.ok()) << attached.status().toString();
+    ASSERT_EQ(attached.value().runs.size(), 1u);
+    EXPECT_TRUE(attached.value().runs[0].status.ok());
+
+    service.drain();
+}
+
 // --- mid-stream progress damage ------------------------------------
 //
 // A fake daemon that serves each accepted connection with a scripted
