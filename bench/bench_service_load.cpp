@@ -24,8 +24,13 @@
  *     fleet touches none of the failure machinery;
  *  5. remote TCP fleet — the control plane listens on loopback and two
  *     forked copies of this binary dial in as remote shards
- *     (--evrsim-remote-shard); the sweep is byte-identical again and a
- *     quiet fleet touches none of the fencing machinery.
+ *     (--evrsim-remote-shard); the sweep is byte-identical again, a
+ *     quiet fleet touches none of the fencing machinery, and the
+ *     observability plane holds up under load: the drained control
+ *     plane leaves one merged Chrome trace whose shard spans stitch
+ *     under the dispatch spans by shared trace ids, and the exported
+ *     metrics.json/metrics.prom artifacts self-parse with the fleet
+ *     counters and the per-shard folded series present.
  *
  * Flags: --clients=N (default 64), --requests=M per client in the cold
  * phase (default 2). The ctest entry runs a scaled-down configuration;
@@ -46,8 +51,12 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "driver/json.hpp"
 #include "driver/supervisor.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
@@ -122,6 +131,19 @@ runsTotal(const char *outcome)
     Result<double> v =
         metricsValue("evrsim_runs_total", {{"outcome", outcome}});
     return v.ok() ? v.value() : 0.0;
+}
+
+/** Parse @p path as JSON; a null-typed Json on any failure. */
+Json
+parseJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        return Json();
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    Result<Json> doc = Json::tryParse(text);
+    return doc.ok() ? doc.value() : Json();
 }
 
 } // namespace
@@ -421,6 +443,17 @@ main(int argc, char **argv)
         if (self.empty())
             fatal("remote: cannot resolve own executable path");
 
+        // Trace the whole remote leg: the dial-in shards inherit
+        // EVRSIM_TRACE and ship their spans back on result frames; the
+        // control plane stitches them into one merged file at drain.
+        ::setenv("EVRSIM_TRACE", "driver,worker", 1);
+        std::string trace_path = cache4 + "/remote_trace.json";
+        TraceConfig tcfg;
+        tcfg.mask = (1u << static_cast<unsigned>(TraceCat::Driver)) |
+                    (1u << static_cast<unsigned>(TraceCat::Worker));
+        tcfg.path = trace_path;
+        traceConfigure(tcfg);
+
         SweepService remote_svc(workloads::factory(), loadParams(cache4),
                                 sc);
         if (Status s = remote_svc.start(); !s.ok())
@@ -485,13 +518,98 @@ main(int argc, char **argv)
                   st.failovers == 0 && st.degraded == 0,
               "remote: quiet run touched no fencing machinery");
 
-        remote_svc.drain();
+        // Aggregated metrics artifacts before teardown: the merged
+        // registry (daemon counters + per-shard folded series) must
+        // export as self-parsing metrics.json/metrics.prom.
+        if (Status s = remote_svc.runner().writeMetricsArtifacts();
+            !s.ok())
+            fatal("remote: %s", s.message().c_str());
+
+        remote_svc.drain(); // also flushes the merged trace
         for (pid_t pid : kids) {
             ::kill(pid, SIGTERM);
             int ws = 0;
             while (::waitpid(pid, &ws, 0) < 0 && errno == EINTR) {
             }
         }
+        ::unsetenv("EVRSIM_TRACE");
+
+        // One merged Chrome trace: shard spans adopted into synthetic
+        // pid lanes, stitched to the dispatch spans by shared ids.
+        Json trace_doc = parseJsonFile(trace_path);
+        const Json *tev = trace_doc.find("traceEvents");
+        check(tev && tev->type() == Json::Type::Array && tev->size() > 0,
+              "remote: merged trace file exists and parses");
+        if (tev && tev->type() == Json::Type::Array) {
+            std::map<std::string, bool> dispatch_ids;
+            int shard_spans = 0, stitched = 0;
+            for (std::size_t i = 0; i < tev->size(); ++i) {
+                const Json &e = tev->at(i);
+                const Json *args = e.find("args");
+                std::string tid_hex =
+                    args ? args->get("trace_id", Json("")).asString()
+                         : "";
+                if (tid_hex.empty())
+                    continue;
+                std::string name = e.get("name", Json("")).asString();
+                if (name == "fleet-dispatch")
+                    dispatch_ids[tid_hex] = true;
+                else if (e.get("pid", Json(0.0)).asDouble() >= 1000000 &&
+                         name == "shard-run")
+                    ++shard_spans;
+            }
+            for (std::size_t i = 0; i < tev->size(); ++i) {
+                const Json &e = tev->at(i);
+                if (e.get("pid", Json(0.0)).asDouble() < 1000000 ||
+                    e.get("name", Json("")).asString() != "shard-run")
+                    continue;
+                const Json *args = e.find("args");
+                if (args && dispatch_ids.count(args->get(
+                                "trace_id", Json("")).asString()))
+                    ++stitched;
+            }
+            std::printf("remote: trace events=%zu dispatch ids=%zu "
+                        "shard spans=%d stitched=%d\n",
+                        tev->size(), dispatch_ids.size(), shard_spans,
+                        stitched);
+            check(!dispatch_ids.empty() && shard_spans > 0,
+                  "remote: trace has dispatch spans and adopted shard "
+                  "spans");
+            check(stitched == shard_spans && stitched > 0,
+                  "remote: every shard span stitches to a dispatch "
+                  "span by trace id");
+        }
+
+        // Aggregated metrics artifacts self-parse and carry both the
+        // control plane's counters and the shard-folded series.
+        Json mjson = parseJsonFile(cache4 + "/metrics.json");
+        const Json *metrics = mjson.find("metrics");
+        bool saw_fleet = false, saw_shard_label = false;
+        if (metrics && metrics->type() == Json::Type::Array) {
+            for (std::size_t i = 0; i < metrics->size(); ++i) {
+                const Json &m = metrics->at(i);
+                if (m.get("name", Json("")).asString() ==
+                    "evrsim_fleet_dispatched_total")
+                    saw_fleet = true;
+                const Json *labels = m.find("labels");
+                if (labels && labels->find("shard"))
+                    saw_shard_label = true;
+            }
+        }
+        check(metrics && metrics->type() == Json::Type::Array,
+              "remote: metrics.json exists and parses");
+        check(saw_fleet,
+              "remote: merged metrics carry the fleet counters");
+        check(saw_shard_label,
+              "remote: merged metrics carry shard-labeled folded "
+              "series");
+        std::ifstream prom(cache4 + "/metrics.prom");
+        std::string prom_text((std::istreambuf_iterator<char>(prom)),
+                              std::istreambuf_iterator<char>());
+        check(prom_text.find("# TYPE evrsim_fleet_dispatched_total "
+                             "counter") != std::string::npos,
+              "remote: metrics.prom exists with typed fleet counters");
+
         std::error_code ec4;
         std::filesystem::remove_all(cache4, ec4);
     }

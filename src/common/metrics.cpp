@@ -158,6 +158,53 @@ appendEscaped(std::string &out, const std::string &s)
     out += '"';
 }
 
+/** Prometheus label-value escaping. The text exposition format defines
+ *  exactly three escapes inside quoted label values — backslash,
+ *  double-quote and newline; everything else passes through verbatim.
+ *  Centralized here so hostile workload/config/shard labels can never
+ *  tear a quoted value open or smuggle a line break into the output. */
+std::string
+promEscapeLabelValue(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Prometheus label names must match [a-zA-Z_][a-zA-Z0-9_]*. Quoting
+ *  is not available for names, so out-of-charset bytes map to '_'
+ *  (and a leading digit gets a '_' prefix) rather than being emitted
+ *  raw, which would malform every line mentioning the label. */
+std::string
+promSanitizeLabelName(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 1);
+    for (char c : s) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  c == '_' || (!out.empty() && c >= '0' && c <= '9');
+        out += ok ? c : '_';
+    }
+    if (out.empty())
+        out = "_";
+    return out;
+}
+
 /** Prometheus label block: {a="x",b="y"} or empty. */
 std::string
 promLabels(const MetricLabels &labels)
@@ -170,17 +217,9 @@ promLabels(const MetricLabels &labels)
         if (!first)
             out += ',';
         first = false;
-        out += kv.first;
+        out += promSanitizeLabelName(kv.first);
         out += "=\"";
-        for (char c : kv.second) {
-            if (c == '\\' || c == '"')
-                out += '\\';
-            if (c == '\n') {
-                out += "\\n";
-                continue;
-            }
-            out += c;
-        }
+        out += promEscapeLabelValue(kv.second);
         out += '"';
     }
     out += '}';
@@ -237,6 +276,36 @@ metricsHistogramObserve(const std::string &name, double value,
 }
 
 void
+metricsHistogramMergeDelta(const std::string &name,
+                           const MetricLabels &labels,
+                           const std::vector<double> &bounds,
+                           const std::vector<std::uint64_t> &count_deltas,
+                           double sum_delta, std::uint64_t count_delta)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    // A name never seen locally adopts the shipped bucket ladder.
+    if (r.series.find(name) == r.series.end() &&
+        r.custom_bounds.find(name) == r.custom_bounds.end())
+        r.custom_bounds[name] = bounds;
+    Instance *inst = instance(r, name, Kind::Histogram, labels);
+    if (!inst)
+        return; // sticky-kind conflict, already counted
+    if (inst->bounds != bounds ||
+        count_deltas.size() != inst->counts.size()) {
+        // Incompatible ladders cannot be merged bucket-for-bucket;
+        // dropping the sample and counting it beats corrupting the
+        // series, same contract as a kind mismatch.
+        ++r.type_conflicts;
+        return;
+    }
+    for (std::size_t b = 0; b < count_deltas.size(); ++b)
+        inst->counts[b] += count_deltas[b];
+    inst->sum += sum_delta;
+    inst->count += count_delta;
+}
+
+void
 metricsHistogramDefine(const std::string &name,
                        const std::vector<double> &upper_bounds)
 {
@@ -259,6 +328,14 @@ metricsReset()
     r.kinds.clear();
     r.custom_bounds.clear();
     r.type_conflicts = 0;
+}
+
+std::uint64_t
+metricsTypeConflicts()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.type_conflicts;
 }
 
 std::size_t

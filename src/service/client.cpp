@@ -146,6 +146,23 @@ ServiceClient::ping()
     return reader.next(std::max(opts_.poll_ms, 1000));
 }
 
+Result<Json>
+ServiceClient::status(bool include_events)
+{
+    Result<int> cfd = connectOnce(opts_.connect_timeout_ms);
+    if (!cfd.ok())
+        return cfd.status();
+    ScopedFd fd(cfd.value());
+    Json req = Json::object();
+    req.set("type", "status");
+    if (include_events)
+        req.set("events", true);
+    if (Status s = writeServiceMessage(fd.fd, std::move(req)); !s.ok())
+        return s;
+    MessageReader reader(fd.fd);
+    return reader.next(std::max(opts_.poll_ms, 1000));
+}
+
 Result<SweepReply>
 ServiceClient::execute(const std::string &id,
                        const std::vector<ClientRunSpec> &runs,

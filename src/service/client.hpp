@@ -114,6 +114,14 @@ class ServiceClient
      *  payload, e.g. {"type":"pong","draining":false}. */
     Result<Json> ping();
 
+    /**
+     * One introspection probe (single attempt, no retries): the
+     * daemon's status payload — service counters plus, when a fleet is
+     * on, per-shard topology and the evrsim_fleet_* counter block.
+     * @p include_events also returns the lifecycle event ring.
+     */
+    Result<Json> status(bool include_events = false);
+
     const ClientOptions &options() const { return opts_; }
 
   private:

@@ -20,6 +20,11 @@
  *   --deadline-ms=N      overall deadline (0 = none)
  *   --retries=N          retry budget (connects, sheds, lost streams)
  *   --ping               liveness probe and exit
+ *   status | --status    fleet introspection: per-shard topology +
+ *                        service/fleet counters, printed as a table
+ *   --events             with status: also print the lifecycle event
+ *                        ring (restart, fence, breaker, failover)
+ *   --json               with status: raw JSON instead of the table
  */
 #include <cstdio>
 #include <cstdlib>
@@ -73,8 +78,62 @@ usage()
         "usage: evrsim-client [--socket=PATH] [--id=ID] [--client=NAME]\n"
         "                     [--workloads=a,b,...] [--configs=x,y,...]\n"
         "                     [--attach] [--deadline-ms=N] [--retries=N]\n"
-        "                     [--ping]\n");
+        "                     [--ping]\n"
+        "       evrsim-client status [--events] [--json] [--socket=PATH]\n");
     return 2;
+}
+
+/** Render the status payload as tables (the --json flag skips this). */
+void
+printStatus(const Json &st, bool with_events)
+{
+    std::printf("draining: %s\n",
+                st.get("draining", Json(false)).asBool() ? "yes" : "no");
+    const Json *fleet = st.find("fleet");
+    if (!fleet || fleet->type() != Json::Type::Object) {
+        std::printf("fleet: off (EVRSIM_SHARDS=0)\n");
+    } else {
+        std::printf("fleet: transport=%s listen=%s\n",
+                    fleet->get("transport", Json("?")).asString().c_str(),
+                    fleet->get("listen", Json("")).asString().c_str());
+        std::printf("%-5s %-6s %-9s %-6s %10s %9s %9s  %s\n", "slot",
+                    "alive", "breaker", "epoch", "lease_ms", "inflight",
+                    "restarts", "last_error");
+        const Json *shards = fleet->find("shards");
+        if (shards && shards->type() == Json::Type::Array) {
+            for (std::size_t i = 0; i < shards->size(); ++i) {
+                const Json &s = shards->at(i);
+                std::printf(
+                    "%-5.0f %-6s %-9s %-6.0f %10.0f %9.0f %9.0f  %s\n",
+                    s.get("slot", Json(0)).asDouble(),
+                    s.get("alive", Json(false)).asBool() ? "yes" : "no",
+                    s.get("breaker", Json("?")).asString().c_str(),
+                    s.get("epoch", Json(0)).asDouble(),
+                    s.get("lease_age_ms", Json(-1)).asDouble(),
+                    s.get("inflight", Json(0)).asDouble(),
+                    s.get("restarts", Json(0)).asDouble(),
+                    s.get("last_error", Json("")).asString().c_str());
+            }
+        }
+        const Json *fs = fleet->find("stats");
+        if (fs && fs->type() == Json::Type::Object) {
+            std::printf("fleet counters:");
+            for (const auto &kv : fs->members())
+                std::printf(" %s=%.0f", kv.first.c_str(),
+                            kv.second.asDouble());
+            std::printf("\n");
+        }
+    }
+    if (with_events) {
+        const Json *events = st.find("events");
+        if (events && events->type() == Json::Type::Array) {
+            std::printf("events (%zu):\n", events->size());
+            for (std::size_t i = 0; i < events->size(); ++i)
+                std::printf("  %s\n", events->at(i).dump(0).c_str());
+        } else {
+            std::printf("events: none reported\n");
+        }
+    }
 }
 
 } // namespace
@@ -96,6 +155,9 @@ main(int argc, char **argv)
     std::vector<std::string> configs = {"baseline", "evr"};
     bool do_ping = false;
     bool do_attach = false;
+    bool do_status = false;
+    bool with_events = false;
+    bool raw_json = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i] ? argv[i] : "";
@@ -118,6 +180,12 @@ main(int argc, char **argv)
             do_attach = true;
         else if (arg == "--ping")
             do_ping = true;
+        else if (arg == "status" || arg == "--status")
+            do_status = true;
+        else if (arg == "--events")
+            with_events = true;
+        else if (arg == "--json")
+            raw_json = true;
         else
             return usage();
     }
@@ -130,6 +198,18 @@ main(int argc, char **argv)
             fatal("ping %s: %s", opts.socket_path.c_str(),
                   pong.status().message().c_str());
         std::printf("%s\n", pong.value().dump(0).c_str());
+        return 0;
+    }
+
+    if (do_status) {
+        Result<Json> st = client.status(with_events);
+        if (!st.ok())
+            fatal("status %s: %s", opts.socket_path.c_str(),
+                  st.status().message().c_str());
+        if (raw_json)
+            std::printf("%s\n", st.value().dump(2).c_str());
+        else
+            printStatus(st.value(), with_events);
         return 0;
     }
 

@@ -22,6 +22,7 @@
 #include "common/metrics.hpp"
 #include "common/net.hpp"
 #include "common/shutdown.hpp"
+#include "common/trace.hpp"
 #include "driver/envelope.hpp"
 
 namespace evrsim {
@@ -99,6 +100,16 @@ serviceConfigFromEnvChecked(const BenchParams &params)
         return s;
     if (present)
         cfg.fleet.lease_ms = static_cast<int>(v);
+    // Lifecycle-event persistence: defaults next to the journals,
+    // EVRSIM_FLEET_EVENTS=0 disables, anything else is an explicit
+    // path. The in-memory ring serves `status` either way.
+    if (const char *ev = std::getenv("EVRSIM_FLEET_EVENTS");
+        ev && *ev != '\0') {
+        if (std::string(ev) != "0")
+            cfg.fleet.events_path = ev;
+    } else if (!params.cache_dir.empty()) {
+        cfg.fleet.events_path = params.cache_dir + "/events.jsonl";
+    }
     return cfg;
 }
 
@@ -398,6 +409,51 @@ SweepService::dispatch(Conn &conn, const Json &msg)
         pong.set("type", "pong");
         pong.set("draining", draining);
         send(conn, std::move(pong));
+        return;
+    }
+
+    if (type->asString() == "status") {
+        bool want_events = false;
+        if (const Json *ev = msg.find("events");
+            ev && ev->type() == Json::Type::Bool)
+            want_events = ev->asBool();
+        bool draining;
+        Stats st;
+        {
+            std::lock_guard<std::mutex> lock(admit_mu_);
+            draining = draining_;
+            st = stats_;
+        }
+        Json svc = Json::object();
+        svc.set("connections", static_cast<double>(st.connections));
+        svc.set("requests_admitted",
+                static_cast<double>(st.requests_admitted));
+        svc.set("requests_completed",
+                static_cast<double>(st.requests_completed));
+        svc.set("requests_attached",
+                static_cast<double>(st.requests_attached));
+        svc.set("shed_queue_full",
+                static_cast<double>(st.shed_queue_full));
+        svc.set("shed_quota", static_cast<double>(st.shed_quota));
+        svc.set("shed_draining",
+                static_cast<double>(st.shed_draining));
+        svc.set("invalid_requests",
+                static_cast<double>(st.invalid_requests));
+        svc.set("runs_completed",
+                static_cast<double>(st.runs_completed));
+        svc.set("runs_failed", static_cast<double>(st.runs_failed));
+        svc.set("resumed_requests",
+                static_cast<double>(st.resumed_requests));
+        Json reply = Json::object();
+        reply.set("type", "status");
+        reply.set("draining", draining);
+        reply.set("service", std::move(svc));
+        if (fleet_) {
+            reply.set("fleet", fleet_->statusJson());
+            if (want_events)
+                reply.set("events", fleet_->eventsJson());
+        }
+        send(conn, std::move(reply));
         return;
     }
 
@@ -767,6 +823,25 @@ SweepService::drain()
     // No runs are in flight anymore: retire the shard fleet.
     if (fleet_)
         fleet_->stop();
+
+    // Flush the merged trace now that every shard's shipped events are
+    // ingested (a SIGTERM drain must leave a parseable trace, not rely
+    // on atexit), then clean up the shards' local spill files — their
+    // contents are already merged, and leaving them would re-orphan
+    // what this flush just stitched.
+    if (traceActive() && traceWrite().ok()) {
+        std::string obs = params_.metrics_dir.empty()
+                              ? params_.cache_dir
+                              : params_.metrics_dir;
+        if (fleet_ && !obs.empty()) {
+            std::error_code ec;
+            for (int i = 0; i < config_.fleet.shards; ++i)
+                std::filesystem::remove(
+                    obs + "/shard-" + std::to_string(i) +
+                        ".trace.json",
+                    ec);
+        }
+    }
 
     // Wake idle readers (they observe draining_ and exit) and join.
     {

@@ -91,6 +91,9 @@ struct ServiceConfig {
  *   EVRSIM_LEASE_MS=n         remote-shard lease: a registered shard
  *                             missing a pong for this long is fenced
  *                             (default 5000)
+ *   EVRSIM_FLEET_EVENTS=path  fleet lifecycle event JSONL (default
+ *                             <cache_dir>/events.jsonl; 0 disables
+ *                             persistence — the ring stays on)
  */
 Result<ServiceConfig>
 serviceConfigFromEnvChecked(const BenchParams &params);

@@ -25,6 +25,8 @@
  * shards are persistent, so the fork/exec cost is paid per shard
  * lifetime instead of per run.
  */
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdlib>
 #include <string>
@@ -33,6 +35,7 @@
 #include "common/crash_handler.hpp"
 #include "common/log.hpp"
 #include "common/shutdown.hpp"
+#include "common/trace.hpp"
 #include "driver/supervisor.hpp"
 #include "service/daemon.hpp"
 #include "service/fleet.hpp"
@@ -60,6 +63,9 @@ runWorkerAndExit(const std::string &job, BenchParams params)
 {
     // The daemon owns the cache, the journals and the retry policy;
     // the worker is one bare attempt (mirrors the bench worker mode).
+    std::string obs_dir = params.metrics_dir.empty()
+                              ? params.cache_dir
+                              : params.metrics_dir;
     params.use_cache = false;
     params.resume = false;
     params.isolate = IsolateMode::Off;
@@ -67,6 +73,19 @@ runWorkerAndExit(const std::string &job, BenchParams params)
     params.heartbeat_ms = 0;
     params.metrics_dir.clear();
     params.write_summary = false;
+
+    // Route the worker's trace under the daemon's observability dir
+    // with a pid tag, not the default cwd-relative path that every
+    // worker would fight over.
+    if (Result<TraceConfig> tc = traceConfigFromEnv(); !tc.ok()) {
+        fatal("%s", tc.status().message().c_str());
+    } else if (tc.value().enabled()) {
+        TraceConfig cfg = tc.value();
+        std::string name = "evrsim_trace.json.worker-" +
+                           std::to_string(::getpid());
+        cfg.path = obs_dir.empty() ? name : obs_dir + "/" + name;
+        traceConfigure(cfg);
+    }
 
     std::size_t slash = job.find('/');
     if (slash == std::string::npos || slash == 0 ||
@@ -144,6 +163,22 @@ main(int argc, char **argv)
     // restart) replays the journals and serves completed work from the
     // cache instead of re-simulating it.
     params.resume = true;
+
+    // Arm the tracer for the daemon itself (shards and workers arm
+    // their own on their exec paths above). A default output path is
+    // rooted next to the journals; an explicit EVRSIM_TRACE=...:path
+    // is honored as given.
+    if (Result<TraceConfig> tc = traceConfigFromEnv(); !tc.ok()) {
+        fatal("%s", tc.status().message().c_str());
+    } else if (tc.value().enabled()) {
+        TraceConfig tcfg = tc.value();
+        std::string obs_dir = params.metrics_dir.empty()
+                                  ? params.cache_dir
+                                  : params.metrics_dir;
+        if (tcfg.path == TraceConfig().path && !obs_dir.empty())
+            tcfg.path = obs_dir + "/" + tcfg.path;
+        traceConfigure(tcfg);
+    }
 
     Result<ServiceConfig> sc = serviceConfigFromEnvChecked(params);
     if (!sc.ok())

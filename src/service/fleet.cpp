@@ -43,6 +43,10 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/** Synthetic pid base for adopted shard trace lanes: far above any
+ *  real pid so merged traces never collide with the daemon's own. */
+constexpr int kShardTraceLaneBase = 1000000;
+
 /** 53-bit mantissa draw in [0, 1) from one mixed word. */
 double
 unitDraw(std::uint64_t mixed)
@@ -528,6 +532,13 @@ makePipeShardTransport(const FleetConfig &config)
 ShardFleet::ShardFleet(const FleetConfig &config, DegradedRunFn degraded)
     : config_(config), degraded_(std::move(degraded))
 {
+    // Per-control-plane nonce folded into every trace id: two fleet
+    // instances in one process lifetime (restarts, tests) must never
+    // mint colliding ids, or spans from different sweeps would stitch
+    // into each other's dispatch windows in the merged trace.
+    static std::atomic<std::uint64_t> instances{0};
+    trace_nonce_ = mix64(0xa0761d6478bd642full +
+                         (instances.fetch_add(1) << 17));
 }
 
 ShardFleet::~ShardFleet() { stop(); }
@@ -581,11 +592,23 @@ ShardFleet::start()
         recordShardFailure(*shards_[static_cast<std::size_t>(slot)],
                            why);
     };
+    events_.setPersistPath(config_.events_path);
     if (Status st = transport_->start(std::move(hooks)); !st.ok()) {
         transport_.reset();
         return st;
     }
 
+    // Materialize every fleet counter at zero so a quiet fleet exports
+    // explicit zeros (and the status endpoint's numbers always have a
+    // metric to match against).
+    for (const char *name :
+         {"evrsim_fleet_dispatched_total", "evrsim_fleet_completed_total",
+          "evrsim_fleet_failovers_total", "evrsim_fleet_restarts_total",
+          "evrsim_fleet_breaker_opens_total", "evrsim_fleet_degraded_total",
+          "evrsim_fleet_wire_errors_total",
+          "evrsim_fleet_ping_timeouts_total",
+          "evrsim_fleet_stray_responses_total"})
+        metricsCounterAdd(name, 0.0);
     metricsGaugeSet("evrsim_fleet_shards",
                     static_cast<double>(config_.shards));
     started_ = true;
@@ -599,37 +622,62 @@ ShardFleet::handleUp(int slot)
     if (slot < 0 || static_cast<std::size_t>(slot) >= shards_.size())
         return;
     Shard &s = *shards_[static_cast<std::size_t>(slot)];
-    std::lock_guard<std::mutex> lock(mu_);
-    s.alive = true;
-    s.ping_outstanding = false;
-    s.last_ping = Clock::now();
-    s.breaker.onRestart(); // open -> half-open probe
+    // A fresh incarnation's counters start from zero: forget the old
+    // snapshot so its metrics accumulate instead of being seen as an
+    // already-reported prefix.
+    folder_.onShardUp(slot);
+    bool first;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        s.alive = true;
+        s.ping_outstanding = false;
+        s.last_ping = s.last_frame = Clock::now();
+        s.breaker.onRestart(); // open -> half-open probe
+        first = !s.seen_up;
+        if (first)
+            s.seen_up = true;
+        else
+            ++s.restarts;
+    }
+    events_.record(first ? "registration" : "restart", slot,
+                   transport_ ? transport_->name() : "");
 }
 
 void
 ShardFleet::markShardHealthy(Shard &s)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (s.breaker.state != BreakerState::Closed)
-        inform("fleet: shard %d healthy again (breaker %s -> closed)",
-               s.index, breakerStateName(s.breaker.state));
-    s.breaker.recordSuccess();
+    bool closed = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (s.breaker.state != BreakerState::Closed) {
+            inform("fleet: shard %d healthy again (breaker %s -> closed)",
+                   s.index, breakerStateName(s.breaker.state));
+            closed = true;
+        }
+        s.breaker.recordSuccess();
+    }
+    if (closed)
+        events_.record("breaker-close", s.index, "");
 }
 
 void
 ShardFleet::recordShardFailure(Shard &s, const std::string &why)
 {
-    bool kill = false;
+    bool kill = false, opened = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
+        s.last_error = why;
         if (s.breaker.recordFailure()) {
             ++stats_.breaker_opens;
             metricsCounterAdd("evrsim_fleet_breaker_opens_total", 1.0);
             warn("fleet: shard %d breaker opened (%s)", s.index,
                  why.c_str());
             kill = s.alive;
+            opened = true;
         }
     }
+    if (opened)
+        events_.record("breaker-open", s.index, why);
     // An open breaker on a live shard means it is misbehaving, not
     // dead (stalled, flaky wire): replace it. The transport's reader
     // observes the loss and runs the normal down path.
@@ -646,6 +694,7 @@ ShardFleet::fenceShard(Shard &s, const std::string &why)
             return; // already gone; nothing to fence
     }
     warn("fleet: shard %d fenced (%s)", s.index, why.c_str());
+    events_.record("fence", s.index, why);
     // Fail its in-flight runs over *now* (exactly once — the
     // transport's later on_down finds the shard already down), then
     // terminate the endpoint so a zombie holding the old epoch can
@@ -653,6 +702,11 @@ ShardFleet::fenceShard(Shard &s, const std::string &why)
     handleShardDown(s, why);
     if (transport_)
         transport_->condemn(s.index, why);
+    // A fence loses the shard's remaining buffers; flush what the
+    // control plane already holds so the merged trace survives even
+    // if the daemon never reaches a clean drain.
+    if (traceActive())
+        (void)traceWrite();
 }
 
 void
@@ -665,6 +719,7 @@ ShardFleet::handleShardDown(Shard &s, const std::string &why)
         s.alive = false;
         s.ping_outstanding = false;
         if (!stopping_.load()) {
+            s.last_error = why;
             // During stop() the EOF is the *expected* way shards exit;
             // counting it as a failure would make every clean shutdown
             // look like an incident.
@@ -710,16 +765,26 @@ ShardFleet::handleFrame(int slot, const Json &msg)
     const Json *type = msg.find("type");
     if (!type || type->type() != Json::Type::String)
         return;
+    // Shards piggyback their metrics-registry snapshot on pong and
+    // result frames; folding on both means a fenced shard's last
+    // counters (shipped with its final result) are never lost.
+    if (const Json *mx = msg.find("mx"))
+        folder_.fold(slot, *mx);
     if (type->asString() == "pong") {
         {
             std::lock_guard<std::mutex> lock(mu_);
             s.ping_outstanding = false;
+            s.last_frame = Clock::now();
         }
         markShardHealthy(s);
         return;
     }
     if (type->asString() != "result")
         return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        s.last_frame = Clock::now();
+    }
 
     const Json *seqj = msg.find("seq");
     const Json *okj = msg.find("ok");
@@ -763,9 +828,23 @@ ShardFleet::handleFrame(int slot, const Json &msg)
     if (!w) {
         // Duplicate or long-abandoned response (wire-dup, a run that
         // already failed over): tolerated, counted.
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.stray_responses;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.stray_responses;
+        }
+        metricsCounterAdd("evrsim_fleet_stray_responses_total", 1.0);
     } else {
+        // Adopt the run's shipped shard spans, rebased onto the
+        // dispatch span's start so they nest inside it in the merged
+        // trace. Stray responses have no dispatch window to rebase
+        // onto; their events are lost with the failover, by design.
+        if (traceActive()) {
+            if (const Json *tr = msg.find("trace"))
+                traceIngestRemote(kShardTraceLaneBase + slot,
+                                  "evrsim-shard-" + std::to_string(slot),
+                                  w->dispatch_start_ns,
+                                  traceEventsFromWire(*tr));
+        }
         std::lock_guard<std::mutex> lock(w->mu);
         if (!w->done) {
             w->done = true;
@@ -872,11 +951,41 @@ ShardFleet::execute(const std::string &alias, const SimConfig &config,
         req.set("seq", seq);
         req.set("workload", alias);
         req.set("config", config.name);
+        // Trace-context propagation: stamp the run with a fresh trace
+        // id and the dispatch span's id; the shard adopts them as its
+        // ambient context, so its spans share the id and (after the
+        // result-frame ingest rebases them onto dispatch_start_ns)
+        // nest inside this dispatch span in the merged trace.
+        const bool tracing = traceActive();
+        if (tracing) {
+            std::uint64_t trace_id = mix64(
+                trace_nonce_ ^
+                (static_cast<std::uint64_t>(::getpid()) << 32) ^ seq ^
+                0x51ed2701a93b45c7ull);
+            std::uint64_t span_id =
+                mix64(trace_id ^ 0x9e3779b97f4a7c15ull);
+            req.set("trace", traceIdHex(trace_id));
+            req.set("span", traceIdHex(span_id));
+            w->dispatch_start_ns = traceNowNs();
+            traceContextSet({trace_id, span_id});
+        }
+        auto finishSpan = [&](const char *outcome) {
+            if (!tracing)
+                return;
+            traceComplete(TraceCat::Driver, "fleet-dispatch",
+                          w->dispatch_start_ns,
+                          traceNowNs() - w->dispatch_start_ns,
+                          key + " shard=" + std::to_string(s.index) +
+                              " outcome=" + outcome,
+                          static_cast<std::int64_t>(seq));
+            traceContextClear();
+        };
         if (!transport_->writeFrame(s.index, std::move(req))) {
             {
                 std::lock_guard<std::mutex> lock(waiters_mu_);
                 waiters_.erase(seq);
             }
+            finishSpan("write-failed");
             handleShardDown(s, "run dispatch write failed");
             transport_->condemn(s.index, "run dispatch write failed");
             last = Status::unavailable("fleet: dispatch to shard " +
@@ -900,6 +1009,7 @@ ShardFleet::execute(const std::string &alias, const SimConfig &config,
         if (!done) {
             // No response at all: a dropped wire line or a wedged
             // shard. Strike it and fail over.
+            finishSpan("deadline");
             last = Status::unavailable(
                 "fleet: run " + key + " exceeded the " +
                 std::to_string(config_.run_deadline_ms) +
@@ -910,9 +1020,11 @@ ShardFleet::execute(const std::string &alias, const SimConfig &config,
         }
         WorkerAttempt a = w->attempt;
         if (a.worker_died) {
+            finishSpan("shard-died");
             last = a.status; // shard died under the run: fail over
             continue;
         }
+        finishSpan("ok");
         {
             std::lock_guard<std::mutex> lock(mu_);
             ++stats_.completed;
@@ -920,8 +1032,10 @@ ShardFleet::execute(const std::string &alias, const SimConfig &config,
                 ++stats_.failovers;
         }
         metricsCounterAdd("evrsim_fleet_completed_total", 1.0);
-        if (off > 0)
+        if (off > 0) {
             metricsCounterAdd("evrsim_fleet_failovers_total", 1.0);
+            events_.record("failover", s.index, key);
+        }
         return a; // the shard's verdict (result or Status), verbatim
     }
 
@@ -1029,6 +1143,84 @@ ShardFleet::setRegistrationDraining(bool draining)
         transport_->setDraining(draining);
 }
 
+Json
+fleetStatsToJson(const ShardFleet::Stats &stats)
+{
+    Json j = Json::object();
+    j.set("dispatched", static_cast<double>(stats.dispatched));
+    j.set("completed", static_cast<double>(stats.completed));
+    j.set("failovers", static_cast<double>(stats.failovers));
+    j.set("restarts", static_cast<double>(stats.restarts));
+    j.set("breaker_opens", static_cast<double>(stats.breaker_opens));
+    j.set("degraded", static_cast<double>(stats.degraded));
+    j.set("wire_errors", static_cast<double>(stats.wire_errors));
+    j.set("ping_timeouts", static_cast<double>(stats.ping_timeouts));
+    j.set("stray_responses",
+          static_cast<double>(stats.stray_responses));
+    j.set("fences", static_cast<double>(stats.fences));
+    j.set("reconnects", static_cast<double>(stats.reconnects));
+    j.set("partitions", static_cast<double>(stats.partitions));
+    j.set("stale_epochs", static_cast<double>(stats.stale_epochs));
+    j.set("registrations", static_cast<double>(stats.registrations));
+    j.set("shed_registrations",
+          static_cast<double>(stats.shed_registrations));
+    return j;
+}
+
+Json
+ShardFleet::statusJson() const
+{
+    // Inflight counts first: waiters_mu_ and mu_ are never held
+    // together anywhere in the fleet, and statusJson keeps it that way.
+    std::map<int, int> inflight;
+    {
+        std::lock_guard<std::mutex> lock(waiters_mu_);
+        for (const auto &kv : waiters_)
+            ++inflight[kv.second->shard];
+    }
+    Json j = Json::object();
+    j.set("transport",
+          transport_ ? transport_->name() : std::string("none"));
+    j.set("listen", listenAddress());
+    Json arr = Json::array();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto now = Clock::now();
+        for (const auto &sp : shards_) {
+            const Shard &s = *sp;
+            Json e = Json::object();
+            e.set("slot", s.index);
+            e.set("alive", s.alive);
+            e.set("breaker", breakerStateName(s.breaker.state));
+            e.set("epoch",
+                  static_cast<double>(
+                      transport_ ? transport_->slotEpoch(s.index) : 0));
+            double lease_ms = -1.0;
+            if (s.last_frame.time_since_epoch().count() != 0)
+                lease_ms = static_cast<double>(
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(now - s.last_frame)
+                        .count());
+            e.set("lease_age_ms", lease_ms);
+            auto it = inflight.find(s.index);
+            e.set("inflight",
+                  it == inflight.end() ? 0 : it->second);
+            e.set("restarts", static_cast<double>(s.restarts));
+            e.set("last_error", s.last_error);
+            arr.push(std::move(e));
+        }
+    }
+    j.set("shards", std::move(arr));
+    j.set("stats", fleetStatsToJson(stats()));
+    return j;
+}
+
+Json
+ShardFleet::eventsJson() const
+{
+    return events_.toJson();
+}
+
 // --- shard-process side ---------------------------------------------
 
 std::string
@@ -1047,6 +1239,12 @@ shardParamsJson(const BenchParams &params)
     v.set("sample", params.validation.tile_sample_rate);
     v.set("seed", params.validation.seed);
     j.set("validation", std::move(v));
+    // Observability home for the shard process: its trace file and
+    // metrics snapshots are rooted here so they never orphan in the
+    // shard's cwd. Prefers the metrics dir, falls back to the cache
+    // dir; empty means "no durable home" (cwd-relative fallback).
+    j.set("obs_dir", params.metrics_dir.empty() ? params.cache_dir
+                                                : params.metrics_dir);
     return j.dump(0);
 }
 
@@ -1111,7 +1309,10 @@ applyShardRuntimePolicy(BenchParams &params)
 {
     // The daemon owns the cache, the journals and the retry policy;
     // a shard is a stream of bare attempts (the PR 4 worker
-    // philosophy), so its death never loses durable state.
+    // philosophy), so its death never loses durable state. The
+    // metrics dir is cleared too: a shard never writes artifacts —
+    // configureShardObservability re-sets it purely as the "record
+    // per-run metrics for snapshot shipping" flag.
     params.use_cache = false;
     params.resume = false;
     params.isolate = IsolateMode::Off;
@@ -1121,17 +1322,95 @@ applyShardRuntimePolicy(BenchParams &params)
     params.write_summary = false;
 }
 
+std::string
+shardObsDirFromParams(const std::string &params_json)
+{
+    Result<Json> doc = Json::tryParse(params_json);
+    if (!doc.ok())
+        return {};
+    if (const Json *f = doc.value().find("obs_dir");
+        f && f->type() == Json::Type::String)
+        return f->asString();
+    return {};
+}
+
+void
+configureShardObservability(int slot, const std::string &obs_dir,
+                            BenchParams &params)
+{
+    // Metrics: recording is keyed off a non-empty metrics_dir (the
+    // same gate runMemoized uses), but shards never write artifacts —
+    // snapshots ship to the control plane on pong/result frames and
+    // the daemon exports the merged files.
+    if (!obs_dir.empty())
+        params.metrics_dir = obs_dir;
+    // Trace: honour EVRSIM_TRACE in the shard too, but route the
+    // local spill file under the observability dir with a slot-tagged
+    // name so a fenced/killed shard leaves an attributable file
+    // instead of an orphan in some cwd. The merged view still comes
+    // from shipped events; this file is the forensic fallback.
+    Result<TraceConfig> tc = traceConfigFromEnv();
+    if (!tc.ok()) {
+        warn("shard %d: %s", slot, tc.status().message().c_str());
+        return;
+    }
+    if (!tc.value().enabled())
+        return;
+    TraceConfig cfg = tc.value();
+    std::string name =
+        "shard-" + std::to_string(slot) + ".trace.json";
+    cfg.path = obs_dir.empty() ? name : obs_dir + "/" + name;
+    traceConfigure(cfg);
+}
+
+void
+attachShardMetricsSnapshot(Json &payload)
+{
+    if (metricsInstanceCount() == 0)
+        return;
+    Result<Json> doc = Json::tryParse(metricsToJson());
+    if (doc.ok())
+        payload.set("mx", std::move(doc.value()));
+}
+
+TraceContext
+traceContextFromFrame(const Json &msg)
+{
+    TraceContext ctx;
+    if (const Json *f = msg.find("trace");
+        f && f->type() == Json::Type::String)
+        ctx.trace_id = traceIdParse(f->asString());
+    if (const Json *f = msg.find("span");
+        f && f->type() == Json::Type::String)
+        ctx.parent_span = traceIdParse(f->asString());
+    return ctx;
+}
+
 Json
 shardRunResponse(ExperimentRunner &runner, const BenchParams &params,
                  std::uint64_t seq, const std::string &workload,
                  const std::string &config)
 {
+    const bool metrics_on = !params.metrics_dir.empty();
+    auto t0 = std::chrono::steady_clock::now();
     Result<RunResult> attempt = [&]() -> Result<RunResult> {
         Result<SimConfig> cfg = configByName(config, params.gpuConfig());
         if (!cfg.ok())
             return cfg.status();
         return runner.trySimulate(workload, cfg.value());
     }();
+    if (metrics_on) {
+        double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        metricsCounterAdd(
+            "evrsim_runs_total", 1,
+            {{"outcome", attempt.ok() ? "ok" : "failed"}});
+        if (attempt.ok())
+            recordRunMetrics(workload, config, attempt.value(),
+                             wall_ms);
+    }
 
     Json payload = Json::object();
     payload.set("type", "result");
@@ -1144,6 +1423,39 @@ shardRunResponse(ExperimentRunner &runner, const BenchParams &params,
     return payload;
 }
 
+Json
+shardExecuteRun(ExperimentRunner &runner, const BenchParams &params,
+                std::uint64_t seq, const std::string &workload,
+                const std::string &config, const TraceContext &ctx)
+{
+    const bool tracing = traceActive();
+    std::uint64_t t0 = 0;
+    if (tracing) {
+        traceContextSet(ctx);
+        t0 = traceNowNs();
+    }
+    Json payload;
+    {
+        TraceSpan span(TraceCat::Worker, "shard-run");
+        if (span.active()) {
+            span.setDetail(workload + "/" + config + " parent=" +
+                           traceIdHex(ctx.parent_span));
+            span.setValue(static_cast<std::int64_t>(seq));
+        }
+        payload =
+            shardRunResponse(runner, params, seq, workload, config);
+    }
+    if (tracing) {
+        // Ship every span this run recorded (the shard-run envelope
+        // plus the frame/stage/tile spans beneath it); the control
+        // plane rebases them onto its dispatch span.
+        payload.set("trace", traceEventsToWire(traceCollect(t0)));
+        traceContextClear();
+    }
+    attachShardMetricsSnapshot(payload);
+    return payload;
+}
+
 namespace {
 
 /** One queued run inside a shard process. */
@@ -1151,6 +1463,7 @@ struct PendingRun {
     std::uint64_t seq = 0;
     std::string workload;
     std::string config;
+    TraceContext ctx; ///< propagated trace context (zero = none)
 };
 
 } // namespace
@@ -1167,6 +1480,8 @@ runShardAndExit(int shard_index, WorkloadFactory factory,
         }
     }
     applyShardRuntimePolicy(params);
+    configureShardObservability(
+        shard_index, shardObsDirFromParams(params_json), params);
     setLogLevel(params.log_level);
     ignoreSigpipe();
 
@@ -1203,8 +1518,9 @@ runShardAndExit(int shard_index, WorkloadFactory factory,
             if (chaos.shouldFire(ChaosSite::WorkerKill9))
                 ::raise(SIGKILL);
 
-            respond(shardRunResponse(runner, params, run.seq,
-                                     run.workload, run.config));
+            respond(shardExecuteRun(runner, params, run.seq,
+                                    run.workload, run.config,
+                                    run.ctx));
         }
     });
 
@@ -1228,6 +1544,11 @@ runShardAndExit(int shard_index, WorkloadFactory factory,
             Json pong = Json::object();
             pong.set("type", "pong");
             pong.set("seq", msg.value().get("seq", Json(0)));
+            // Piggyback the registry snapshot on every pong so the
+            // control plane's aggregate stays fresh between runs and
+            // a later fence cannot lose more than one ping interval
+            // of counters.
+            attachShardMetricsSnapshot(pong);
             respond(std::move(pong));
             continue;
         }
@@ -1243,6 +1564,7 @@ runShardAndExit(int shard_index, WorkloadFactory factory,
         if (const Json *f = msg.value().find("config");
             f && f->type() == Json::Type::String)
             run.config = f->asString();
+        run.ctx = traceContextFromFrame(msg.value());
         {
             std::lock_guard<std::mutex> lock(q_mu);
             queue.push_back(std::move(run));

@@ -73,6 +73,7 @@
 #include "driver/experiment.hpp"
 #include "driver/json.hpp"
 #include "driver/workload.hpp"
+#include "service/fleet_obs.hpp"
 
 namespace evrsim {
 
@@ -109,6 +110,10 @@ struct FleetConfig {
      *  long instead of waiting forever. */
     int run_deadline_ms = 120000;
     int poll_ms = 50; ///< monitor/reader wakeup cadence
+    /** JSONL mirror of the fleet lifecycle event ring (restart, fence,
+     *  breaker transitions, failover, registration); empty disables
+     *  persistence (the in-memory ring stays on). EVRSIM_FLEET_EVENTS. */
+    std::string events_path;
 };
 
 /** A fleet is on when it has a width and either a program to exec
@@ -263,6 +268,15 @@ class ShardTransport
      *  that listen; empty otherwise. */
     virtual std::string listenAddress() const { return {}; }
 
+    /** Epoch of slot @p slot's current endpoint (TCP lease epoch; 0
+     *  for transports without epochs). Introspection only. */
+    virtual std::uint64_t
+    slotEpoch(int slot) const
+    {
+        (void)slot;
+        return 0;
+    }
+
     virtual TransportStats stats() const = 0;
 };
 
@@ -327,6 +341,17 @@ class ShardFleet
 
     Stats stats() const;
 
+    /**
+     * Fleet topology as JSON for the daemon's `status` endpoint:
+     * transport kind, resolved listen address, per-shard state (slot,
+     * alive, breaker, epoch, lease age, inflight, restarts, last
+     * error) and the full stats counter block.
+     */
+    Json statusJson() const;
+
+    /** The lifecycle event ring as a JSON array (oldest first). */
+    Json eventsJson() const;
+
     /** Breaker state of shard @p index (tests/telemetry). */
     BreakerState breakerState(int index) const;
 
@@ -347,6 +372,9 @@ class ShardFleet
         bool done = false;
         WorkerAttempt attempt;
         int shard = -1; ///< dispatch target (failover bookkeeping)
+        /** Dispatch-span start (traceNowNs()); shipped shard events
+         *  rebase onto this so they nest inside the dispatch span. */
+        std::uint64_t dispatch_start_ns = 0;
     };
 
     /** Per-slot health policy state, all guarded by the fleet mu_.
@@ -358,6 +386,11 @@ class ShardFleet
         bool ping_outstanding = false;
         std::chrono::steady_clock::time_point ping_sent{};
         std::chrono::steady_clock::time_point last_ping{};
+        // Introspection state for statusJson().
+        bool seen_up = false; ///< distinguishes first up from restarts
+        std::uint64_t restarts = 0; ///< ups beyond the first
+        std::chrono::steady_clock::time_point last_frame{};
+        std::string last_error;
     };
 
     void monitorLoop();
@@ -386,17 +419,28 @@ class ShardFleet
     std::unique_ptr<ShardTransport> transport_;
     std::vector<std::unique_ptr<Shard>> shards_;
 
+    ShardMetricsFolder folder_; ///< shard snapshot aggregation
+    FleetEventRing events_;     ///< lifecycle event ring (+ JSONL)
+
     mutable std::mutex mu_; ///< shard health + stats
     Stats stats_;
 
-    std::mutex waiters_mu_;
+    mutable std::mutex waiters_mu_;
     std::map<std::uint64_t, std::shared_ptr<Waiter>> waiters_;
 
     std::atomic<std::uint64_t> seq_{1};
+    /** Folded into every minted trace id so sequential fleet
+     *  instances in one process never collide (set in the ctor). */
+    std::uint64_t trace_nonce_ = 0;
     std::atomic<bool> stopping_{false};
     std::thread monitor_;
     bool started_ = false;
 };
+
+/** Every Stats counter as a JSON object, key-per-field. The status
+ *  endpoint embeds this; tests compare it number-for-number against
+ *  the evrsim_fleet_* metrics. */
+Json fleetStatsToJson(const ShardFleet::Stats &stats);
 
 // --- shard-process side ---------------------------------------------
 
@@ -421,12 +465,46 @@ int shardFlagFromArgv(int argc, char **argv, std::string &params_json);
  *  by the pipe and remote serve loops. */
 void applyShardRuntimePolicy(BenchParams &params);
 
+/** The "obs_dir" field of a shardParamsJson() document (the daemon's
+ *  metrics-or-cache directory); empty when absent or unparseable. */
+std::string shardObsDirFromParams(const std::string &params_json);
+
+/**
+ * Arm shard-side observability after the runtime policy: route metric
+ * recording into the in-process registry (snapshots ship to the
+ * control plane; the daemon alone writes artifacts) and, when
+ * EVRSIM_TRACE is set, re-point the trace file at
+ * <obs_dir>/shard-<slot>.trace.json so shard traces land slot-tagged
+ * under the daemon's directory instead of orphaned beside nothing.
+ */
+void configureShardObservability(int slot, const std::string &obs_dir,
+                                 BenchParams &params);
+
+/** Attach the shard's metrics-registry snapshot to an outbound frame
+ *  as "mx" (no-op while the registry is empty). */
+void attachShardMetricsSnapshot(Json &payload);
+
+/** The {trace_id, parent_span} a run frame carries ("trace"/"span"
+ *  16-hex-digit strings); zero ids when the frame has none. */
+TraceContext traceContextFromFrame(const Json &msg);
+
 /** Execute one shard run request (@p workload under @p config) and
  *  build the framed "result" payload for @p seq. */
 Json shardRunResponse(ExperimentRunner &runner,
                       const BenchParams &params, std::uint64_t seq,
                       const std::string &workload,
                       const std::string &config);
+
+/**
+ * shardRunResponse() wrapped in the fleet observability contract: the
+ * run executes under @p ctx as the ambient trace context inside a
+ * worker-category "shard-run" span, the events it recorded ship on
+ * the response as "trace" (wire form, timestamps rebased to the run
+ * start), and the metrics-registry snapshot rides along as "mx".
+ */
+Json shardExecuteRun(ExperimentRunner &runner, const BenchParams &params,
+                     std::uint64_t seq, const std::string &workload,
+                     const std::string &config, const TraceContext &ctx);
 
 /**
  * Serve as shard @p shard_index until stdin EOF, then exit: parse the

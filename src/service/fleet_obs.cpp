@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Fleet observability implementation: trace-event wire form, shard
+ * metrics snapshot folding, and the fleet lifecycle event ring.
+ */
+#include "service/fleet_obs.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "common/metrics.hpp"
+
+namespace evrsim {
+
+namespace {
+
+/** Short wire keys: n(ame) c(at) p(hase) t(s) d(ur) v(alue) x(detail)
+ *  i(tid) g(trace id, 16-hex). Defaults are omitted. */
+Json
+shippedEventToWire(const TraceShippedEvent &e)
+{
+    Json j = Json::object();
+    j.set("n", e.name);
+    j.set("c", e.cat);
+    if (e.phase != 'X')
+        j.set("p", std::string(1, e.phase));
+    j.set("t", static_cast<std::uint64_t>(e.ts_ns));
+    if (e.dur_ns != 0)
+        j.set("d", static_cast<std::uint64_t>(e.dur_ns));
+    if (e.value != INT64_MIN)
+        j.set("v", static_cast<std::int64_t>(e.value));
+    if (!e.detail.empty())
+        j.set("x", e.detail);
+    if (e.tid != 1)
+        j.set("i", e.tid);
+    if (e.trace_id != 0)
+        j.set("g", traceIdHex(e.trace_id));
+    return j;
+}
+
+std::string
+foldKey(int slot, const std::string &name, const Json &labels)
+{
+    std::string key = std::to_string(slot);
+    key += '\x1d';
+    key += name;
+    key += '\x1d';
+    if (labels.type() == Json::Type::Object) {
+        for (const auto &kv : labels.members()) {
+            key += kv.first;
+            key += '\x1f';
+            if (kv.second.type() == Json::Type::String)
+                key += kv.second.asString();
+            key += '\x1e';
+        }
+    }
+    return key;
+}
+
+MetricLabels
+shardLabels(int slot, const Json &labels)
+{
+    MetricLabels out;
+    if (labels.type() == Json::Type::Object) {
+        for (const auto &kv : labels.members()) {
+            if (kv.second.type() == Json::Type::String)
+                out[kv.first] = kv.second.asString();
+        }
+    }
+    out["shard"] = std::to_string(slot);
+    return out;
+}
+
+} // namespace
+
+Json
+traceEventsToWire(const std::vector<TraceShippedEvent> &events)
+{
+    Json arr = Json::array();
+    for (const TraceShippedEvent &e : events)
+        arr.push(shippedEventToWire(e));
+    return arr;
+}
+
+std::vector<TraceShippedEvent>
+traceEventsFromWire(const Json &wire)
+{
+    std::vector<TraceShippedEvent> out;
+    if (wire.type() != Json::Type::Array)
+        return out;
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+        const Json &j = wire.at(i);
+        if (j.type() != Json::Type::Object)
+            continue;
+        const Json *name = j.find("n");
+        const Json *cat = j.find("c");
+        const Json *ts = j.find("t");
+        if (!name || name->type() != Json::Type::String || !cat ||
+            cat->type() != Json::Type::String || !ts ||
+            ts->type() != Json::Type::Number)
+            continue;
+        TraceShippedEvent e;
+        e.name = name->asString();
+        e.cat = cat->asString();
+        Json phase = j.get("p", Json("X"));
+        if (phase.type() == Json::Type::String &&
+            phase.asString().size() == 1)
+            e.phase = phase.asString()[0];
+        e.ts_ns = ts->asU64();
+        e.dur_ns = j.get("d", Json(std::uint64_t{0})).asU64();
+        const Json *value = j.find("v");
+        if (value && value->type() == Json::Type::Number)
+            e.value = value->asI64();
+        Json detail = j.get("x", Json(""));
+        if (detail.type() == Json::Type::String)
+            e.detail = detail.asString();
+        Json tid = j.get("i", Json(1));
+        if (tid.type() == Json::Type::Number)
+            e.tid = static_cast<int>(tid.asI64());
+        const Json *gid = j.find("g");
+        if (gid && gid->type() == Json::Type::String)
+            e.trace_id = traceIdParse(gid->asString());
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+void
+ShardMetricsFolder::onShardUp(int slot)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string prefix = std::to_string(slot) + '\x1d';
+    for (auto it = last_.lower_bound(prefix); it != last_.end();) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        it = last_.erase(it);
+    }
+    last_conflicts_.erase(slot);
+}
+
+void
+ShardMetricsFolder::fold(int slot, const Json &snapshot)
+{
+    if (snapshot.type() != Json::Type::Object)
+        return;
+    const Json *metrics = snapshot.find("metrics");
+    if (!metrics || metrics->type() != Json::Type::Array)
+        return;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < metrics->size(); ++i) {
+        const Json &m = metrics->at(i);
+        const Json *name = m.find("name");
+        const Json *type = m.find("type");
+        if (!name || name->type() != Json::Type::String || !type ||
+            type->type() != Json::Type::String)
+            continue;
+        const Json labels = m.get("labels", Json::object());
+        const std::string &kind = type->asString();
+        std::string key = foldKey(slot, name->asString(), labels);
+        MetricLabels folded = shardLabels(slot, labels);
+
+        if (kind == "counter" || kind == "gauge") {
+            const Json *value = m.find("value");
+            if (!value || value->type() != Json::Type::Number)
+                continue;
+            double v = value->asDouble();
+            if (kind == "gauge") {
+                metricsGaugeSet(name->asString(), v, folded);
+                continue;
+            }
+            LastSeen &last = last_[key];
+            // A value below the last snapshot means the shard's
+            // registry reset under us (shouldn't happen between
+            // onShardUp calls, but fold conservatively): the whole new
+            // value is the delta.
+            double delta = v >= last.value ? v - last.value : v;
+            last.value = v;
+            if (delta > 0)
+                metricsCounterAdd(name->asString(), delta, folded);
+            continue;
+        }
+
+        if (kind != "histogram")
+            continue;
+        const Json *buckets = m.find("buckets");
+        const Json *sum = m.find("sum");
+        const Json *count = m.find("count");
+        if (!buckets || buckets->type() != Json::Type::Array || !sum ||
+            sum->type() != Json::Type::Number || !count ||
+            count->type() != Json::Type::Number)
+            continue;
+        std::vector<double> bounds;
+        std::vector<std::uint64_t> counts;
+        bool ok = true;
+        for (std::size_t b = 0; b < buckets->size(); ++b) {
+            const Json &bucket = buckets->at(b);
+            const Json *le = bucket.find("le");
+            const Json *c = bucket.find("count");
+            if (!le || !c || c->type() != Json::Type::Number) {
+                ok = false;
+                break;
+            }
+            if (le->type() == Json::Type::Number)
+                bounds.push_back(le->asDouble());
+            else if (b + 1 != buckets->size()) {
+                ok = false; // "+Inf" only valid as the last bucket
+                break;
+            }
+            counts.push_back(c->asU64());
+        }
+        if (!ok || counts.empty())
+            continue;
+        LastSeen &last = last_[key];
+        std::uint64_t total = count->asU64();
+        bool reset = last.counts.size() != counts.size() ||
+                     total < last.count;
+        std::vector<std::uint64_t> deltas(counts.size(), 0);
+        for (std::size_t b = 0; b < counts.size(); ++b) {
+            std::uint64_t prev = reset ? 0 : last.counts[b];
+            deltas[b] = counts[b] >= prev ? counts[b] - prev : counts[b];
+        }
+        double sum_delta = reset || sum->asDouble() < last.sum
+                               ? sum->asDouble()
+                               : sum->asDouble() - last.sum;
+        std::uint64_t count_delta =
+            reset ? total : total - last.count;
+        last.value = 0;
+        last.counts = counts;
+        last.sum = sum->asDouble();
+        last.count = total;
+        if (count_delta > 0)
+            metricsHistogramMergeDelta(name->asString(), folded, bounds,
+                                       deltas, sum_delta, count_delta);
+    }
+
+    // The shard's own dropped-sample tally surfaces as a per-shard
+    // counter so merge-time conflicts are visible fleet-wide.
+    const Json *conflicts = snapshot.find("type_conflicts");
+    if (conflicts && conflicts->type() == Json::Type::Number) {
+        std::uint64_t v = conflicts->asU64();
+        std::uint64_t last = last_conflicts_.count(slot)
+                                 ? last_conflicts_[slot]
+                                 : 0;
+        std::uint64_t delta = v >= last ? v - last : v;
+        last_conflicts_[slot] = v;
+        if (delta > 0)
+            metricsCounterAdd(
+                "evrsim_shard_type_conflicts_total",
+                static_cast<double>(delta),
+                {{"shard", std::to_string(slot)}});
+    }
+}
+
+FleetEventRing::FleetEventRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+void
+FleetEventRing::setPersistPath(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    persist_path_ = path;
+}
+
+void
+FleetEventRing::record(const char *type, int shard,
+                       const std::string &detail)
+{
+    FleetEvent e;
+    e.type = type;
+    e.shard = shard;
+    e.detail = detail;
+    e.ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count();
+    std::string persist_path;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        e.seq = next_seq_++;
+        ring_.push_back(e);
+        while (ring_.size() > capacity_)
+            ring_.pop_front();
+        persist_path = persist_path_;
+    }
+    if (persist_path.empty())
+        return;
+    // Append-only JSONL mirror; events are rare (lifecycle only), so
+    // open/append/close per event keeps the file crash-consistent
+    // without holding a descriptor.
+    if (std::FILE *f = std::fopen(persist_path.c_str(), "a")) {
+        std::string line = fleetEventToJson(e).dump(0);
+        line += '\n';
+        std::fwrite(line.data(), 1, line.size(), f);
+        std::fclose(f);
+    }
+}
+
+std::vector<FleetEvent>
+FleetEventRing::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::vector<FleetEvent>(ring_.begin(), ring_.end());
+}
+
+Json
+FleetEventRing::toJson() const
+{
+    Json arr = Json::array();
+    for (const FleetEvent &e : snapshot())
+        arr.push(fleetEventToJson(e));
+    return arr;
+}
+
+Json
+fleetEventToJson(const FleetEvent &event)
+{
+    Json j = Json::object();
+    j.set("seq", event.seq);
+    j.set("ts_ms", event.ts_ms);
+    j.set("type", event.type);
+    j.set("shard", event.shard);
+    if (!event.detail.empty())
+        j.set("detail", event.detail);
+    return j;
+}
+
+} // namespace evrsim

@@ -15,6 +15,9 @@
  *   {type:"sweep",  id, client, runs:[{workload, config}, ...]}
  *   {type:"attach", id, client}   re-run a journaled request by id
  *   {type:"ping"}                 liveness probe
+ *   {type:"status", events?}      live introspection: service counters
+ *                                 plus fleet topology; events:true also
+ *                                 returns the lifecycle event ring
  *
  * Daemon -> client messages:
  *   {type:"accepted", id, total}
@@ -24,6 +27,10 @@
  *   {type:"result",   id, final:true, elapsed_s, runs:[...], stats:{}}
  *   {type:"error",    id?, status:{code, message}}
  *   {type:"pong",     draining}
+ *   {type:"status",   draining, service:{...}, fleet?:{transport,
+ *    listen, shards:[{slot, alive, breaker, epoch, lease_age_ms,
+ *    inflight, restarts, last_error}], stats:{...}}, events?:[...]}
+ *                                 fleet is absent with EVRSIM_SHARDS=0
  *
  * Result payloads embed RunResult::toJson(false) — host timing
  * excluded — so a request replayed after a daemon crash is

@@ -223,6 +223,16 @@ class TcpShardTransport final : public ShardTransport
 
     std::string listenAddress() const override { return listen_addr_; }
 
+    std::uint64_t
+    slotEpoch(int slot) const override
+    {
+        if (slot < 0 || static_cast<std::size_t>(slot) >= eps_.size())
+            return 0;
+        Endpoint &e = *eps_[static_cast<std::size_t>(slot)];
+        std::lock_guard<std::mutex> lock(e.mu);
+        return e.epoch;
+    }
+
     TransportStats
     stats() const override
     {
@@ -496,6 +506,7 @@ struct RemoteRun {
     std::uint64_t epoch = 0;
     std::string workload;
     std::string config;
+    TraceContext ctx; ///< propagated trace context (zero = none)
 };
 
 /** The connection the worker thread responds through; reconnects swap
@@ -626,6 +637,13 @@ runRemoteShardAndExit(const std::string &host_port,
                 }
             }
             applyShardRuntimePolicy(params);
+            // The welcome names our slot: route the trace spill file
+            // and the metrics-recording flag the same way a pipe
+            // shard does. obs_dir rides the params overlay.
+            int slot = static_cast<int>(
+                first.value().get("slot", Json(0)).asDouble());
+            configureShardObservability(
+                slot, shardObsDirFromParams(overlay), params);
             setLogLevel(params.log_level);
             runner =
                 std::make_unique<ExperimentRunner>(factory, params);
@@ -644,9 +662,9 @@ runRemoteShardAndExit(const std::string &host_port,
                     }
                     if (chaos.shouldFire(ChaosSite::WorkerKill9))
                         ::raise(SIGKILL);
-                    Json payload = shardRunResponse(
+                    Json payload = shardExecuteRun(
                         *runner, params, run.seq, run.workload,
-                        run.config);
+                        run.config, run.ctx);
                     payload.set("epoch", run.epoch);
                     respond(std::move(payload));
                 }
@@ -688,6 +706,7 @@ runRemoteShardAndExit(const std::string &host_port,
                 pong.set("type", "pong");
                 pong.set("seq", msg.value().get("seq", Json(0)));
                 pong.set("epoch", epoch);
+                attachShardMetricsSnapshot(pong);
                 respond(std::move(pong));
                 continue;
             }
@@ -704,6 +723,7 @@ runRemoteShardAndExit(const std::string &host_port,
             if (const Json *f = msg.value().find("config");
                 f && f->type() == Json::Type::String)
                 run.config = f->asString();
+            run.ctx = traceContextFromFrame(msg.value());
             {
                 std::lock_guard<std::mutex> lock(q_mu);
                 queue.push_back(std::move(run));
